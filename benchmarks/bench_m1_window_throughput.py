@@ -1,0 +1,64 @@
+"""Bench M1 — microbenchmark: replay-window operations per second.
+
+Compares the paper-literal boolean-array window against the RFC-style
+integer-bitmap window on three access patterns.  Expected: the bitmap wins
+on sliding-heavy workloads (shifting an int beats shifting a list) while
+both are O(1)-ish on in-window checks.
+"""
+
+import random
+
+import pytest
+
+from repro.ipsec.replay_window import ArrayReplayWindow, BitmapReplayWindow
+from repro.ipsec.replay_window_blocked import BlockedReplayWindow
+
+IMPLS = [ArrayReplayWindow, BitmapReplayWindow, BlockedReplayWindow]
+IDS = ["array", "bitmap", "blocked"]
+
+
+def in_order_workload(window, count: int = 20_000) -> int:
+    accepted = 0
+    for seq in range(1, count + 1):
+        if window.update(seq).accepted:
+            accepted += 1
+    return accepted
+
+
+def jittered_workload(window, count: int = 20_000, seed: int = 7) -> int:
+    rng = random.Random(seed)
+    accepted = 0
+    seq = 0
+    for _ in range(count):
+        seq += 1
+        probe = max(1, seq - rng.randrange(0, 48))
+        if window.update(probe).accepted:
+            accepted += 1
+    return accepted
+
+
+def replay_heavy_workload(window, count: int = 20_000) -> int:
+    accepted = 0
+    for seq in range(1, count + 1):
+        if window.update(seq).accepted:
+            accepted += 1
+        window.update(max(1, seq - 3))  # constant replay pressure
+    return accepted
+
+
+@pytest.mark.parametrize("impl", IMPLS, ids=IDS)
+def bench_window_in_order(benchmark, impl):
+    result = benchmark(lambda: in_order_workload(impl(64)))
+    assert result == 20_000
+
+
+@pytest.mark.parametrize("impl", IMPLS, ids=IDS)
+def bench_window_jittered(benchmark, impl):
+    result = benchmark(lambda: jittered_workload(impl(64)))
+    assert result > 0
+
+
+@pytest.mark.parametrize("impl", IMPLS, ids=IDS)
+def bench_window_replay_heavy(benchmark, impl):
+    result = benchmark(lambda: replay_heavy_workload(impl(64)))
+    assert result == 20_000

@@ -1,0 +1,70 @@
+"""Bench M2 — microbenchmarks of the substrates: DES engine event rate,
+ESP seal/open throughput, end-to-end simulated messages per second, and
+model-checker state rate.
+"""
+
+from repro.core.protocol import build_protocol
+from repro.ipsec.esp import esp_open, esp_seal
+from repro.ipsec.sa import make_sa
+from repro.sim.engine import Engine
+
+
+def bench_engine_event_rate(benchmark):
+    def run_events(count: int = 50_000) -> int:
+        engine = Engine()
+        engine.trace.enabled = False
+        fired = [0]
+
+        def tick() -> None:
+            fired[0] += 1
+            if fired[0] < count:
+                engine.call_later(1e-6, tick)
+
+        engine.call_later(1e-6, tick)
+        engine.run()
+        return fired[0]
+
+    assert benchmark(run_events) == 50_000
+
+
+def bench_esp_seal_open(benchmark):
+    sa = make_sa("p", "q", seed_or_rng=1)
+    payload = bytes(256)
+
+    def seal_open(count: int = 2_000) -> int:
+        ok = 0
+        for seq in range(1, count + 1):
+            packet = esp_seal(sa, seq, payload)
+            if esp_open(sa, packet) == payload:
+                ok += 1
+        return ok
+
+    assert benchmark(seal_open) == 2_000
+
+
+def bench_end_to_end_message_rate(benchmark):
+    def run_protocol(count: int = 10_000) -> int:
+        harness = build_protocol()
+        harness.engine.trace.enabled = False
+        harness.sender.start_traffic(count=count)
+        harness.run(until=1.0)
+        return harness.receiver.delivered_total
+
+    assert benchmark(run_protocol) == 10_000
+
+
+def bench_model_checker_state_rate(benchmark):
+    from repro.apn.specs import SpecConfig, make_savefetch_system
+    from repro.verify.explorer import StateExplorer
+
+    config = SpecConfig(
+        w=2, k=1, max_seq=4, chan_cap=2, max_resets_p=1, max_resets_q=0,
+        max_replays=1,
+    )
+
+    def explore() -> int:
+        result = StateExplorer(make_savefetch_system(config)).explore()
+        assert result.ok
+        return result.states_explored
+
+    assert benchmark(explore) > 1_000

@@ -1,0 +1,32 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs its experiment through :func:`run_experiment`, which
+executes exactly once per benchmark round, prints the paper-style table
+after the run, and hands the :class:`ExperimentResult` back so the bench
+can assert the reproduced shape.  Use ``pytest benchmarks/
+--benchmark-only -s`` to see the rendered tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+
+
+@pytest.fixture
+def run_experiment(benchmark) -> Callable[..., ExperimentResult]:
+    """Run ``fn(**kwargs)`` once under the benchmark timer, print the
+    resulting table, and return the result."""
+
+    def runner(fn: Callable[..., ExperimentResult], **kwargs: Any) -> ExperimentResult:
+        result = benchmark.pedantic(
+            lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+        )
+        print()
+        print(result.render())
+        return result
+
+    return runner

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Dead-peer detection over real links: heartbeat vs traffic-based.
+
+The paper's recovery story needs the live host to *detect* its peer's
+reset (the IETF remedy fires "once the reset is detected"; Section 6
+keeps SAs alive from that moment).  This demo wires both cited mechanisms
+over simulated links against the same outage and compares detection
+times — the quantity that feeds the total-recovery comparison of
+examples/rekey_vs_savefetch.py.
+
+Run:  python examples/dead_peer_detection.py
+"""
+
+from repro.core.dpd import HeartbeatDpd, TrafficDpd
+from repro.net.link import Link
+from repro.net.message import Message
+from repro.sim.engine import Engine
+from repro.sim.process import Timer
+
+RTT = 0.01
+RESET_AT = 1.0
+
+
+class Peer:
+    """A peer that answers probes until it is reset."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.up = True
+        self.reply_to = None
+
+    def on_probe(self, token: int) -> None:
+        if self.up and self.reply_to is not None:
+            self.engine.call_later(RTT / 2, self.reply_to, token)
+
+
+def run_heartbeat(interval: float) -> float:
+    engine = Engine()
+    peer = Peer(engine)
+    dead_at: list[float] = []
+    dpd = HeartbeatDpd(
+        engine,
+        "hb",
+        send_probe=lambda token: engine.call_later(RTT / 2, peer.on_probe, token),
+        on_dead=lambda: dead_at.append(engine.now),
+        interval=interval,
+        timeout=4 * RTT,
+        max_misses=3,
+    )
+    peer.reply_to = dpd.on_probe_ack
+    dpd.start()
+    engine.call_at(RESET_AT, lambda: setattr(peer, "up", False))
+    engine.run(until=RESET_AT + 60 * interval)
+    dpd.stop()
+    return dead_at[0] - RESET_AT if dead_at else float("nan")
+
+
+def run_traffic_based(idle_threshold: float) -> float:
+    engine = Engine()
+    peer = Peer(engine)
+    dead_at: list[float] = []
+    dpd = TrafficDpd(
+        engine,
+        "dpd",
+        send_probe=lambda token: engine.call_later(RTT / 2, peer.on_probe, token),
+        on_dead=lambda: dead_at.append(engine.now),
+        idle_threshold=idle_threshold,
+        timeout=4 * RTT,
+        max_misses=3,
+    )
+    peer.reply_to = dpd.on_probe_ack
+
+    # Steady bidirectional traffic until the peer dies.
+    def chat() -> None:
+        dpd.note_sent()
+        if peer.up:
+            engine.call_later(RTT / 2, dpd.note_received)
+
+    chatter = Timer(engine, idle_threshold / 4, chat)
+    chatter.start()
+    dpd.start()
+    engine.call_at(RESET_AT, lambda: setattr(peer, "up", False))
+    engine.run(until=RESET_AT + 60 * idle_threshold)
+    chatter.stop()
+    dpd.stop()
+    return dead_at[0] - RESET_AT if dead_at else float("nan")
+
+
+def main() -> None:
+    print("=== dead-peer detection time after a reset (RTT = 10 ms) ===")
+    print(f"{'mechanism':<16} {'parameter':>12} {'detection time':>15}")
+    for interval in (0.1, 0.5, 2.0):
+        t = run_heartbeat(interval)
+        print(f"{'heartbeat':<16} {interval:>10.1f}s {t:>14.2f}s")
+    for idle in (0.1, 0.5, 2.0):
+        t = run_traffic_based(idle)
+        print(f"{'traffic-based':<16} {idle:>10.1f}s {t:>14.2f}s")
+    print()
+    print("detection scales with the probe interval / idle threshold — the "
+          "'detection_delay' term of the rekey-vs-SAVE/FETCH comparison; "
+          "traffic-based DPD costs nothing while the conversation is healthy.")
+
+
+if __name__ == "__main__":
+    main()

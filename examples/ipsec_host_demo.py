@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""A multi-SA IPsec host surviving a host-wide reset (RFC 2401 stack).
+
+Two hosts run the full processing model — SPD policy lookup, SAD lookup,
+ESP seal/open, per-SA anti-replay — over several SAs at once.  A
+host-wide reset erases *every* SA's volatile counters; with per-SA
+SAVE/FETCH each association recovers independently in microseconds,
+which is the multi-SA scenario the paper contrasts with tearing all of
+them down and re-running IKE (priced by examples/rekey_vs_savefetch.py).
+
+Run:  python examples/ipsec_host_demo.py
+"""
+
+from repro.ipsec.sa import make_sa_pair
+from repro.ipsec.sad import SecurityAssociationDatabase
+from repro.ipsec.spd import PolicyAction, SecurityPolicyDatabase
+from repro.ipsec.stack import IpsecStack
+from repro.net.link import Link
+from repro.sim.engine import Engine
+
+N_SAS = 8
+
+
+def main() -> None:
+    engine = Engine()
+    spd = SecurityPolicyDatabase()
+    spd.add_rule("*", "*", "*", PolicyAction.PROTECT)
+    sad_a, sad_b = SecurityAssociationDatabase(), SecurityAssociationDatabase()
+
+    inbox_b: list[bytes] = []
+    stack_a = IpsecStack(engine, "a", spd, sad_a, k=25)
+    stack_b = IpsecStack(
+        engine, "b", spd, sad_b, k=25,
+        deliver_upward=lambda src, data: inbox_b.append(data),
+    )
+    link_ab = Link(engine, "link:a->b", sink=stack_b.on_receive)
+    link_ba = Link(engine, "link:b->a", sink=stack_a.on_receive)
+    stack_a.add_route("b", link_ab.send)
+    stack_b.add_route("a", link_ba.send)
+
+    for seed in range(N_SAS):
+        pair = make_sa_pair("a", "b", seed_or_rng=seed)
+        for sad in (sad_a, sad_b):
+            sad.add(pair.forward)
+            sad.add(pair.backward)
+
+    wire: list = []
+    link_ab.add_tap(lambda t, p, injected: wire.append(p))
+
+    # Phase 1: traffic (the outbound lookup uses the newest SA; all eight
+    # exist, exercising SAD generation selection).
+    for i in range(200):
+        stack_a.send("b", f"msg-{i}".encode())
+    engine.run(until=0.01)
+
+    # Phase 2: host-wide reset of a — all SA counters lost at once.
+    stack_a.reset(down_for=0.001)
+    engine.run(until=0.02)
+
+    # Phase 3: traffic resumes; every SA recovered via FETCH + leap.
+    for i in range(200, 400):
+        stack_a.send("b", f"msg-{i}".encode())
+    engine.run(until=0.05)
+
+    seqs = [p.seq for p in wire]
+    print("=== multi-SA host reset (RFC 2401 stack, per-SA SAVE/FETCH) ===")
+    print(f"SAs on host a                : {len(sad_a)}")
+    print(f"packets sealed + sent        : {stack_a.stats.sent_protected}")
+    print(f"delivered at b               : {stack_b.stats.delivered}")
+    print(f"replay discards at b         : {stack_b.stats.replay_discarded}")
+    print(f"integrity failures at b      : {stack_b.stats.integrity_failures}")
+    print(f"sequence numbers reused      : {len(seqs) - len(set(seqs))}")
+    assert len(seqs) == len(set(seqs)), "BUG: sequence number reuse"
+    assert stack_b.stats.replay_discarded == 0
+    print("every SA recovered independently; no reuse, nothing replayable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Legacy setup shim (environments without the ``wheel`` package).
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` on minimal offline toolchains.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

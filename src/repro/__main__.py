@@ -1,0 +1,121 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments [ids...]`` — run experiments (default: all) and print the
+  paper-style tables (same registry as ``repro.experiments.runall``).
+* ``check [--budget N]`` — model-check the protocol specs in the standard
+  bounded configurations and print SAFE / COUNTEREXAMPLE per case.
+* ``demo`` — the quickstart scenario, one screenful.
+* ``spec {unprotected,savefetch,ceiling}`` — print the APN spec inventory
+  in the paper's notation style.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runall import run_all
+
+    run_all(args.ids)
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.apn.specs import SpecConfig, make_savefetch_system, make_unprotected_system
+    from repro.apn.specs_ceiling import make_ceiling_system
+    from repro.verify.explorer import StateExplorer
+
+    base = SpecConfig(w=2, k=1, max_seq=4, chan_cap=2, max_replays=2)
+    cases = [
+        ("unprotected / p resets", make_unprotected_system(
+            replace(base, max_resets_p=1, max_resets_q=0))),
+        ("unprotected / q resets", make_unprotected_system(
+            replace(base, max_resets_p=0, max_resets_q=1))),
+        ("save-fetch / p resets", make_savefetch_system(
+            replace(base, max_resets_p=1, max_resets_q=0))),
+        ("save-fetch / q resets", make_savefetch_system(
+            replace(base, max_resets_p=0, max_resets_q=1))),
+        ("save-fetch / q resets + loss", make_savefetch_system(
+            replace(base, max_resets_p=0, max_resets_q=1, with_loss=True))),
+        ("save-fetch / staggered dual", make_savefetch_system(
+            replace(base, max_resets_p=1, max_resets_q=1))),
+        ("ceiling / q resets + loss", make_ceiling_system(
+            replace(base, max_resets_p=0, max_resets_q=1, with_loss=True))),
+        ("ceiling / staggered dual", make_ceiling_system(
+            replace(base, max_resets_p=1, max_resets_q=1))),
+    ]
+    failures_expected = 0
+    for title, system in cases:
+        result = StateExplorer(system, max_states=args.budget).explore()
+        status = "SAFE" if result.ok else (
+            "TRUNCATED" if result.truncated else "COUNTEREXAMPLE"
+        )
+        print(f"{title:<34} {status:>15}  ({result.states_explored} states)")
+        for violation in result.violations[:1]:
+            print(f"    {violation.error}")
+            print(f"    via: {' -> '.join(violation.trace)}")
+        if not result.ok and not result.truncated:
+            failures_expected += 1
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import build_protocol
+
+    harness = build_protocol(protected=True, k_p=25, k_q=25)
+    harness.sender.start_traffic(count=2000)
+    harness.engine.call_at(0.002, harness.sender.reset, 0.001)
+    harness.run(until=0.1)
+    print(harness.score().summary())
+    return 0
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    from repro.apn.pretty import render_system
+    from repro.apn.specs import make_savefetch_system, make_unprotected_system
+    from repro.apn.specs_ceiling import make_ceiling_system
+
+    factories = {
+        "unprotected": make_unprotected_system,
+        "savefetch": make_savefetch_system,
+        "ceiling": make_ceiling_system,
+    }
+    print(render_system(factories[args.which](), name=args.which))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Convergence of IPsec in Presence of Resets'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = subparsers.add_parser("experiments", help="run experiment tables")
+    p_exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    p_check = subparsers.add_parser("check", help="model-check the specs")
+    p_check.add_argument("--budget", type=int, default=2_000_000,
+                         help="max states per configuration")
+    p_check.set_defaults(fn=_cmd_check)
+
+    p_demo = subparsers.add_parser("demo", help="run the quickstart scenario")
+    p_demo.set_defaults(fn=_cmd_demo)
+
+    p_spec = subparsers.add_parser("spec", help="print an APN spec")
+    p_spec.add_argument("which", choices=["unprotected", "savefetch", "ceiling"])
+    p_spec.set_defaults(fn=_cmd_spec)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

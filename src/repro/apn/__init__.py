@@ -1,0 +1,41 @@
+"""Abstract Protocol Notation engine (system S15).
+
+The paper specifies its protocols in Gouda's Abstract Protocol Notation
+(APN): each process is a set of constants, variables and guarded actions;
+"an action is executed only when its guard is true", "actions are executed
+one at a time", and "an action whose guard is continuously true is
+eventually executed" (weak fairness).
+
+This package provides:
+
+* :mod:`~repro.apn.core` — a generic guarded-command interpreter over
+  immutable states: processes, actions, nondeterministic channels, a
+  weakly-fair randomised executor.
+* :mod:`~repro.apn.specs` — the paper's Section 2 (unprotected) and
+  Section 4 (SAVE/FETCH) process pairs encoded literally, with ghost
+  variables recording the global facts (what was sent, what was delivered,
+  how often) that the correctness conditions quantify over.
+
+The timed production implementation lives in :mod:`repro.core`; this layer
+exists for *verification*: :mod:`repro.verify` exhaustively explores the
+interleavings of these APN systems and checks the paper's invariants on
+every reachable state.
+"""
+
+from repro.apn.core import ApnAction, ApnSystem, Transition, canon, run_random
+from repro.apn.specs import (
+    SpecConfig,
+    make_savefetch_system,
+    make_unprotected_system,
+)
+
+__all__ = [
+    "ApnAction",
+    "ApnSystem",
+    "SpecConfig",
+    "Transition",
+    "canon",
+    "make_savefetch_system",
+    "make_unprotected_system",
+    "run_random",
+]

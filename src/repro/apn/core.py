@@ -1,0 +1,142 @@
+"""A guarded-command interpreter over immutable states.
+
+A *system state* is a plain ``dict`` mapping variable names (conventionally
+``"process.var"``) to values built from hashable immutables (ints, bools,
+tuples, frozensets).  An :class:`ApnAction` has a guard over states and an
+``apply`` function returning **all** possible successor states (one per
+nondeterministic outcome — e.g. one per message that a receive action
+could pick out of a reordering channel).
+
+The two consumers are:
+
+* :func:`run_random` — a weakly-fair randomised executor, the APN
+  execution model of the paper ("an action whose guard is continuously
+  true is eventually executed"); used for simulation-style tests.
+* :class:`repro.verify.explorer.StateExplorer` — exhaustive breadth-first
+  exploration of every interleaving, used for bounded model checking.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+State = dict[str, Any]
+#: A guard: may this action fire in this state?
+GuardFn = Callable[[State], bool]
+#: Apply: all possible successor states (nondeterministic outcomes).
+ApplyFn = Callable[[State], list[State]]
+
+
+def canon(state: State) -> tuple[tuple[str, Any], ...]:
+    """Canonical hashable form of a state (sorted item tuple).
+
+    Values must already be hashable immutables; lists/dicts inside states
+    are a spec bug and raise ``TypeError`` here, on purpose.
+    """
+    items = tuple(sorted(state.items()))
+    hash(items)  # fail fast on unhashable values
+    return items
+
+
+@dataclass(frozen=True)
+class ApnAction:
+    """One guarded action of one process.
+
+    Attributes:
+        process: owning process name (``"p"``, ``"q"``, ``"adversary"``).
+        name: action label used in traces and counterexamples.
+        guard: enabledness predicate.
+        apply: successor-state enumerator (must not mutate its argument).
+    """
+
+    process: str
+    name: str
+    guard: GuardFn
+    apply: ApplyFn
+
+    @property
+    def label(self) -> str:
+        """``process.name`` — the transition label."""
+        return f"{self.process}.{self.name}"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One concrete step: an action plus the successor it produced."""
+
+    label: str
+    state: State
+
+
+class ApnSystem:
+    """A protocol: an initial state plus the actions of all processes."""
+
+    def __init__(
+        self,
+        initial: State,
+        actions: Iterable[ApnAction],
+        invariants: (
+            Iterable[Callable[[State], str | None]] | None
+        ) = None,
+    ) -> None:
+        self.initial = dict(initial)
+        self.actions = list(actions)
+        #: Each invariant maps a state to an error string (or None if ok).
+        self.invariants = list(invariants or [])
+
+    def enabled(self, state: State) -> list[ApnAction]:
+        """Actions whose guards hold in ``state``."""
+        return [action for action in self.actions if action.guard(state)]
+
+    def successors(self, state: State) -> list[Transition]:
+        """Every (label, successor) pair reachable in one step."""
+        out: list[Transition] = []
+        for action in self.enabled(state):
+            for next_state in action.apply(state):
+                out.append(Transition(label=action.label, state=next_state))
+        return out
+
+    def check_invariants(self, state: State) -> list[str]:
+        """Error strings for every invariant violated by ``state``."""
+        errors = []
+        for invariant in self.invariants:
+            error = invariant(state)
+            if error is not None:
+                errors.append(error)
+        return errors
+
+
+def run_random(
+    system: ApnSystem,
+    steps: int,
+    seed: int | random.Random | None = 0,
+    stop_on_violation: bool = True,
+) -> tuple[State, list[Transition], list[str]]:
+    """Execute ``steps`` random enabled transitions (weak fairness via
+    uniform choice), checking invariants after every step.
+
+    Returns:
+        ``(final_state, trace, violations)``.  The trace holds every
+        executed transition; ``violations`` holds the first invariant
+        failures encountered (execution stops there when
+        ``stop_on_violation``).
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed or 0)
+    state = dict(system.initial)
+    trace: list[Transition] = []
+    violations: list[str] = []
+    for _ in range(steps):
+        choices = system.successors(state)
+        if not choices:
+            break  # deadlock / quiescence
+        transition = rng.choice(choices)
+        state = transition.state
+        trace.append(transition)
+        errors = system.check_invariants(state)
+        if errors:
+            violations.extend(errors)
+            if stop_on_violation:
+                break
+    return state, trace, violations

@@ -1,0 +1,83 @@
+"""Render APN systems and executions in the paper's notation style.
+
+The paper presents its protocols in Gouda's Abstract Protocol Notation.
+These helpers render our executable specs and their runs in a matching
+plain-text style, which keeps the correspondence between the paper's
+figures and the code inspectable:
+
+* :func:`render_system` — process/action inventory of a spec.
+* :func:`render_state` — one state, grouped by process, channels last.
+* :func:`render_execution` — a transition trace as ``label -> label``
+  lines with the state deltas that each step caused.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apn.core import ApnSystem, State, Transition
+
+
+def _group_vars(state: State) -> dict[str, dict[str, Any]]:
+    groups: dict[str, dict[str, Any]] = {}
+    for key in sorted(state):
+        owner, _, var = key.partition(".")
+        if not var:
+            owner, var = "(system)", key
+        groups.setdefault(owner, {})[var] = state[key]
+    return groups
+
+
+def render_state(state: State, indent: str = "  ") -> str:
+    """Render one state grouped by process, paper-variable style."""
+    lines = []
+    groups = _group_vars(state)
+    for owner in sorted(groups, key=lambda g: (g == "(system)", g)):
+        assignments = ", ".join(
+            f"{var} = {value!r}" for var, value in groups[owner].items()
+        )
+        lines.append(f"{indent}{owner}: {assignments}")
+    return "\n".join(lines)
+
+
+def render_system(system: ApnSystem, name: str = "protocol") -> str:
+    """Render the process/action inventory of a spec."""
+    by_process: dict[str, list[str]] = {}
+    for action in system.actions:
+        by_process.setdefault(action.process, []).append(action.name)
+    lines = [f"protocol {name}"]
+    for process, actions in sorted(by_process.items()):
+        lines.append(f"process {process}")
+        lines.append("begin")
+        for i, action_name in enumerate(actions):
+            prefix = "    " if i == 0 else "[]  "
+            lines.append(f"{prefix}<{action_name}>")
+        lines.append("end")
+    lines.append("")
+    lines.append("initially:")
+    lines.append(render_state(system.initial))
+    return "\n".join(lines)
+
+
+def _delta(before: State, after: State) -> str:
+    changes = []
+    for key in sorted(after):
+        if before.get(key) != after[key]:
+            changes.append(f"{key}: {before.get(key)!r} -> {after[key]!r}")
+    return "; ".join(changes) if changes else "(no change)"
+
+
+def render_execution(
+    system: ApnSystem, trace: list[Transition], limit: int | None = None
+) -> str:
+    """Render an executed trace with per-step state deltas."""
+    lines = ["initial:", render_state(system.initial)]
+    previous = system.initial
+    steps = trace if limit is None else trace[:limit]
+    for i, transition in enumerate(steps, start=1):
+        lines.append(f"step {i}: {transition.label}")
+        lines.append(f"  {_delta(previous, transition.state)}")
+        previous = transition.state
+    if limit is not None and len(trace) > limit:
+        lines.append(f"... ({len(trace) - limit} more steps)")
+    return "\n".join(lines)

@@ -1,0 +1,467 @@
+"""The paper's processes, encoded literally in APN form.
+
+Two systems are built here, mirroring Sections 2 and 4:
+
+* :func:`make_unprotected_system` — process ``p`` ("send msg(s); s := s+1")
+  and process ``q`` (the three-case window action), plus reset/wake
+  actions that erase volatile state, a bounded replay adversary, and
+  optional channel loss.
+* :func:`make_savefetch_system` — the Section 4 processes with ``lst``,
+  background SAVE (modelled as an in-flight value that a separate commit
+  action eventually persists — the untimed analogue of the save taking
+  ``T`` time), crash-abort of in-flight saves, and the FETCH + 2K-leap +
+  synchronous-SAVE wake action.
+
+Ghost state (``sent``, ``delivered``, ``p.reused``) records the global
+facts the correctness conditions quantify over; it never influences any
+guard of a protocol action (only the adversary, who by definition knows
+the traffic history, reads ``sent``).
+
+Model notes:
+
+* Sequence numbers are bounded by ``max_seq`` and channel capacity by
+  ``chan_cap`` so the state space is finite.
+* The post-wake synchronous SAVE is modelled atomically with the wake
+  (the protocol forbids any protocol activity before it completes, and
+  a *second* reset during it simply re-runs FETCH on the same committed
+  value — covered separately by the timed tests of E11).
+* The receive action branches over every distinct in-flight message, so
+  exhaustive exploration covers **all** reorders the channel permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apn.core import ApnAction, ApnSystem, State
+
+
+# ----------------------------------------------------------------------
+# Small pure helpers over the immutable state encoding
+# ----------------------------------------------------------------------
+def bag_add(bag: tuple[tuple[int, int], ...], seq: int) -> tuple[tuple[int, int], ...]:
+    """Add one occurrence of ``seq`` to a sorted (seq, count) tuple-bag."""
+    out = dict(bag)
+    out[seq] = out.get(seq, 0) + 1
+    return tuple(sorted(out.items()))
+
+def tuple_remove_first(items: tuple[int, ...], value: int) -> tuple[int, ...]:
+    """Remove the first occurrence of ``value`` from a tuple."""
+    index = items.index(value)
+    return items[:index] + items[index + 1 :]
+
+
+def window_update(
+    r: int, wdw: tuple[bool, ...], seq: int, w: int
+) -> tuple[bool, int, tuple[bool, ...]]:
+    """The three-case window logic of Section 2 on immutable data.
+
+    Returns ``(accepted, new_r, new_wdw)``.  ``wdw[i-1]`` is the received
+    flag of sequence number ``r - w + i`` (the paper's indexing).
+    """
+    if seq <= r - w:
+        return False, r, wdw  # stale: discard
+    if seq <= r:
+        i = seq - r + w  # 1-based
+        if wdw[i - 1]:
+            return False, r, wdw  # duplicate: discard
+        return True, r, wdw[: i - 1] + (True,) + wdw[i:]
+    # seq > r: deliver and slide.
+    shift = seq - r
+    if shift >= w:
+        new = (False,) * w
+    else:
+        new = wdw[shift:] + (False,) * shift
+    new = new[: w - 1] + (True,)  # mark seq itself received
+    return True, seq, new
+
+
+@dataclass(frozen=True)
+class SpecConfig:
+    """Bounds that keep the APN model finite.
+
+    Attributes:
+        w: window size.
+        k: SAVE interval (SAVE/FETCH system only).
+        max_seq: largest sequence number p may send fresh.
+        chan_cap: channel capacity (in-flight messages).
+        max_resets_p / max_resets_q: reset budget per process.
+        max_replays: adversary insertion budget.
+        with_loss: allow the channel to drop messages.
+        enforce_sizing: encode the Section 4 sizing rule ("K is at least
+            the number of messages sendable during one SAVE", hence at
+            most one SAVE in flight) by committing any pending save
+            before a new one may start.  **Turning this off lets the
+            explorer prove the rule necessary**: with overlapping saves
+            permitted, FETCH can return a checkpoint more than 2K old and
+            the leap no longer clears every used sequence number — the
+            explorer finds that counterexample in seconds.
+    """
+
+    w: int = 2
+    k: int = 1
+    max_seq: int = 5
+    chan_cap: int = 2
+    max_resets_p: int = 1
+    max_resets_q: int = 1
+    max_replays: int = 2
+    with_loss: bool = False
+    enforce_sizing: bool = True
+
+
+# ----------------------------------------------------------------------
+# Shared channel / adversary / ghost actions
+# ----------------------------------------------------------------------
+def _recv_successors(state: State, handler) -> list[State]:
+    """One successor per distinct in-flight message (all reorders)."""
+    out = []
+    for seq in sorted(set(state["chan"])):
+        next_state = dict(state)
+        next_state["chan"] = tuple_remove_first(state["chan"], seq)
+        handler(next_state, seq)
+        out.append(next_state)
+    return out
+
+
+def _drop_action(config: SpecConfig) -> ApnAction:
+    def apply(state: State) -> list[State]:
+        out = []
+        for seq in sorted(set(state["chan"])):
+            next_state = dict(state)
+            next_state["chan"] = tuple_remove_first(state["chan"], seq)
+            out.append(next_state)
+        return out
+
+    return ApnAction(
+        process="chan",
+        name="drop",
+        guard=lambda state: bool(state["chan"]),
+        apply=apply,
+    )
+
+
+def _replay_action(config: SpecConfig) -> ApnAction:
+    def apply(state: State) -> list[State]:
+        out = []
+        for seq in sorted(state["sent"]):
+            next_state = dict(state)
+            next_state["chan"] = state["chan"] + (seq,)
+            next_state["replays_left"] = state["replays_left"] - 1
+            out.append(next_state)
+        return out
+
+    return ApnAction(
+        process="adversary",
+        name="replay",
+        guard=lambda state: (
+            state["replays_left"] > 0
+            and len(state["chan"]) < config.chan_cap
+            and bool(state["sent"])
+        ),
+        apply=apply,
+    )
+
+
+def _invariant_discrimination(state: State) -> str | None:
+    for seq, count in state["delivered"]:
+        if count > 1:
+            return f"Discrimination violated: msg({seq}) delivered {count} times"
+    return None
+
+
+def _invariant_no_reuse(state: State) -> str | None:
+    if state["p.reused"]:
+        return "sender reused a sequence number after a reset"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Section 2: the unprotected system
+# ----------------------------------------------------------------------
+def make_unprotected_system(config: SpecConfig | None = None) -> ApnSystem:
+    """The Section 2 protocol under resets — exploration *finds* the
+    paper's Section 3 counterexamples (duplicate deliveries, reuse)."""
+    config = config or SpecConfig()
+    w = config.w
+
+    initial: State = {
+        "p.s": 1,
+        "p.up": True,
+        "q.r": 0,
+        "q.wdw": (True,) * w,  # paper initial value: all true
+        "q.up": True,
+        "chan": (),
+        "sent": frozenset(),
+        "delivered": (),
+        "p.reused": False,
+        "resets_p_left": config.max_resets_p,
+        "resets_q_left": config.max_resets_q,
+        "replays_left": config.max_replays,
+    }
+
+    def send_apply(state: State) -> list[State]:
+        next_state = dict(state)
+        seq = state["p.s"]
+        next_state["chan"] = state["chan"] + (seq,)
+        if seq in state["sent"]:
+            next_state["p.reused"] = True
+        next_state["sent"] = state["sent"] | {seq}
+        next_state["p.s"] = seq + 1
+        return [next_state]
+
+    def recv_handler(next_state: State, seq: int) -> None:
+        accepted, new_r, new_wdw = window_update(
+            next_state["q.r"], next_state["q.wdw"], seq, w
+        )
+        next_state["q.r"] = new_r
+        next_state["q.wdw"] = new_wdw
+        if accepted:
+            next_state["delivered"] = bag_add(next_state["delivered"], seq)
+
+    actions = [
+        ApnAction(
+            "p",
+            "send",
+            guard=lambda state: (
+                state["p.up"]
+                and state["p.s"] <= config.max_seq
+                and len(state["chan"]) < config.chan_cap
+            ),
+            apply=send_apply,
+        ),
+        ApnAction(
+            "q",
+            "recv",
+            guard=lambda state: state["q.up"] and bool(state["chan"]),
+            apply=lambda state: _recv_successors(state, recv_handler),
+        ),
+        ApnAction(
+            "p",
+            "reset",
+            guard=lambda state: state["p.up"] and state["resets_p_left"] > 0,
+            apply=lambda state: [
+                {**state, "p.up": False, "resets_p_left": state["resets_p_left"] - 1}
+            ],
+        ),
+        ApnAction(
+            "p",
+            "wake",
+            guard=lambda state: not state["p.up"],
+            apply=lambda state: [{**state, "p.up": True, "p.s": 1}],
+        ),
+        ApnAction(
+            "q",
+            "reset",
+            guard=lambda state: state["q.up"] and state["resets_q_left"] > 0,
+            apply=lambda state: [
+                {**state, "q.up": False, "resets_q_left": state["resets_q_left"] - 1}
+            ],
+        ),
+        ApnAction(
+            "q",
+            "wake",
+            guard=lambda state: not state["q.up"],
+            apply=lambda state: [
+                {**state, "q.up": True, "q.r": 0, "q.wdw": (True,) * w}
+            ],
+        ),
+        _replay_action(config),
+    ]
+    if config.with_loss:
+        actions.append(_drop_action(config))
+
+    return ApnSystem(
+        initial,
+        actions,
+        invariants=[_invariant_discrimination, _invariant_no_reuse],
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 4: the SAVE/FETCH system
+# ----------------------------------------------------------------------
+def make_savefetch_system(config: SpecConfig | None = None) -> ApnSystem:
+    """The Section 4 protocol under resets — exploration *proves* (for
+    the bounded configuration) that Discrimination holds and sequence
+    numbers are never reused, the paper's Section 5 theorems."""
+    config = config or SpecConfig()
+    w, k = config.w, config.k
+
+    initial: State = {
+        "p.s": 1,
+        "p.lst": 1,
+        "p.persist": 1,
+        "p.pending": (),  # background saves in flight (FIFO commit)
+        "p.up": True,
+        "q.r": 0,
+        "q.lst": 0,
+        "q.persist": 0,
+        "q.pending": (),
+        "q.wdw": (True,) * w,
+        "q.up": True,
+        "chan": (),
+        "sent": frozenset(),
+        "delivered": (),
+        "p.reused": False,
+        "resets_p_left": config.max_resets_p,
+        "resets_q_left": config.max_resets_q,
+        "replays_left": config.max_replays,
+    }
+
+    def start_save(next_state: State, side: str, value: int) -> None:
+        """Initiate a background SAVE, honouring the sizing rule.
+
+        With ``enforce_sizing`` (the paper's operating condition), a new
+        save can only start once the previous one has committed — in the
+        timed world this is guaranteed because K messages take at least
+        one save duration; here we model it by committing the pending
+        save at that instant.
+        """
+        pending = next_state[f"{side}.pending"]
+        if config.enforce_sizing and pending:
+            next_state[f"{side}.persist"] = pending[0]
+            pending = pending[1:]
+        next_state[f"{side}.pending"] = pending + (value,)
+
+    def send_apply(state: State) -> list[State]:
+        next_state = dict(state)
+        seq = state["p.s"]
+        next_state["chan"] = state["chan"] + (seq,)
+        if seq in state["sent"]:
+            next_state["p.reused"] = True
+        next_state["sent"] = state["sent"] | {seq}
+        new_s = seq + 1
+        next_state["p.s"] = new_s
+        if new_s >= k + state["p.lst"]:  # "if s >= Kp + lst -> lst := s; & SAVE(s)"
+            next_state["p.lst"] = new_s
+            start_save(next_state, "p", new_s)
+        return [next_state]
+
+    def recv_handler(next_state: State, seq: int) -> None:
+        accepted, new_r, new_wdw = window_update(
+            next_state["q.r"], next_state["q.wdw"], seq, w
+        )
+        next_state["q.r"] = new_r
+        next_state["q.wdw"] = new_wdw
+        if accepted:
+            next_state["delivered"] = bag_add(next_state["delivered"], seq)
+        if new_r >= k + next_state["q.lst"]:  # "if r >= Kq + lst -> ... SAVE(r)"
+            next_state["q.lst"] = new_r
+            start_save(next_state, "q", new_r)
+
+    def p_wake_apply(state: State) -> list[State]:
+        fetched = state["p.persist"]  # FETCH(s)
+        leaped = fetched + 2 * k  # SAVE(s + 2Kp); s := s + 2Kp
+        return [
+            {
+                **state,
+                "p.up": True,
+                "p.s": leaped,
+                "p.lst": leaped,
+                "p.persist": leaped,
+            }
+        ]
+
+    def q_wake_apply(state: State) -> list[State]:
+        fetched = state["q.persist"]  # FETCH(r)
+        leaped = fetched + 2 * k  # SAVE(r + 2Kq); r := r + 2Kq
+        return [
+            {
+                **state,
+                "q.up": True,
+                "q.r": leaped,
+                "q.lst": leaped,
+                "q.persist": leaped,
+                "q.wdw": (True,) * w,  # "do i <= w -> wdw[i] := true"
+            }
+        ]
+
+    actions = [
+        ApnAction(
+            "p",
+            "send",
+            guard=lambda state: (
+                state["p.up"]
+                and state["p.s"] <= config.max_seq
+                and len(state["chan"]) < config.chan_cap
+            ),
+            apply=send_apply,
+        ),
+        ApnAction(
+            "p",
+            "save_commit",
+            guard=lambda state: bool(state["p.pending"]),
+            apply=lambda state: [
+                {
+                    **state,
+                    "p.persist": state["p.pending"][0],
+                    "p.pending": state["p.pending"][1:],
+                }
+            ],
+        ),
+        ApnAction(
+            "q",
+            "recv",
+            guard=lambda state: state["q.up"] and bool(state["chan"]),
+            apply=lambda state: _recv_successors(state, recv_handler),
+        ),
+        ApnAction(
+            "q",
+            "save_commit",
+            guard=lambda state: bool(state["q.pending"]),
+            apply=lambda state: [
+                {
+                    **state,
+                    "q.persist": state["q.pending"][0],
+                    "q.pending": state["q.pending"][1:],
+                }
+            ],
+        ),
+        ApnAction(
+            "p",
+            "reset",
+            guard=lambda state: state["p.up"] and state["resets_p_left"] > 0,
+            apply=lambda state: [
+                {
+                    **state,
+                    "p.up": False,
+                    "p.pending": (),  # crash aborts in-flight saves
+                    "resets_p_left": state["resets_p_left"] - 1,
+                }
+            ],
+        ),
+        ApnAction(
+            "p",
+            "wake",
+            guard=lambda state: not state["p.up"],
+            apply=p_wake_apply,
+        ),
+        ApnAction(
+            "q",
+            "reset",
+            guard=lambda state: state["q.up"] and state["resets_q_left"] > 0,
+            apply=lambda state: [
+                {
+                    **state,
+                    "q.up": False,
+                    "q.pending": (),
+                    "resets_q_left": state["resets_q_left"] - 1,
+                }
+            ],
+        ),
+        ApnAction(
+            "q",
+            "wake",
+            guard=lambda state: not state["q.up"],
+            apply=q_wake_apply,
+        ),
+        _replay_action(config),
+    ]
+    if config.with_loss:
+        actions.append(_drop_action(config))
+
+    return ApnSystem(
+        initial,
+        actions,
+        invariants=[_invariant_discrimination, _invariant_no_reuse],
+    )

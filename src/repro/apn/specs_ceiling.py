@@ -1,0 +1,224 @@
+"""APN form of the write-ahead ceiling protocol (see
+:mod:`repro.core.ceiling` for the motivation and the timed version).
+
+The safety argument is embarrassingly simple compared with SAVE/FETCH:
+
+* p's invariant: every sequence number ever sent is **strictly below**
+  p's committed ceiling (the send guard enforces it; the wake action
+  resumes *at* the fetched ceiling, so nothing is reused).
+* q's invariant: every sequence number ever delivered is strictly below
+  q's committed ceiling (the receive guard defers over-ceiling messages;
+  the wake action resumes with the right edge at the fetched ceiling and
+  the window flooded, so nothing is re-accepted).
+
+Neither invariant mentions loss, reorder, or the peer's resets — which is
+why the explorer verifies this system safe in exactly the configurations
+(lossy channel, staggered dual resets) where the paper's SAVE/FETCH
+protocol has counterexamples.
+
+Model notes: messages with sequence numbers at or above q's committed
+ceiling simply stay in the channel (the channel doubles as q's hold
+buffer); q's ``reserve`` action raises the pending ceiling to cover them.
+"""
+
+from __future__ import annotations
+
+from repro.apn.core import ApnAction, ApnSystem, State
+from repro.apn.specs import (
+    SpecConfig,
+    _drop_action,
+    _invariant_discrimination,
+    _invariant_no_reuse,
+    _replay_action,
+    bag_add,
+    tuple_remove_first,
+    window_update,
+)
+
+
+def make_ceiling_system(config: SpecConfig | None = None) -> ApnSystem:
+    """Build the ceiling-protocol APN system under ``config`` bounds."""
+    config = config or SpecConfig()
+    w, k = config.w, config.k
+
+    initial: State = {
+        "p.s": 1,
+        "p.ceil": 1 + k,  # committed at SA establishment
+        "p.pending": (),  # at most one in-flight ceiling save
+        "p.up": True,
+        "q.r": 0,
+        "q.ceil": k,
+        "q.pending": (),
+        "q.wdw": (True,) * w,
+        "q.up": True,
+        "chan": (),
+        "sent": frozenset(),
+        "delivered": (),
+        "p.reused": False,
+        "resets_p_left": config.max_resets_p,
+        "resets_q_left": config.max_resets_q,
+        "replays_left": config.max_replays,
+    }
+
+    # ------------------------------------------------------------------
+    # Process p
+    # ------------------------------------------------------------------
+    def p_send_apply(state: State) -> list[State]:
+        next_state = dict(state)
+        seq = state["p.s"]
+        next_state["chan"] = state["chan"] + (seq,)
+        if seq in state["sent"]:
+            next_state["p.reused"] = True
+        next_state["sent"] = state["sent"] | {seq}
+        next_state["p.s"] = seq + 1
+        return [next_state]
+
+    def p_reserve_apply(state: State) -> list[State]:
+        return [{**state, "p.pending": (state["p.ceil"] + k,)}]
+
+    # ------------------------------------------------------------------
+    # Process q
+    # ------------------------------------------------------------------
+    def q_receivable(state: State) -> list[int]:
+        """In-flight messages below q's committed ceiling."""
+        return sorted(
+            {seq for seq in state["chan"] if seq < state["q.ceil"]}
+        )
+
+    def q_recv_apply(state: State) -> list[State]:
+        out = []
+        for seq in q_receivable(state):
+            next_state = dict(state)
+            next_state["chan"] = tuple_remove_first(state["chan"], seq)
+            accepted, new_r, new_wdw = window_update(
+                state["q.r"], state["q.wdw"], seq, w
+            )
+            next_state["q.r"] = new_r
+            next_state["q.wdw"] = new_wdw
+            if accepted:
+                next_state["delivered"] = bag_add(state["delivered"], seq)
+            out.append(next_state)
+        return out
+
+    def q_blocked(state: State) -> list[int]:
+        return [seq for seq in state["chan"] if seq >= state["q.ceil"]]
+
+    def q_reserve_apply(state: State) -> list[State]:
+        blocked = q_blocked(state)
+        target = max([state["q.ceil"] + k] + [seq + k for seq in blocked])
+        return [{**state, "q.pending": (target,)}]
+
+    actions = [
+        ApnAction(
+            "p",
+            "send",
+            guard=lambda state: (
+                state["p.up"]
+                and state["p.s"] <= config.max_seq
+                and state["p.s"] < state["p.ceil"]  # the ceiling guard
+                and len(state["chan"]) < config.chan_cap
+            ),
+            apply=p_send_apply,
+        ),
+        ApnAction(
+            "p",
+            "reserve",
+            guard=lambda state: (
+                state["p.up"]
+                and not state["p.pending"]
+                and state["p.ceil"] - state["p.s"] <= k
+            ),
+            apply=p_reserve_apply,
+        ),
+        ApnAction(
+            "p",
+            "save_commit",
+            guard=lambda state: bool(state["p.pending"]),
+            apply=lambda state: [
+                {**state, "p.ceil": state["p.pending"][0], "p.pending": ()}
+            ],
+        ),
+        ApnAction(
+            "q",
+            "recv",
+            guard=lambda state: state["q.up"] and bool(q_receivable(state)),
+            apply=q_recv_apply,
+        ),
+        ApnAction(
+            "q",
+            "reserve",
+            guard=lambda state: (
+                state["q.up"]
+                and not state["q.pending"]
+                and (
+                    bool(q_blocked(state))
+                    or state["q.ceil"] - state["q.r"] <= k
+                )
+            ),
+            apply=q_reserve_apply,
+        ),
+        ApnAction(
+            "q",
+            "save_commit",
+            guard=lambda state: bool(state["q.pending"]),
+            apply=lambda state: [
+                {**state, "q.ceil": state["q.pending"][0], "q.pending": ()}
+            ],
+        ),
+        ApnAction(
+            "p",
+            "reset",
+            guard=lambda state: state["p.up"] and state["resets_p_left"] > 0,
+            apply=lambda state: [
+                {
+                    **state,
+                    "p.up": False,
+                    "p.pending": (),
+                    "resets_p_left": state["resets_p_left"] - 1,
+                }
+            ],
+        ),
+        ApnAction(
+            "p",
+            "wake",
+            guard=lambda state: not state["p.up"],
+            apply=lambda state: [
+                {**state, "p.up": True, "p.s": state["p.ceil"]}
+            ],
+        ),
+        ApnAction(
+            "q",
+            "reset",
+            guard=lambda state: state["q.up"] and state["resets_q_left"] > 0,
+            apply=lambda state: [
+                {
+                    **state,
+                    "q.up": False,
+                    "q.pending": (),
+                    "resets_q_left": state["resets_q_left"] - 1,
+                }
+            ],
+        ),
+        ApnAction(
+            "q",
+            "wake",
+            guard=lambda state: not state["q.up"],
+            apply=lambda state: [
+                {
+                    **state,
+                    "q.up": True,
+                    "q.r": state["q.ceil"],
+                    "q.wdw": (True,) * w,
+                }
+            ],
+        ),
+        _replay_action(config),
+    ]
+    if config.with_loss:
+        actions.append(_drop_action(config))
+
+    return ApnSystem(
+        initial,
+        actions,
+        invariants=[_invariant_discrimination, _invariant_no_reuse],
+    )

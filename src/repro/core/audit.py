@@ -1,0 +1,144 @@
+"""Omniscient run scoring (the experimenter's bird's-eye view).
+
+The protocol endpoints can only see what arrives on the wire; whether a
+delivered message was a *replay* or a discarded message was *fresh* is a
+global fact involving the sender's history and the adversary's actions.
+:class:`DeliveryAuditor` tracks that global view:
+
+* the sender registers every **fresh** transmission with a unique uid
+  (instrumentation only — uids never influence protocol decisions);
+* the receiver reports every processed packet with its verdict;
+* the auditor then scores the run:
+
+  - ``duplicate_deliveries`` — deliveries of a uid already delivered.
+    This is exactly a violation of the paper's *Discrimination* condition
+    ("q delivers at most one copy of every message sent by p") and is the
+    paper's meaning of "replayed messages accepted".
+  - ``fresh_discarded`` — uids that reached the receiver at least once but
+    were never delivered by the end of the run: the paper's "fresh
+    messages discarded by q".
+  - ``never_arrived`` — uids that were sent but never processed by the
+    receiver (channel loss or host-down loss), excluded from the
+    fresh-discard count by definition (claim (ii) bounds discards "if no
+    message loss occurs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.ipsec.replay_window import Verdict
+
+
+@dataclass
+class AuditReport:
+    """Aggregate scores computed by :meth:`DeliveryAuditor.report`."""
+
+    fresh_sent: int
+    delivered_uids: int
+    duplicate_deliveries: int
+    fresh_discarded: int
+    never_arrived: int
+    integrity_rejections: int
+    deliveries_total: int
+
+    @property
+    def replays_accepted(self) -> int:
+        """Paper terminology for :attr:`duplicate_deliveries`."""
+        return self.duplicate_deliveries
+
+
+class DeliveryAuditor:
+    """Tracks fresh sends and receiver outcomes; see module docstring."""
+
+    #: Verdict label used when integrity verification failed before the
+    #: window was consulted (ESP/AH modes under the rekey baseline).
+    INTEGRITY_FAIL = "integrity_fail"
+
+    def __init__(self) -> None:
+        self._uid_of_packet: dict[int, int] = {}
+        self._packets: list[Any] = []  # keep packets alive so id() stays valid
+        self._sent_uids: set[int] = set()
+        self._delivery_counts: dict[int, int] = {}
+        self._discard_counts: dict[int, int] = {}
+        self._processed_uids: set[int] = set()
+        self.integrity_rejections = 0
+        self.deliveries_total = 0
+        self.unknown_packets = 0
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+    def register_send(self, packet: Any, uid: int) -> None:
+        """Record that ``packet`` is fresh transmission number ``uid``."""
+        self._uid_of_packet[id(packet)] = uid
+        self._packets.append(packet)
+        self._sent_uids.add(uid)
+
+    def uid_of(self, packet: Any) -> int | None:
+        """The uid registered for ``packet`` (None for unknown packets)."""
+        return self._uid_of_packet.get(id(packet))
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def note_processed(self, packet: Any, verdict: Verdict | str) -> None:
+        """Record the receiver's verdict for one arriving packet.
+
+        ``verdict`` is a window :class:`Verdict` or the string
+        :data:`INTEGRITY_FAIL`.
+        """
+        uid = self.uid_of(packet)
+        if uid is None:
+            self.unknown_packets += 1
+            return
+        self._processed_uids.add(uid)
+        if verdict == self.INTEGRITY_FAIL:
+            self.integrity_rejections += 1
+            self._discard_counts[uid] = self._discard_counts.get(uid, 0) + 1
+            return
+        assert isinstance(verdict, Verdict)
+        if verdict.accepted:
+            self.deliveries_total += 1
+            self._delivery_counts[uid] = self._delivery_counts.get(uid, 0) + 1
+        else:
+            self._discard_counts[uid] = self._discard_counts.get(uid, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def report(self) -> AuditReport:
+        """Compute the aggregate scores for the run so far."""
+        duplicate_deliveries = sum(
+            count - 1 for count in self._delivery_counts.values() if count > 1
+        )
+        delivered = set(self._delivery_counts)
+        fresh_discarded = sum(
+            1
+            for uid in self._sent_uids
+            if uid in self._processed_uids and uid not in delivered
+        )
+        never_arrived = sum(
+            1 for uid in self._sent_uids if uid not in self._processed_uids
+        )
+        return AuditReport(
+            fresh_sent=len(self._sent_uids),
+            delivered_uids=len(delivered),
+            duplicate_deliveries=duplicate_deliveries,
+            fresh_discarded=fresh_discarded,
+            never_arrived=never_arrived,
+            integrity_rejections=self.integrity_rejections,
+            deliveries_total=self.deliveries_total,
+        )
+
+    # Convenience accessors used heavily by tests -----------------------
+    @property
+    def replays_accepted(self) -> int:
+        """Duplicate deliveries so far (paper: replayed messages accepted)."""
+        return self.report().duplicate_deliveries
+
+    @property
+    def fresh_discarded(self) -> int:
+        """Fresh messages that arrived but were never delivered."""
+        return self.report().fresh_discarded

@@ -1,0 +1,129 @@
+"""Closed-form bounds and predictions from Sections 3 and 5 (system S14).
+
+Experiments compare their *measured* values against these formulas; every
+function cites the statement in the paper it encodes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ipsec.costs import CostModel
+
+
+def gap_bound(k: int) -> int:
+    """Section 5: the gap between the reset-time counter and the fetched
+    checkpoint is at most ``2K``.
+
+    "(s + t) - (s - Kp) <= (s + Kp) - (s - Kp) = 2Kp".
+    """
+    return 2 * k
+
+
+def lost_seq_bound(k_p: int) -> int:
+    """Claim (i): "the total number of lost sequence number is bounded by
+    2Kp" after a sender reset."""
+    return 2 * k_p
+
+
+def discarded_fresh_bound(k_q: int) -> int:
+    """Claim (ii): "the total number of discarded fresh messages is
+    bounded by 2Kq" after a receiver reset (no loss)."""
+    return 2 * k_q
+
+
+def predicted_sender_gap(k: int, offset: int, save_duration_msgs: int) -> int:
+    """Fig. 1's gap as a function of where in the SAVE cycle the reset hits.
+
+    Model the cycle in message counts.  ``SAVE(s)`` starts when the counter
+    reaches ``s``; it commits after ``save_duration_msgs`` further messages
+    (the number sendable during ``t_save``); the next save starts at
+    ``s + k``.  A reset lands ``offset`` messages after the save started
+    (``0 <= offset < k``).  Then:
+
+    * ``offset < save_duration_msgs`` (save still in flight): FETCH returns
+      the *previous* checkpoint ``s - k``, so the gap is
+      ``(s + offset) - (s - k) = k + offset``  — at most ``2k - 1 < 2k``.
+    * otherwise (save committed): FETCH returns ``s``, gap ``= offset < k``.
+
+    Both branches respect :func:`gap_bound`.
+    """
+    if not 0 <= offset < k:
+        raise ValueError(f"offset must be in [0, k), got {offset} (k={k})")
+    if offset < save_duration_msgs:
+        return k + offset
+    return offset
+
+
+def predicted_sender_loss(k: int, offset: int, save_duration_msgs: int) -> int:
+    """Claim (i)'s lost-sequence-number count for a reset at ``offset``.
+
+    Lost numbers = ``resumed - (last_used + 1)`` with ``resumed =
+    fetched + 2k`` and ``last_used = s + offset - 1``:
+
+    * save in flight: ``(s - k + 2k) - (s + offset) = k - offset``;
+    * save committed: ``(s + 2k) - (s + offset) = 2k - offset``.
+    """
+    if not 0 <= offset < k:
+        raise ValueError(f"offset must be in [0, k), got {offset} (k={k})")
+    if offset < save_duration_msgs:
+        return k - offset
+    return 2 * k - offset
+
+
+def unprotected_replay_exposure(last_delivered_seq: int) -> int:
+    """Section 3, receiver reset, no SAVE/FETCH: "an adversary can replay
+    in order all the messages with sequence numbers within the range from
+    1 to x" — exposure grows linearly (and unboundedly) with traffic."""
+    return max(0, last_delivered_seq)
+
+
+def unprotected_fresh_discards(right_edge: int, w: int) -> int:
+    """Section 3, sender reset, no SAVE/FETCH: every fresh message with a
+    sequence number below the left edge ``y - w + 1`` is discarded, so at
+    least ``y - w`` messages from a restarted sender (s = 1, 2, ...) die
+    before one can land in the window."""
+    return max(0, right_edge - w)
+
+
+def save_overhead_fraction(k: int, costs: CostModel) -> float:
+    """E6: fraction of wall-clock the disk spends saving at interval ``k``.
+
+    One save (``t_save``) per ``k`` messages (``k * t_send``)."""
+    return costs.t_save / (k * costs.t_send)
+
+
+def min_safe_save_interval(costs: CostModel) -> int:
+    """Section 4's sizing rule; paper constants give 25."""
+    return costs.min_save_interval()
+
+
+def savefetch_recovery_time(costs: CostModel) -> float:
+    """Time from wake-up to first post-recovery send under SAVE/FETCH:
+    one FETCH plus one synchronous SAVE."""
+    return costs.t_fetch + costs.t_save
+
+
+def rekey_recovery_time(
+    costs: CostModel,
+    rtt: float,
+    n_sas: int = 1,
+    messages: int = 9,
+) -> float:
+    """Time to recover by the IETF remedy: renegotiate every SA via IKE.
+
+    Per SA: ``messages`` one-way transits (main mode 6 + quick mode 3,
+    alternating directions, so ~``messages/2`` RTTs) plus both peers'
+    compute.  Negotiations for distinct SAs are assumed sequential on the
+    recovering host (single CPU — the Pentium III of the paper), which is
+    the regime that makes multi-SA teardown painful.
+    """
+    per_sa = (messages / 2.0) * rtt + costs.ike_handshake_compute_time()
+    return n_sas * per_sa
+
+
+def messages_lost_during_outage(outage: float, send_interval: float) -> int:
+    """How many clocked messages fall inside an outage window."""
+    if send_interval <= 0:
+        raise ValueError(f"send_interval must be > 0, got {send_interval}")
+    return int(math.floor(outage / send_interval))

@@ -1,0 +1,284 @@
+"""One-call wiring of a complete anti-replay simulation (main public API).
+
+:func:`build_protocol` assembles engine + sender + link (+ optional
+controlled-reorder stage, adversary, ESP/AH encapsulation) + receiver +
+auditor into a :class:`ProtocolHarness`.  Experiments, examples and most
+tests start here::
+
+    from repro import build_protocol
+
+    harness = build_protocol(protected=True, k_p=25, k_q=25, w=64)
+    harness.sender.start_traffic(count=1000)
+    harness.engine.call_at(0.002, harness.sender.reset, 0.001)
+    harness.run(until=0.1)
+    report = harness.score()
+    assert report.converged
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.audit import DeliveryAuditor
+from repro.core.ceiling import CeilingReceiver, CeilingSender
+from repro.core.convergence import ConvergenceReport, score_run
+from repro.core.receiver import BaseReceiver, SaveFetchReceiver, UnprotectedReceiver
+from repro.core.sender import BaseSender, SaveFetchSender, UnprotectedSender
+from repro.ipsec.costs import CostModel, PAPER_COSTS
+from repro.ipsec.sa import SaPair, make_sa_pair
+from repro.net.adversary import ReplayAdversary
+from repro.net.delay import DelayModel, FixedDelay
+from repro.net.link import Link, PacketPipe
+from repro.net.loss import LossModel, NoLoss
+from repro.net.reorder import DegreeReorderStage
+from repro.sim.engine import Engine
+from repro.sim.metrics import MetricSet
+
+
+@dataclass
+class ProtocolHarness:
+    """Handles on every component of one wired-up simulation."""
+
+    engine: Engine
+    sender: BaseSender
+    receiver: BaseReceiver
+    link: Link
+    auditor: DeliveryAuditor
+    pipe: PacketPipe  # what the sender writes to (reorder stage or link)
+    adversary: ReplayAdversary | None = None
+    reorder_stage: DegreeReorderStage | None = None
+    sa_pair: SaPair | None = None
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run the engine; returns events fired (see :meth:`Engine.run`)."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    def score(self, check_bounds: bool = True) -> ConvergenceReport:
+        """Score the run so far against the paper's guarantees."""
+        return score_run(
+            self.auditor, self.sender, self.receiver, check_bounds=check_bounds
+        )
+
+    def metrics(self) -> MetricSet:
+        """Export a snapshot of every component's counters and stats.
+
+        Counters: sender/link/receiver/adversary activity plus the audit
+        aggregates.  Stats: the per-reset gap and loss distributions.
+        Useful for dashboards and for dumping run summaries as one dict
+        (``harness.metrics().as_dict()``).
+        """
+        metrics = MetricSet()
+        metrics.counter("sender.sent").increment(self.sender.sent_total)
+        metrics.counter("sender.suppressed").increment(self.sender.sends_suppressed)
+        metrics.counter("sender.resets").increment(len(self.sender.reset_records))
+        metrics.counter("link.offered").increment(self.link.offered)
+        metrics.counter("link.dropped").increment(self.link.dropped)
+        metrics.counter("link.delivered").increment(self.link.delivered)
+        metrics.counter("link.injected").increment(self.link.injected)
+        metrics.counter("receiver.delivered").increment(self.receiver.delivered_total)
+        metrics.counter("receiver.integrity_failures").increment(
+            self.receiver.integrity_failures
+        )
+        metrics.counter("receiver.dropped_down").increment(
+            self.receiver.dropped_while_down
+        )
+        metrics.counter("receiver.resets").increment(len(self.receiver.reset_records))
+        for verdict, count in self.receiver.verdict_counts.items():
+            metrics.counter(f"receiver.verdict.{verdict.value}").increment(count)
+        report = self.auditor.report()
+        metrics.counter("audit.fresh_sent").increment(report.fresh_sent)
+        metrics.counter("audit.delivered_uids").increment(report.delivered_uids)
+        metrics.counter("audit.replays_accepted").increment(
+            report.duplicate_deliveries
+        )
+        metrics.counter("audit.fresh_discarded").increment(report.fresh_discarded)
+        metrics.counter("audit.never_arrived").increment(report.never_arrived)
+        if self.adversary is not None:
+            metrics.counter("adversary.injections").increment(
+                self.adversary.injections
+            )
+        for record in self.sender.reset_records:
+            if record.gap is not None:
+                metrics.stat("sender.gap").observe(record.gap)
+            if record.lost_seqnums is not None:
+                metrics.stat("sender.lost_seqnums").observe(record.lost_seqnums)
+        for record in self.receiver.reset_records:
+            if record.gap is not None:
+                metrics.stat("receiver.gap").observe(record.gap)
+        return metrics
+
+
+def build_protocol(
+    protected: bool = True,
+    k_p: int = 25,
+    k_q: int = 25,
+    w: int = 64,
+    window_impl: str = "bitmap",
+    costs: CostModel = PAPER_COSTS,
+    encap: str = "plain",
+    seed: int = 0,
+    delay: DelayModel | None = None,
+    loss: LossModel | None = None,
+    fifo_link: bool = True,
+    with_adversary: bool = False,
+    reorder_degree: int = 0,
+    reorder_probability: float = 0.0,
+    leap_factor: int = 2,
+    skip_wake_save: bool = False,
+    sender_name: str = "p",
+    receiver_name: str = "q",
+    variant: str | None = None,
+) -> ProtocolHarness:
+    """Build a ready-to-run p -> q anti-replay simulation.
+
+    Args:
+        protected: True for the Section 4 SAVE/FETCH protocol, False for
+            the unprotected Section 2 baseline.
+        variant: overrides ``protected`` when given: ``"savefetch"``,
+            ``"unprotected"``, or ``"ceiling"`` (the write-ahead repair of
+            :mod:`repro.core.ceiling`).
+        k_p / k_q: SAVE intervals (ignored when ``protected`` is False).
+            Defaults are the paper's minimum safe interval, 25.
+        w: receiver window size.
+        window_impl: ``"bitmap"`` or ``"array"`` (paper-literal).
+        costs: operation cost model (timing of sends, saves, fetches).
+        encap: ``"plain"``, ``"esp"`` or ``"ah"``; non-plain modes create
+            a real SA pair and enforce integrity.
+        seed: master seed for link/adversary/key randomness.
+        delay: link delay model (default zero-latency fixed).
+        loss: link loss model (default lossless).
+        fifo_link: force in-order delivery (the paper's reorder-free
+            hypothesis); set False with a jitter delay model for natural
+            reordering.
+        with_adversary: attach a recording :class:`ReplayAdversary`.
+        reorder_degree / reorder_probability: insert a controlled
+            :class:`DegreeReorderStage` in front of the link.
+        leap_factor / skip_wake_save: ablation switches (paper: 2 / False).
+        sender_name / receiver_name: trace names.
+
+    Returns:
+        A :class:`ProtocolHarness` with every component exposed.
+    """
+    engine = Engine()
+    auditor = DeliveryAuditor()
+
+    if variant is None:
+        variant = "savefetch" if protected else "unprotected"
+    if variant not in ("savefetch", "unprotected", "ceiling"):
+        raise ValueError(f"unknown variant {variant!r}")
+
+    sa_pair: SaPair | None = None
+    sender_sa = receiver_sa = None
+    if encap != "plain":
+        sa_pair = make_sa_pair(sender_name, receiver_name, seed_or_rng=seed)
+        sender_sa = receiver_sa = sa_pair.forward
+
+    if variant == "savefetch":
+        receiver: BaseReceiver = SaveFetchReceiver(
+            engine,
+            receiver_name,
+            k=k_q,
+            leap_factor=leap_factor,
+            skip_wake_save=skip_wake_save,
+            w=w,
+            window_impl=window_impl,
+            costs=costs,
+            auditor=auditor,
+            sa=receiver_sa,
+            encap=encap,
+        )
+    elif variant == "ceiling":
+        receiver = CeilingReceiver(
+            engine,
+            receiver_name,
+            k=k_q,
+            w=w,
+            window_impl=window_impl,
+            costs=costs,
+            auditor=auditor,
+            sa=receiver_sa,
+            encap=encap,
+        )
+    else:
+        receiver = UnprotectedReceiver(
+            engine,
+            receiver_name,
+            w=w,
+            window_impl=window_impl,
+            costs=costs,
+            auditor=auditor,
+            sa=receiver_sa,
+            encap=encap,
+        )
+
+    link = Link(
+        engine,
+        f"link:{sender_name}->{receiver_name}",
+        sink=receiver.on_receive,
+        delay=delay if delay is not None else FixedDelay(0.0),
+        loss=loss if loss is not None else NoLoss(),
+        seed=seed * 7919 + 1,
+        fifo=fifo_link,
+    )
+
+    pipe: PacketPipe = link
+    reorder_stage: DegreeReorderStage | None = None
+    if reorder_degree > 0 and reorder_probability > 0:
+        reorder_stage = DegreeReorderStage(
+            downstream=link,
+            degree=reorder_degree,
+            probability=reorder_probability,
+            seed=seed * 7919 + 2,
+        )
+        pipe = reorder_stage
+
+    if variant == "savefetch":
+        sender: BaseSender = SaveFetchSender(
+            engine,
+            sender_name,
+            pipe,
+            k=k_p,
+            leap_factor=leap_factor,
+            skip_wake_save=skip_wake_save,
+            costs=costs,
+            auditor=auditor,
+            sa=sender_sa,
+            encap=encap,
+        )
+    elif variant == "ceiling":
+        sender = CeilingSender(
+            engine,
+            sender_name,
+            pipe,
+            k=k_p,
+            costs=costs,
+            auditor=auditor,
+            sa=sender_sa,
+            encap=encap,
+        )
+    else:
+        sender = UnprotectedSender(
+            engine,
+            sender_name,
+            pipe,
+            costs=costs,
+            auditor=auditor,
+            sa=sender_sa,
+            encap=encap,
+        )
+
+    adversary: ReplayAdversary | None = None
+    if with_adversary:
+        adversary = ReplayAdversary(engine, link, seed=seed * 7919 + 3)
+
+    return ProtocolHarness(
+        engine=engine,
+        sender=sender,
+        receiver=receiver,
+        link=link,
+        auditor=auditor,
+        pipe=pipe,
+        adversary=adversary,
+        reorder_stage=reorder_stage,
+        sa_pair=sa_pair,
+    )

@@ -1,0 +1,371 @@
+"""Process ``q`` — the receiver (Sections 2 and 4 of the paper).
+
+Two concrete receivers share :class:`BaseReceiver`:
+
+* :class:`UnprotectedReceiver` — the Section 2 process: just the window
+  ``(wdw, r)``.  On wake-up after a reset the window state is gone and q
+  "resumes its operation with r set to 0" (Section 3) — at which point an
+  adversary can replay the entire pre-reset history.
+
+* :class:`SaveFetchReceiver` — the Section 4 process.  After processing
+  each message it checks ``r >= Kq + lst`` and if so initiates a
+  background ``SAVE(r)``.  On wake-up it runs ``FETCH(r);
+  SAVE(r + 2Kq); r := r + 2Kq; lst := r`` and floods the whole window to
+  *received* ("every sequence number up to r should be assumed to be
+  already received").  Messages arriving while the post-wake SAVE is in
+  flight are "temporarily kept ... in a buffer" and adjudicated after the
+  commit — both behaviours are implemented literally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.audit import DeliveryAuditor
+from repro.core.encap import IntegrityError, open_packet
+from repro.core.persistent import PersistentStore
+from repro.ipsec.costs import CostModel, PAPER_COSTS
+from repro.ipsec.replay_window import (
+    ArrayReplayWindow,
+    BitmapReplayWindow,
+    ReplayWindow,
+    Verdict,
+)
+from repro.ipsec.sa import SecurityAssociation
+from repro.sim.engine import Engine
+from repro.sim.process import SimProcess
+from repro.util.validation import check_positive
+
+#: Listener signature for :meth:`BaseReceiver.add_process_listener`:
+#: ``(packet, verdict)`` after every processed packet.
+ProcessListener = Callable[[Any, Verdict], None]
+
+#: Default window size; RFC 2401 recommends a minimum of 32, default 64.
+DEFAULT_WINDOW = 64
+
+
+def make_window(w: int, impl: str = "bitmap") -> ReplayWindow:
+    """Build a replay window of size ``w``.
+
+    ``impl``: ``"bitmap"`` (RFC 2401 style, default), ``"array"``
+    (paper-literal boolean array) or ``"blocked"`` (RFC 6479 block ring;
+    requires ``w`` to be a multiple of 32).
+    """
+    if impl == "bitmap":
+        return BitmapReplayWindow(w)
+    if impl == "array":
+        return ArrayReplayWindow(w)
+    if impl == "blocked":
+        from repro.ipsec.replay_window_blocked import BlockedReplayWindow
+
+        return BlockedReplayWindow(w)
+    raise ValueError(
+        f"unknown window impl {impl!r}; expected 'bitmap', 'array' or 'blocked'"
+    )
+
+
+@dataclass
+class ReceiverResetRecord:
+    """Everything about one receiver reset/wake cycle (feeds Fig. 2 / E2 / E4).
+
+    Attributes:
+        reset_time: when the reset hit.
+        right_edge_at_reset: ``r`` at crash time.
+        save_in_flight: whether a background SAVE was executing (Fig. 2's
+            two cases).
+        fetched: value FETCH returned on wake (None for unprotected).
+        resumed_right_edge: ``r`` after recovery completed.
+        wake_time: when the host came back up.
+        resume_time: when normal processing resumed (post-wake SAVE
+            committed and the buffer drained).
+        buffered_during_wake: messages held in the wake buffer.
+    """
+
+    reset_time: float
+    right_edge_at_reset: int
+    save_in_flight: bool
+    fetched: int | None
+    resumed_right_edge: int | None = None
+    wake_time: float | None = None
+    resume_time: float | None = None
+    buffered_during_wake: int = 0
+
+    @property
+    def gap(self) -> int | None:
+        """Fig. 2's gap: right edge at reset minus the fetched value."""
+        if self.fetched is None:
+            return None
+        return self.right_edge_at_reset - self.fetched
+
+
+class BaseReceiver(SimProcess):
+    """Common receiver machinery: decapsulation, window, fault hooks.
+
+    Args:
+        engine: simulation engine.
+        name: trace name (conventionally ``"q"``).
+        w: anti-replay window size.
+        window_impl: ``"bitmap"`` (default) or ``"array"`` (paper-literal).
+        costs: operation cost model.
+        auditor: optional :class:`DeliveryAuditor` for run scoring.
+        sa: security association for ESP/AH decapsulation.
+        encap: ``"plain"`` (default), ``"esp"`` or ``"ah"``.
+        on_deliver: optional callback ``(seq, payload)`` per delivery.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        w: int = DEFAULT_WINDOW,
+        window_impl: str = "bitmap",
+        costs: CostModel = PAPER_COSTS,
+        auditor: DeliveryAuditor | None = None,
+        sa: SecurityAssociation | None = None,
+        encap: str = "plain",
+        on_deliver: Callable[[int, bytes], None] | None = None,
+    ) -> None:
+        super().__init__(engine, name)
+        check_positive("w", w)
+        self.w = int(w)
+        self.window_impl = window_impl
+        self.window: ReplayWindow = make_window(self.w, window_impl)
+        self.costs = costs
+        self.auditor = auditor
+        self.sa = sa
+        self.encap = encap
+        self.on_deliver = on_deliver
+        # Host/fault state.
+        self.is_up = True
+        self.wait = False
+        # Statistics.
+        self.delivered_total = 0
+        self.verdict_counts: dict[Verdict, int] = {v: 0 for v in Verdict}
+        self.integrity_failures = 0
+        self.dropped_while_down = 0
+        self.delivered_log: list[tuple[float, int]] = []
+        self.reset_records: list[ReceiverResetRecord] = []
+        self._process_listeners: list[ProcessListener] = []
+        self._resume_listeners: list[Callable[[], None]] = []
+        self._wake_buffer: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    @property
+    def right_edge(self) -> int:
+        """Current right edge ``r`` of the anti-replay window."""
+        return self.window.right_edge
+
+    def add_process_listener(self, listener: ProcessListener) -> None:
+        """Register a callback invoked after every processed packet."""
+        self._process_listeners.append(listener)
+
+    def add_resume_listener(self, listener: Callable[[], None]) -> None:
+        """Register a callback invoked when post-reset recovery completes."""
+        self._resume_listeners.append(listener)
+
+    def _notify_resumed(self) -> None:
+        for listener in self._resume_listeners:
+            listener()
+
+    def on_receive(self, packet: Any) -> None:
+        """Link sink: handle one arriving packet."""
+        if not self.is_up:
+            # The host is off; the packet is lost like any other arriving
+            # at a dead interface.
+            self.dropped_while_down += 1
+            self.trace("drop_down", packet=repr(packet))
+            return
+        if self.wait:
+            # Section 4: buffer until the post-wake SAVE commits.
+            self._wake_buffer.append(packet)
+            if self.reset_records:
+                self.reset_records[-1].buffered_during_wake += 1
+            self.trace("buffer", packet=repr(packet))
+            return
+        self._process(packet)
+
+    def _process(self, packet: Any) -> None:
+        try:
+            seq, payload = open_packet(self.encap, self.sa, packet)
+        except IntegrityError:
+            self.integrity_failures += 1
+            self.trace("integrity_fail", packet=repr(packet))
+            if self.auditor is not None:
+                self.auditor.note_processed(packet, DeliveryAuditor.INTEGRITY_FAIL)
+            return
+        verdict = self.window.update(seq)
+        self.verdict_counts[verdict] += 1
+        if self.auditor is not None:
+            self.auditor.note_processed(packet, verdict)
+        if verdict.accepted:
+            self.delivered_total += 1
+            self.delivered_log.append((self.now, seq))
+            self.trace("deliver", seq=seq, verdict=verdict.value)
+            if self.on_deliver is not None:
+                self.on_deliver(seq, payload)
+        else:
+            self.trace("discard", seq=seq, verdict=verdict.value)
+        self._after_process(verdict)
+        for listener in self._process_listeners:
+            listener(packet, verdict)
+
+    def _after_process(self, verdict: Verdict) -> None:
+        """Hook for subclasses (the SAVE check of Section 4)."""
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def reset(self, down_for: float | None = 0.0) -> ReceiverResetRecord:
+        """A reset hits the host: the window and counters are lost.
+
+        Args:
+            down_for: down time before waking (``None`` = wait for an
+                explicit :meth:`wake`).
+        """
+        record = ReceiverResetRecord(
+            reset_time=self.now,
+            right_edge_at_reset=self.window.right_edge,
+            save_in_flight=self._save_in_flight(),
+            fetched=None,
+        )
+        self.reset_records.append(record)
+        self.trace("reset", right_edge=record.right_edge_at_reset)
+        self.is_up = False
+        self.wait = True
+        self._wake_buffer.clear()  # volatile; lost with the host
+        self._on_crash(record)
+        if down_for is not None:
+            self.call_later(down_for, self.wake)
+        return record
+
+    def wake(self) -> None:
+        """The host comes back up; run the recovery action."""
+        if self.is_up:
+            return
+        self.is_up = True
+        record = self.reset_records[-1]
+        record.wake_time = self.now
+        self.trace("wake")
+        self._on_wake(record)
+
+    def _save_in_flight(self) -> bool:
+        """Whether a background SAVE is executing (subclass)."""
+        return False
+
+    def _on_crash(self, record: ReceiverResetRecord) -> None:
+        """Subclass hook: abort in-flight persistent operations."""
+
+    def _on_wake(self, record: ReceiverResetRecord) -> None:
+        """Subclass hook: the paper's third action."""
+        raise NotImplementedError
+
+    def _drain_wake_buffer(self) -> None:
+        buffered, self._wake_buffer = self._wake_buffer, []
+        for packet in buffered:
+            self._process(packet)
+
+
+class UnprotectedReceiver(BaseReceiver):
+    """The Section 2 receiver: window state only, no persistence.
+
+    On wake-up the window is recreated in its cold-start state (``r = 0``):
+    every sequence number above 0 now looks fresh, which is what lets the
+    Section 3 adversary replay the entire history.
+    """
+
+    def _on_wake(self, record: ReceiverResetRecord) -> None:
+        self.window = make_window(self.w, self.window_impl)
+        record.resumed_right_edge = self.window.right_edge
+        record.resume_time = self.now
+        self.wait = False
+        self.trace("resume", r=self.window.right_edge)
+        self._drain_wake_buffer()
+        self._notify_resumed()
+
+
+class SaveFetchReceiver(BaseReceiver):
+    """The Section 4 receiver with SAVE and FETCH.
+
+    Args:
+        k: the SAVE interval ``Kq`` (window advance between checkpoints).
+        store: persistent store (default: built from ``costs``, initial
+            value 0 matching ``lst`` initially 0).
+        leap_factor: multiple of ``k`` added on wake (paper: 2; E11 ablates).
+        skip_wake_save: ablation switch for the synchronous post-wake SAVE.
+        **base_kwargs: forwarded to :class:`BaseReceiver`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        k: int,
+        store: PersistentStore | None = None,
+        leap_factor: int = 2,
+        skip_wake_save: bool = False,
+        **base_kwargs: Any,
+    ) -> None:
+        super().__init__(engine, name, **base_kwargs)
+        check_positive("k", k)
+        self.k = int(k)
+        if leap_factor < 0:
+            raise ValueError(f"leap_factor must be >= 0, got {leap_factor}")
+        self.leap_factor = int(leap_factor)
+        self.skip_wake_save = skip_wake_save
+        if store is None:
+            store = PersistentStore(
+                engine,
+                f"disk:{name}",
+                t_save=self.costs.t_save,
+                t_fetch=self.costs.t_fetch,
+                initial_value=0,
+            )
+        self.store = store
+        self.lst = 0  # last stored sequence number, initially 0 (paper)
+
+    # -- Section 4, first action: background SAVE every Kq advance ------
+    def _after_process(self, verdict: Verdict) -> None:
+        r = self.window.right_edge
+        if r >= self.k + self.lst:
+            self.lst = r
+            self.store.begin_save(r)  # "& SAVE(r)" — in the background
+
+    def _save_in_flight(self) -> bool:
+        return self.store.save_in_flight
+
+    # -- Section 4, second action: reset --------------------------------
+    def _on_crash(self, record: ReceiverResetRecord) -> None:
+        self.store.crash()
+
+    # -- Section 4, third action: wake-up recovery ----------------------
+    def _on_wake(self, record: ReceiverResetRecord) -> None:
+        fetched = self.store.fetch()
+        record.fetched = fetched
+        leaped = fetched + self.leap_factor * self.k
+
+        def resume() -> None:
+            self.window = make_window(self.w, self.window_impl)
+            self.window.resume(leaped)  # r := fetched + 2Kq, wdw all true
+            self.lst = leaped
+            self.wait = False
+            record.resumed_right_edge = leaped
+            record.resume_time = self.now
+            self.trace("resume", r=leaped, fetched=fetched)
+            self._drain_wake_buffer()
+            self._notify_resumed()
+
+        if self.skip_wake_save:
+            self.call_later(self.store.fetch_delay(), resume)
+            return
+
+        def after_fetch() -> None:
+            self.store.begin_save(leaped, on_commit=resume, synchronous=True)
+
+        fetch_delay = self.store.fetch_delay()
+        if fetch_delay > 0:
+            self.call_later(fetch_delay, after_fetch)
+        else:
+            after_fetch()

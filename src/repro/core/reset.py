@@ -1,0 +1,156 @@
+"""Reset fault injection (system S11).
+
+The paper's analysis distinguishes *where in the SAVE cycle* a reset
+lands (Fig. 1 / Fig. 2: before vs after the in-flight SAVE commits), so
+the injectors here can target resets:
+
+* at an absolute simulated time (:func:`reset_at_time`);
+* after the endpoint's N-th send / N-th processed message
+  (:func:`reset_at_count`) — the natural unit for sweeping the reset
+  offset ``t`` within a SAVE interval;
+* at a chosen fraction of a chosen in-flight SAVE
+  (:func:`reset_during_save`) — the Fig. 1/2 "reset occurs before the
+  current SAVE finishes" case, hit exactly;
+* on a repeating schedule (:class:`ResetSchedule`) — reset storms,
+  including back-to-back resets that land before the post-wake SAVE
+  commits (the Section 4 second-reset hazard, experiment E11).
+
+All injectors accept anything with ``reset(down_for)`` — senders and
+receivers alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from repro.core.persistent import PersistentStore, SaveRecord
+from repro.sim.engine import Engine
+from repro.util.validation import check_non_negative
+
+
+class Resettable(Protocol):
+    """Anything that can suffer a reset (senders, receivers, hosts)."""
+
+    def reset(self, down_for: float | None = 0.0) -> Any:  # pragma: no cover
+        ...
+
+
+def reset_at_time(
+    engine: Engine,
+    target: Resettable,
+    at: float,
+    down_for: float | None = 0.0,
+) -> None:
+    """Schedule a reset of ``target`` at absolute time ``at``."""
+    engine.call_at(at, target.reset, down_for)
+
+
+def reset_at_count(
+    target: Any,
+    count: int,
+    down_for: float | None = 0.0,
+) -> None:
+    """Reset ``target`` immediately after its ``count``-th send/process.
+
+    ``target`` must expose ``add_send_listener`` (senders) or
+    ``add_process_listener`` (receivers).  The reset fires synchronously
+    inside the counted operation's aftermath — i.e. the counted message
+    *was* sent/processed, and nothing later was.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be >= 1, got {count}")
+    state = {"fired": False, "seen": 0}
+
+    def on_send(sent_total: int, packet: Any) -> None:
+        if not state["fired"] and sent_total >= count:
+            state["fired"] = True
+            target.reset(down_for)
+
+    def on_process(packet: Any, verdict: Any) -> None:
+        state["seen"] += 1
+        if not state["fired"] and state["seen"] >= count:
+            state["fired"] = True
+            target.reset(down_for)
+
+    if hasattr(target, "add_send_listener"):
+        target.add_send_listener(on_send)
+    elif hasattr(target, "add_process_listener"):
+        target.add_process_listener(on_process)
+    else:
+        raise TypeError(
+            f"{target!r} has neither add_send_listener nor add_process_listener"
+        )
+
+
+def reset_during_save(
+    engine: Engine,
+    target: Resettable,
+    store: PersistentStore,
+    nth_save: int = 1,
+    fraction: float = 0.5,
+    down_for: float | None = 0.0,
+    include_synchronous: bool = False,
+) -> None:
+    """Reset ``target`` partway through its ``nth_save``-th background SAVE.
+
+    Args:
+        engine: the simulation engine.
+        target: the endpoint to reset.
+        store: the persistent store to watch.
+        nth_save: which save (1-based, counting starts) to strike.
+        fraction: how far into the save window the reset lands
+            (0 = at start, just under 1 = just before commit).
+        down_for: the endpoint's down time.
+        include_synchronous: whether post-wake synchronous saves count
+            toward ``nth_save`` (E11 sets this to strike the recovery
+            save itself).
+    """
+    if nth_save <= 0:
+        raise ValueError(f"nth_save must be >= 1, got {nth_save}")
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    state = {"starts": 0, "armed": True}
+
+    def on_save_event(record: SaveRecord) -> None:
+        if record.committed or record.aborted:
+            return  # only react to starts
+        if record.synchronous and not include_synchronous:
+            return
+        state["starts"] += 1
+        if state["armed"] and state["starts"] == nth_save:
+            state["armed"] = False
+            delay = fraction * store.t_save
+            engine.call_later(delay, target.reset, down_for)
+
+    store.add_listener(on_save_event)
+
+
+class ResetSchedule:
+    """A pre-planned list of ``(reset_time, down_for)`` faults.
+
+    Example — a reset storm every 50 ms with 1 ms outages::
+
+        schedule = ResetSchedule([(0.05 * i, 0.001) for i in range(1, 10)])
+        schedule.apply(engine, receiver)
+    """
+
+    def __init__(self, faults: list[tuple[float, float]]) -> None:
+        for at, down_for in faults:
+            check_non_negative("reset time", at)
+            check_non_negative("down_for", down_for)
+        self.faults = sorted(faults)
+
+    def apply(self, engine: Engine, target: Resettable) -> int:
+        """Schedule every fault against ``target``; returns the count."""
+        for at, down_for in self.faults:
+            reset_at_time(engine, target, at, down_for)
+        return len(self.faults)
+
+    @classmethod
+    def periodic(
+        cls, first_at: float, period: float, count: int, down_for: float
+    ) -> "ResetSchedule":
+        """Build ``count`` evenly spaced faults starting at ``first_at``."""
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        return cls([(first_at + i * period, down_for) for i in range(count)])

@@ -1,0 +1,30 @@
+"""Experiment harness (system S18): one module per reproduced artifact.
+
+Every module exposes ``run(...) -> ExperimentResult`` (pure, deterministic,
+parameterised so tests can shrink it) and the benchmarks under
+``benchmarks/`` call them.  The experiment <-> paper-artifact mapping lives
+in ``DESIGN.md``; measured-vs-paper results are recorded in
+``EXPERIMENTS.md``.
+
+==========  ==========================================================
+module      paper artifact
+==========  ==========================================================
+e01         Fig. 1 — sender-reset gap across the SAVE cycle
+e02         Fig. 2 — receiver-reset gap across the SAVE cycle
+e03         Section 5 claim (i) — lost sequence numbers <= 2Kp
+e04         Section 5 claim (ii) — fresh discards <= 2Kq, replays = 0
+e05         Section 3 — unbounded failures of the unprotected protocol
+e06         Section 4 — SAVE interval sizing (K >= T_save/T_send = 25)
+e07         Section 3 — IETF full-rekey cost vs SAVE/FETCH recovery
+e08         Section 5 third case — dual resets (+ the staggered-reset
+            boundary found by the model checker)
+e09         Section 6 — prolonged-reset recovery over bidirectional SAs
+e10         Section 2 — w-Delivery under reorder (motivates ref [2])
+e11         Section 4 — second-reset hazard / wake-SAVE + leap ablation
+e12         Section 6 — the replayed "reset notice" strawman attack
+==========  ==========================================================
+"""
+
+from repro.experiments.common import ExperimentResult, render_table
+
+__all__ = ["ExperimentResult", "render_table"]

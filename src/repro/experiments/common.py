@@ -1,0 +1,85 @@
+"""Shared experiment plumbing: result container and table rendering.
+
+Experiments return structured rows; rendering is separate so benchmarks
+can print paper-style tables while tests assert on the raw values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(columns: list[str], rows: list[dict[str, Any]]) -> str:
+    """Render rows as an aligned plain-text table."""
+    cells = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(width) for col, width in zip(columns, widths))
+    rule = "-" * len(header)
+    body = [
+        "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        for row in cells
+    ]
+    return "\n".join([header, rule, *body])
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment run.
+
+    Attributes:
+        experiment_id: e.g. ``"E1"``.
+        title: human-readable description.
+        paper_artifact: which figure/claim this reproduces.
+        columns: ordered column names.
+        rows: one dict per swept configuration.
+        notes: free-form observations recorded by the experiment
+            (bound checks, crossover positions, anomalies).
+    """
+
+    experiment_id: str
+    title: str
+    paper_artifact: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one result row."""
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        """Record an observation."""
+        self.notes.append(text)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        """Paper-style text rendering of the full result."""
+        lines = [
+            f"== {self.experiment_id}: {self.title}",
+            f"   reproduces: {self.paper_artifact}",
+            "",
+            render_table(self.columns, self.rows),
+        ]
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Run every experiment at full parameterisation and render the tables.
+
+Usage::
+
+    python -m repro.experiments.runall            # all experiments
+    python -m repro.experiments.runall e05 e07    # a subset
+
+The rendered output is what ``EXPERIMENTS.md`` records; benchmarks under
+``benchmarks/`` run the same functions with timing.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    e01_sender_gap,
+    e02_receiver_gap,
+    e03_sender_loss,
+    e04_receiver_discard,
+    e05_unbounded,
+    e06_save_interval,
+    e07_rekey_cost,
+    e08_dual_reset,
+    e09_prolonged_reset,
+    e10_reorder,
+    e11_double_reset,
+    e12_reset_notice,
+    e13_dpd,
+    e14_loss_robustness,
+)
+from repro.experiments.common import ExperimentResult
+
+#: Experiment id -> zero-argument callable running it at full size.
+REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
+    "e01": lambda: e01_sender_gap.run(k=50, offsets=list(range(0, 50, 2))),
+    "e02": lambda: e02_receiver_gap.run(k=50, offsets=list(range(0, 50, 2))),
+    "e03": lambda: e03_sender_loss.run(ks=[5, 10, 25, 50, 100]),
+    "e04": lambda: e04_receiver_discard.run(ks=[5, 10, 25, 50, 100]),
+    "e05": lambda: e05_unbounded.run(traffic_volumes=[100, 250, 500, 1000, 2500]),
+    "e06": lambda: e06_save_interval.run(ks=[5, 10, 15, 20, 25, 50, 100, 200]),
+    "e06b": lambda: e06_save_interval.run_policy_table(ks=[25, 50, 100]),
+    "e07": lambda: e07_rekey_cost.run(
+        sa_counts=[1, 4, 16, 64], rtts=[0.001, 0.010, 0.050]
+    ),
+    "e08": lambda: e08_dual_reset.run(k=25),
+    "e09": lambda: e09_prolonged_reset.run(
+        outages=[0.05, 0.2, 0.5, 2.0], keep_alive_timeout=1.0
+    ),
+    "e10": lambda: e10_reorder.run(
+        window_sizes=[32, 64], degrees=[1, 8, 31, 32, 33, 63, 64, 65, 128],
+        messages=2000,
+    ),
+    "e11": lambda: e11_double_reset.run(k=25),
+    "e12": lambda: e12_reset_notice.run(),
+    "e13": lambda: e13_dpd.run(cadences=[0.1, 0.5, 2.0]),
+    "e14": lambda: e14_loss_robustness.run(
+        burst_levels=[0.0, 0.005, 0.02, 0.05], seeds=8
+    ),
+}
+
+
+def run_all(ids: list[str] | None = None) -> list[ExperimentResult]:
+    """Run the selected experiments (all when ``ids`` is falsy)."""
+    selected = ids or list(REGISTRY)
+    results = []
+    for experiment_id in selected:
+        if experiment_id not in REGISTRY:
+            raise SystemExit(
+                f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+            )
+        started = time.perf_counter()
+        result = REGISTRY[experiment_id]()
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"\n[{experiment_id} completed in {elapsed:.1f}s]\n")
+        results.append(result)
+    return results
+
+
+def main() -> None:
+    run_all(sys.argv[1:])
+
+
+if __name__ == "__main__":
+    main()

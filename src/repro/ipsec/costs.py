@@ -1,0 +1,74 @@
+"""Operation cost model, with the paper's measured constants.
+
+Section 4: "on a Pentium III 730-MHz machine running Linux 2.4.18, a
+write-to-file operation takes 100 us and sending a 1000-byte message takes
+4 us on average. In this case, we can set the interval between two SAVEs to
+be at least 25."
+
+The paper's sizing rule: the SAVE interval ``K`` (in messages) must be at
+least the maximum number of messages that can be sent during one SAVE, so
+that at most one SAVE is ever in flight.  :meth:`CostModel.min_save_interval`
+computes it; with the paper's constants it is exactly 25.
+
+IKE costs are era-plausible defaults for a Pentium-III-class host (modular
+exponentiation dominated); E7 sweeps them, so only their order of magnitude
+relative to ``t_save`` matters for the reproduced shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.units import microseconds, milliseconds
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Simulated durations (seconds) of the operations the paper times.
+
+    Attributes:
+        t_save: one SAVE (persistent write) — paper: 100 us.
+        t_send: sending one message — paper: 4 us (1000-byte message).
+        t_recv: receiving/processing one message.
+        t_fetch: one FETCH (persistent read on wake-up).
+        t_dh_exp: one Diffie-Hellman exponentiation (IKE main mode).
+        t_prf: one PRF/derivation step (IKE).
+        t_sig: one signature/verification (IKE authentication).
+    """
+
+    t_save: float = microseconds(100)
+    t_send: float = microseconds(4)
+    t_recv: float = microseconds(4)
+    t_fetch: float = microseconds(100)
+    t_dh_exp: float = milliseconds(20)
+    t_prf: float = microseconds(50)
+    t_sig: float = milliseconds(5)
+
+    def min_save_interval(self) -> int:
+        """Smallest safe ``K``: messages sendable during one SAVE.
+
+        ``K >= ceil(t_save / t_send)`` guarantees the previous background
+        SAVE has committed before the next one starts (the property the
+        2K-gap analysis of Section 5 relies on).  Paper constants give 25.
+        """
+        return max(1, math.ceil(self.t_save / self.t_send))
+
+    def send_rate(self) -> float:
+        """Maximum message send rate (messages/second)."""
+        return 1.0 / self.t_send
+
+    def ike_handshake_compute_time(self) -> float:
+        """Total local compute both peers spend in one main+quick handshake.
+
+        Main mode: 2 DH exponentiations per peer (own + shared), 1
+        signature + 1 verification per peer, plus PRF steps; quick mode:
+        PRF-only (no PFS).  This is the per-SA renegotiation cost the IETF
+        remedy pays and SAVE/FETCH avoids.
+        """
+        per_peer = 2 * self.t_dh_exp + 2 * self.t_sig + 6 * self.t_prf
+        return 2 * per_peer
+
+
+#: The paper's measured constants (Pentium III 730 MHz, Linux 2.4.18).
+PAPER_COSTS = CostModel()

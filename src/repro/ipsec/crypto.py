@@ -1,0 +1,87 @@
+"""Cryptographic primitives for the simulated IPsec stack.
+
+Integrity is real: ICVs are HMAC-SHA-256 (stdlib :mod:`hmac`), verified
+with a constant-time compare.  This matters because the IETF-rekey
+baseline's correctness argument — "all old messages cannot pass integrity
+check under the new SA" — is *enforced* here rather than assumed.
+
+Confidentiality is a stand-in: :func:`xor_stream` is a deterministic
+keystream XOR built from SHA-256.  It exercises the encrypt/decrypt code
+path and key separation, but is **not cryptographically secure** and is
+labelled as such; the anti-replay results do not depend on encryption
+strength.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import random
+
+from repro.util.rng import make_rng
+
+#: Byte length of generated keys.
+KEY_LENGTH = 32
+#: Byte length of the HMAC-SHA-256 ICV carried in packets.
+ICV_LENGTH = 32
+
+
+class IntegrityError(Exception):
+    """Raised when a packet's ICV does not verify under the SA's key."""
+
+
+def generate_key(seed_or_rng: int | random.Random | None = None) -> bytes:
+    """Generate a ``KEY_LENGTH``-byte key from a seeded generator.
+
+    Simulation keys are *reproducible by design* (seeded), which a real
+    system must never do; determinism is what lets tests assert on
+    specific packet bytes.
+    """
+    rng = make_rng(seed_or_rng)
+    return bytes(rng.getrandbits(8) for _ in range(KEY_LENGTH))
+
+
+def derive_key(master: bytes, label: str) -> bytes:
+    """Derive a labelled subkey from ``master`` (HKDF-like, one step)."""
+    return _hmac.new(master, label.encode("utf-8"), hashlib.sha256).digest()
+
+
+def hmac_digest(key: bytes, data: bytes) -> bytes:
+    """Compute the HMAC-SHA-256 ICV of ``data`` under ``key``."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hmac_verify(key: bytes, data: bytes, icv: bytes) -> bool:
+    """Constant-time verification of an ICV."""
+    return _hmac.compare_digest(hmac_digest(key, data), icv)
+
+
+def xor_stream(key: bytes, data: bytes, nonce: bytes = b"") -> bytes:
+    """XOR ``data`` with a SHA-256-derived keystream (NOT secure crypto).
+
+    The same call decrypts what it encrypted.  Used only so that the ESP
+    code path round-trips payload bytes through a key-dependent transform.
+    """
+    out = bytearray(len(data))
+    block = b""
+    counter = 0
+    for i in range(len(data)):
+        if i % hashlib.sha256().digest_size == 0:
+            block = hashlib.sha256(
+                key + nonce + counter.to_bytes(8, "big")
+            ).digest()
+            counter += 1
+        out[i] = data[i] ^ block[i % len(block)]
+    return bytes(out)
+
+
+def encode_seq(seq: int) -> bytes:
+    """Encode an unbounded non-negative sequence number for MACing.
+
+    Length-prefixed big-endian so that distinct integers never collide as
+    byte strings (the paper's model uses unbounded sequence numbers).
+    """
+    if seq < 0:
+        raise ValueError(f"sequence numbers are non-negative, got {seq}")
+    body = seq.to_bytes((seq.bit_length() + 7) // 8 or 1, "big")
+    return len(body).to_bytes(4, "big") + body

@@ -1,0 +1,62 @@
+"""ESP encapsulation (RFC 2406 model, simulation form).
+
+An :class:`EspPacket` carries the SPI, the sequence number, the
+(simulated-cipher) ciphertext and a real HMAC-SHA-256 ICV over
+``SPI || seq || ciphertext``.  :func:`esp_open` verifies the ICV before
+anything else — which is exactly why, under the IETF rekey baseline, a
+packet recorded under an old SA generation cannot be replayed into a new
+one: its ICV fails under the new keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ipsec.crypto import IntegrityError, encode_seq, hmac_digest, hmac_verify, xor_stream
+from repro.ipsec.sa import SecurityAssociation
+
+
+@dataclass(frozen=True)
+class EspPacket:
+    """A sealed ESP packet.
+
+    The sequence number rides outside the ciphertext (as in real ESP) so
+    the receiver can run the anti-replay check before decrypting.
+    """
+
+    spi: int
+    seq: int
+    ciphertext: bytes
+    icv: bytes
+
+    def __repr__(self) -> str:
+        return f"esp(spi={self.spi:#x}, seq={self.seq})"
+
+
+def _auth_data(spi: int, seq: int, ciphertext: bytes) -> bytes:
+    return spi.to_bytes(8, "big") + encode_seq(seq) + ciphertext
+
+
+def esp_seal(sa: SecurityAssociation, seq: int, payload: bytes) -> EspPacket:
+    """Encrypt and authenticate ``payload`` as sequence number ``seq``."""
+    nonce = encode_seq(seq)
+    ciphertext = xor_stream(sa.enc_key, payload, nonce=nonce)
+    icv = hmac_digest(sa.auth_key, _auth_data(sa.spi, seq, ciphertext))
+    return EspPacket(spi=sa.spi, seq=seq, ciphertext=ciphertext, icv=icv)
+
+
+def esp_open(sa: SecurityAssociation, packet: EspPacket) -> bytes:
+    """Verify and decrypt; raises :class:`IntegrityError` on any mismatch.
+
+    SPI mismatch is an integrity failure too: a packet for another SA must
+    never decrypt under this one.
+    """
+    if packet.spi != sa.spi:
+        raise IntegrityError(
+            f"SPI mismatch: packet {packet.spi:#x} vs SA {sa.spi:#x}"
+        )
+    if not hmac_verify(
+        sa.auth_key, _auth_data(packet.spi, packet.seq, packet.ciphertext), packet.icv
+    ):
+        raise IntegrityError(f"bad ICV on {packet!r} (wrong or rekeyed SA)")
+    return xor_stream(sa.enc_key, packet.ciphertext, nonce=encode_seq(packet.seq))

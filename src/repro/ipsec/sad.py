@@ -1,0 +1,79 @@
+"""The Security Association Database (SAD) of RFC 2401.
+
+Inbound IPsec processing looks an SA up by ``(spi, destination)``; outbound
+processing by ``(src, dst)``.  The database also supports bulk deletion for
+a peer — the operation the IETF reset remedy performs ("the entire IPsec SA
+should be deleted and reestablished once the reset is detected"), whose
+cost E7 measures when a host holds many SAs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.ipsec.sa import SecurityAssociation
+
+
+class SecurityAssociationDatabase:
+    """An in-memory SAD with the lookups IPsec processing needs."""
+
+    def __init__(self) -> None:
+        self._by_spi: dict[tuple[int, str], SecurityAssociation] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_spi)
+
+    def __iter__(self) -> Iterator[SecurityAssociation]:
+        return iter(list(self._by_spi.values()))
+
+    def add(self, sa: SecurityAssociation) -> None:
+        """Insert an SA; replacing a live (spi, dst) binding is an error."""
+        key = (sa.spi, sa.dst)
+        if key in self._by_spi:
+            raise ValueError(f"SA with spi={sa.spi:#x} dst={sa.dst!r} already exists")
+        self._by_spi[key] = sa
+
+    def lookup_inbound(self, spi: int, dst: str) -> SecurityAssociation | None:
+        """Inbound lookup by (SPI, destination); ``None`` if absent."""
+        return self._by_spi.get((spi, dst))
+
+    def lookup_outbound(self, src: str, dst: str) -> SecurityAssociation | None:
+        """Outbound lookup: the newest-generation SA from ``src`` to ``dst``."""
+        best: SecurityAssociation | None = None
+        for sa in self._by_spi.values():
+            if sa.src == src and sa.dst == dst:
+                if best is None or sa.generation > best.generation:
+                    best = sa
+        return best
+
+    def remove(self, sa: SecurityAssociation) -> bool:
+        """Delete one SA; returns whether it was present."""
+        return self._by_spi.pop((sa.spi, sa.dst), None) is not None
+
+    def remove_peer(self, host_a: str, host_b: str) -> int:
+        """Delete every SA between two hosts (either direction).
+
+        This is the IETF remedy's bulk teardown; returns how many SAs were
+        dropped (each must then be renegotiated via IKE).
+        """
+        doomed = [
+            key
+            for key, sa in self._by_spi.items()
+            if {sa.src, sa.dst} == {host_a, host_b}
+        ]
+        for key in doomed:
+            del self._by_spi[key]
+        return len(doomed)
+
+    def sas_involving(self, host: str) -> list[SecurityAssociation]:
+        """Every SA in which ``host`` is the source or destination."""
+        return [
+            sa for sa in self._by_spi.values() if host in (sa.src, sa.dst)
+        ]
+
+    def expire(self, now: float) -> list[SecurityAssociation]:
+        """Remove and return SAs whose soft lifetime has elapsed."""
+        expired = [sa for sa in self._by_spi.values() if sa.expired(now)]
+        for sa in expired:
+            self.remove(sa)
+        return expired

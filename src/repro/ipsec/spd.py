@@ -1,0 +1,81 @@
+"""The Security Policy Database (SPD) of RFC 2401.
+
+Per RFC 2401 every packet is matched against an ordered policy list whose
+actions are PROTECT (apply IPsec), BYPASS (send in the clear) or DISCARD.
+The simulation uses the SPD to decide which host pairs run the anti-replay
+protocol; the reproduction keeps selectors simple (host names and a
+protocol label, with ``"*"`` wildcards) since port-level granularity adds
+nothing to the paper's experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PolicyAction(enum.Enum):
+    """What the SPD tells IPsec to do with a matching packet."""
+
+    PROTECT = "protect"
+    BYPASS = "bypass"
+    DISCARD = "discard"
+
+
+@dataclass(frozen=True)
+class SpdEntry:
+    """One ordered SPD rule.
+
+    Attributes:
+        src: source selector (host name or ``"*"``).
+        dst: destination selector (host name or ``"*"``).
+        protocol: protocol selector (e.g. ``"esp"``, ``"any"``, ``"*"``).
+        action: what to do on match.
+    """
+
+    src: str
+    dst: str
+    protocol: str
+    action: PolicyAction
+
+    def matches(self, src: str, dst: str, protocol: str) -> bool:
+        """Whether this entry's selectors cover the given packet."""
+        return (
+            self.src in ("*", src)
+            and self.dst in ("*", dst)
+            and self.protocol in ("*", "any", protocol)
+        )
+
+
+class SecurityPolicyDatabase:
+    """An ordered list of :class:`SpdEntry`, first match wins."""
+
+    def __init__(self, default_action: PolicyAction = PolicyAction.DISCARD) -> None:
+        self.default_action = default_action
+        self._entries: list[SpdEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, entry: SpdEntry) -> None:
+        """Append a rule at the end of the ordered list."""
+        self._entries.append(entry)
+
+    def add_rule(
+        self, src: str, dst: str, protocol: str, action: PolicyAction
+    ) -> SpdEntry:
+        """Convenience: build and append a rule, returning it."""
+        entry = SpdEntry(src=src, dst=dst, protocol=protocol, action=action)
+        self.add(entry)
+        return entry
+
+    def match(self, src: str, dst: str, protocol: str = "any") -> PolicyAction:
+        """First-match policy decision (``default_action`` if none match)."""
+        for entry in self._entries:
+            if entry.matches(src, dst, protocol):
+                return entry.action
+        return self.default_action
+
+    def entries(self) -> list[SpdEntry]:
+        """The ordered rule list (copy)."""
+        return list(self._entries)

@@ -1,0 +1,190 @@
+"""The replay adversary of Section 3.
+
+The paper's threat model: "At any instant, an adversary can insert in the
+message stream from p to q a copy of any message t that was sent earlier by
+p."  The adversary cannot forge messages (integrity is protected by the
+SA's keys) — it can only *record and replay*.
+
+:class:`ReplayAdversary` taps a link to record every legitimately sent
+packet, then mounts the concrete attacks the paper describes:
+
+* :meth:`replay_history` — Section 3, receiver-reset attack: "an adversary
+  can replay in order all the messages with sequence numbers within the
+  range from 1 to x".
+* :meth:`replay_max` — Section 3, dual-reset attack: replay the message
+  with the *largest* recorded sequence number to force q to shift its
+  window past the sender's current counter ("forces q to shift the right
+  edge of its anti-replay window to z").
+* :meth:`replay_range` — gap-targeted: replay exactly the messages whose
+  sequence numbers fall in the save gap ``(fetched, last_used]``, the
+  window the leap number must cover.
+* :meth:`replay_random` — background replay noise.
+
+Every injection goes through :meth:`Link.inject`, so replays experience the
+same loss and delay as legitimate traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.sim.process import SimProcess
+from repro.util.rng import make_rng
+from repro.util.validation import check_non_negative, check_positive
+
+
+def _default_seq_of(packet: Any) -> int | None:
+    """Extract a sequence number from common packet shapes."""
+    seq = getattr(packet, "seq", None)
+    return seq if isinstance(seq, int) else None
+
+
+class ReplayAdversary(SimProcess):
+    """An on-path attacker that records and replays link traffic.
+
+    Args:
+        engine: the simulation engine.
+        link: the link to tap and inject into.
+        name: trace name (default ``"adversary"``).
+        seq_of: callable extracting a packet's sequence number (used by the
+            targeted strategies); defaults to reading ``packet.seq``.
+        seed: RNG seed for the randomised strategies.
+
+    Attributes:
+        recorded: every (time, packet) pair observed on the tapped link,
+            in transmission order.  Replayed copies are not re-recorded.
+        injections: number of packets this adversary has inserted.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        link: Link,
+        name: str = "adversary",
+        seq_of: Callable[[Any], int | None] = _default_seq_of,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(engine, name)
+        self.link = link
+        self.seq_of = seq_of
+        self.recorded: list[tuple[float, Any]] = []
+        self.injections = 0
+        self._rng = make_rng(seed)
+        link.add_tap(self._observe)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _observe(self, time: float, packet: Any, injected: bool) -> None:
+        if injected:
+            return  # do not re-record our own (or another attacker's) insertions
+        self.recorded.append((time, packet))
+
+    @property
+    def recorded_packets(self) -> list[Any]:
+        """All recorded packets, in transmission order."""
+        return [packet for _, packet in self.recorded]
+
+    def highest_seq_packet(self) -> Any | None:
+        """The recorded packet with the largest sequence number, if any."""
+        best = None
+        best_seq: int | None = None
+        for _, packet in self.recorded:
+            seq = self.seq_of(packet)
+            if seq is None:
+                continue
+            if best_seq is None or seq > best_seq:
+                best, best_seq = packet, seq
+        return best
+
+    # ------------------------------------------------------------------
+    # Injection primitives
+    # ------------------------------------------------------------------
+    def inject_now(self, packet: Any) -> None:
+        """Insert one recorded packet into the stream immediately."""
+        self.injections += 1
+        self.trace("inject", packet=repr(packet))
+        self.link.inject(packet)
+
+    def _inject_sequence(self, packets: list[Any], rate: float, start_delay: float) -> int:
+        """Schedule ``packets`` for injection at ``rate`` packets/second."""
+        check_positive("rate", rate)
+        check_non_negative("start_delay", start_delay)
+        gap = 1.0 / rate
+        for index, packet in enumerate(packets):
+            self.engine.call_later(start_delay + index * gap, self.inject_now, packet)
+        return len(packets)
+
+    # ------------------------------------------------------------------
+    # Attack strategies (Section 3)
+    # ------------------------------------------------------------------
+    def replay_history(
+        self,
+        rate: float = 1e6,
+        start_delay: float = 0.0,
+        limit: int | None = None,
+    ) -> int:
+        """Replay the entire recorded history, in original order.
+
+        This is the receiver-reset attack: after q restarts with ``r = 0``,
+        "all these replayed messages will be unsuspectedly accepted by q".
+
+        Returns:
+            The number of injections scheduled.
+        """
+        packets = self.recorded_packets
+        if limit is not None:
+            packets = packets[:limit]
+        return self._inject_sequence(packets, rate, start_delay)
+
+    def replay_max(self, start_delay: float = 0.0) -> int:
+        """Replay the recorded packet with the highest sequence number.
+
+        This is the dual-reset window-jump attack: forcing q's right edge
+        to a value z above the sender's restarted counter desynchronises
+        the unprotected protocol permanently.
+
+        Returns:
+            1 if a packet was scheduled, 0 if nothing has been recorded.
+        """
+        packet = self.highest_seq_packet()
+        if packet is None:
+            return 0
+        self.engine.call_later(start_delay, self.inject_now, packet)
+        return 1
+
+    def replay_range(
+        self,
+        lo: int,
+        hi: int,
+        rate: float = 1e6,
+        start_delay: float = 0.0,
+    ) -> int:
+        """Replay every recorded packet with sequence number in ``[lo, hi]``.
+
+        Gap-targeted attack: aimed at the sequence numbers between the
+        fetched checkpoint and the last counter value used before a reset —
+        exactly the numbers the ``2K`` leap must render unusable.
+        """
+        packets = [
+            packet
+            for _, packet in self.recorded
+            if (seq := self.seq_of(packet)) is not None and lo <= seq <= hi
+        ]
+        return self._inject_sequence(packets, rate, start_delay)
+
+    def replay_random(
+        self,
+        count: int,
+        rate: float = 1e6,
+        start_delay: float = 0.0,
+    ) -> int:
+        """Replay ``count`` uniformly chosen recorded packets (with repeats)."""
+        check_non_negative("count", count)
+        if not self.recorded or count == 0:
+            return 0
+        packets = [self._rng.choice(self.recorded)[1] for _ in range(count)]
+        return self._inject_sequence(packets, rate, start_delay)

@@ -1,0 +1,67 @@
+"""Per-packet delay models.
+
+A delay model samples the one-way latency of each packet.  On a link with
+``fifo=False`` (the default — IP does not guarantee ordering), independent
+per-packet jitter is what produces natural reordering.  For *controlled*
+reorder degrees, use :class:`repro.net.reorder.DegreeReorderStage` instead.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.util.validation import check_non_negative
+
+
+class DelayModel:
+    """Base class: samples a one-way delay per packet."""
+
+    def sample(self, rng: random.Random) -> float:
+        """Return the delay (seconds, >= 0) for the next packet."""
+        raise NotImplementedError
+
+
+class FixedDelay(DelayModel):
+    """Every packet takes exactly ``latency`` seconds (no reordering)."""
+
+    def __init__(self, latency: float = 0.0) -> None:
+        self.latency = check_non_negative("latency", latency)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.latency
+
+    def __repr__(self) -> str:
+        return f"FixedDelay({self.latency})"
+
+
+class UniformJitterDelay(DelayModel):
+    """Delay uniformly distributed in ``[base, base + jitter]``."""
+
+    def __init__(self, base: float, jitter: float) -> None:
+        self.base = check_non_negative("base", base)
+        self.jitter = check_non_negative("jitter", jitter)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.base + rng.random() * self.jitter
+
+    def __repr__(self) -> str:
+        return f"UniformJitterDelay(base={self.base}, jitter={self.jitter})"
+
+
+class ExponentialJitterDelay(DelayModel):
+    """Delay = ``base`` + Exp(mean=``mean_jitter``) — heavy-ish tail.
+
+    Approximates queueing delay; occasionally produces large reorders,
+    which is the regime Experiment E10 sweeps.
+    """
+
+    def __init__(self, base: float, mean_jitter: float) -> None:
+        self.base = check_non_negative("base", base)
+        self.mean_jitter = check_non_negative("mean_jitter", mean_jitter)
+
+    def sample(self, rng: random.Random) -> float:
+        jitter = rng.expovariate(1.0 / self.mean_jitter) if self.mean_jitter > 0 else 0.0
+        return self.base + jitter
+
+    def __repr__(self) -> str:
+        return f"ExponentialJitterDelay(base={self.base}, mean_jitter={self.mean_jitter})"

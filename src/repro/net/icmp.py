@@ -1,0 +1,44 @@
+"""Minimal ICMP substrate (RFC 792 subset).
+
+Section 6 of the paper relies on one ICMP behaviour: "after one host in an
+IPsec communication detects the unavailability of its peer by receiving the
+ICMP undeliverable message, this host keeps the SAs alive for a certain
+period of time".  We model exactly the destination-unreachable message plus
+an optional echo pair used by heartbeat-style dead-peer detection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Type of a callable that consumes ICMP messages.
+IcmpSink = Callable[["IcmpMessage"], None]
+
+
+class IcmpType(enum.Enum):
+    """The ICMP message types the simulation uses."""
+
+    DESTINATION_UNREACHABLE = 3
+    ECHO_REQUEST = 8
+    ECHO_REPLY = 0
+
+
+@dataclass(frozen=True)
+class IcmpMessage:
+    """An ICMP notification.
+
+    Attributes:
+        icmp_type: which ICMP message this is.
+        about: for DESTINATION_UNREACHABLE, the undeliverable packet; for
+            echo messages, an opaque probe token.
+        time: simulated time the message was generated.
+    """
+
+    icmp_type: IcmpType
+    about: Any
+    time: float
+
+    def __repr__(self) -> str:
+        return f"icmp({self.icmp_type.name}, about={self.about!r})"

@@ -1,0 +1,148 @@
+"""Unidirectional simulated links.
+
+A :class:`Link` accepts packets via :meth:`Link.send`, applies its loss
+model, samples a delay, and schedules delivery to its *sink* (any callable
+taking the packet).  Optional pieces:
+
+* **taps** observe every offered packet — this is how the
+  :class:`~repro.net.adversary.ReplayAdversary` records traffic without
+  the protocol knowing.
+* **availability**: a callable reporting whether the destination host is
+  currently up; packets offered while it is down are dropped and, if an
+  ``icmp_sink`` is configured, converted into ICMP destination-unreachable
+  notifications back toward the source (used by Section 6 recovery and by
+  dead-peer detection).
+* **fifo=True** forces in-order delivery (delivery time is clamped to be
+  monotone), modelling the paper's "no message reorder occurs" hypothesis
+  in claim (i).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+from repro.net.delay import DelayModel, FixedDelay
+from repro.net.icmp import IcmpMessage, IcmpType
+from repro.net.loss import LossModel, NoLoss
+from repro.sim.engine import Engine
+from repro.sim.process import SimProcess
+from repro.util.rng import make_rng
+
+#: A tap receives ``(time, packet, injected)`` for every packet offered to
+#: the link; ``injected`` is True for adversary insertions.
+TapFn = Callable[[float, Any, bool], None]
+
+
+class PacketPipe(Protocol):
+    """Anything that accepts packets via ``send`` (links, reorder stages)."""
+
+    def send(self, packet: Any) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Link(SimProcess):
+    """A unidirectional lossy, delaying link from one host to another.
+
+    Args:
+        engine: the simulation engine.
+        name: trace name, conventionally ``"link:p->q"``.
+        sink: callable invoked with each delivered packet.
+        delay: per-packet delay model (default: zero-latency).
+        loss: packet loss model (default: reliable).
+        seed: RNG seed or generator for loss/delay draws.
+        fifo: if True, delivery order equals send order regardless of the
+            delay model (delivery times are clamped to be monotone).
+        availability: optional callable; when it returns False the
+            destination is down and offered packets are undeliverable.
+        icmp_sink: optional callable receiving :class:`IcmpMessage` when a
+            packet is undeliverable.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        sink: Callable[[Any], None],
+        delay: DelayModel | None = None,
+        loss: LossModel | None = None,
+        seed: int | None = None,
+        fifo: bool = False,
+        availability: Callable[[], bool] | None = None,
+        icmp_sink: Callable[[IcmpMessage], None] | None = None,
+    ) -> None:
+        super().__init__(engine, name)
+        self.sink = sink
+        self.delay = delay if delay is not None else FixedDelay(0.0)
+        self.loss = loss if loss is not None else NoLoss()
+        self.fifo = fifo
+        self.availability = availability
+        self.icmp_sink = icmp_sink
+        self._rng = make_rng(seed)
+        self._taps: list[TapFn] = []
+        self._last_delivery_time = 0.0
+        # Statistics (monotonic; experiments read these).
+        self.offered = 0
+        self.dropped = 0
+        self.delivered = 0
+        self.undeliverable = 0
+        self.injected = 0
+
+    # ------------------------------------------------------------------
+    # Taps
+    # ------------------------------------------------------------------
+    def add_tap(self, tap: TapFn) -> None:
+        """Register a tap; it sees every packet offered to the link."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: TapFn) -> None:
+        """Unregister a tap previously added with :meth:`add_tap`."""
+        self._taps.remove(tap)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, packet: Any) -> None:
+        """Offer a packet from the legitimate sender."""
+        self._transmit(packet, injected=False)
+
+    def inject(self, packet: Any) -> None:
+        """Offer a packet inserted by an adversary.
+
+        Injected packets traverse the same loss/delay path as legitimate
+        ones (the adversary is on-path, not omnipotent), but are flagged in
+        traces and not re-recorded by taps that ignore injections.
+        """
+        self.injected += 1
+        self._transmit(packet, injected=True)
+
+    def _transmit(self, packet: Any, injected: bool) -> None:
+        self.offered += 1
+        for tap in self._taps:
+            tap(self.now, packet, injected)
+        if self.loss.should_drop(self._rng):
+            self.dropped += 1
+            self.trace("drop", packet=repr(packet), injected=injected)
+            return
+        delay = self.delay.sample(self._rng)
+        delivery_time = self.now + delay
+        if self.fifo and delivery_time < self._last_delivery_time:
+            delivery_time = self._last_delivery_time
+        self._last_delivery_time = max(self._last_delivery_time, delivery_time)
+        self.engine.call_at(delivery_time, self._deliver, packet, injected)
+
+    def _deliver(self, packet: Any, injected: bool) -> None:
+        if self.availability is not None and not self.availability():
+            self.undeliverable += 1
+            self.trace("unreachable", packet=repr(packet), injected=injected)
+            if self.icmp_sink is not None:
+                self.icmp_sink(
+                    IcmpMessage(
+                        icmp_type=IcmpType.DESTINATION_UNREACHABLE,
+                        about=packet,
+                        time=self.now,
+                    )
+                )
+            return
+        self.delivered += 1
+        self.trace("deliver", packet=repr(packet), injected=injected)
+        self.sink(packet)

@@ -1,0 +1,123 @@
+"""Packet-loss models.
+
+A loss model answers one question per packet: drop it or not.  Models are
+stateful where the model demands it (Gilbert-Elliott), and every stochastic
+decision draws from the :class:`random.Random` handed in by the link, never
+from global state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.util.validation import check_probability
+
+
+class LossModel:
+    """Base class: decides, per packet, whether the link drops it."""
+
+    def should_drop(self, rng: random.Random) -> bool:
+        """Return ``True`` if the next packet should be dropped."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset internal state (for models that have any)."""
+
+
+class NoLoss(LossModel):
+    """A perfectly reliable link."""
+
+    def should_drop(self, rng: random.Random) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Independent per-packet loss with probability ``p``."""
+
+    def __init__(self, p: float) -> None:
+        self.p = check_probability("p", p)
+
+    def should_drop(self, rng: random.Random) -> bool:
+        return rng.random() < self.p
+
+    def __repr__(self) -> str:
+        return f"BernoulliLoss(p={self.p})"
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state bursty loss (Gilbert-Elliott channel).
+
+    The channel alternates between a GOOD and a BAD state with given
+    transition probabilities evaluated per packet; each state has its own
+    loss probability.  This produces correlated loss bursts, the regime in
+    which a receiver reset overlapping a loss burst stresses the
+    window-resynchronisation logic hardest.
+
+    Args:
+        p_good_to_bad: probability of moving GOOD -> BAD before a packet.
+        p_bad_to_good: probability of moving BAD -> GOOD before a packet.
+        loss_good: drop probability while GOOD (often 0).
+        loss_bad: drop probability while BAD (often near 1).
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> None:
+        self.p_good_to_bad = check_probability("p_good_to_bad", p_good_to_bad)
+        self.p_bad_to_good = check_probability("p_bad_to_good", p_bad_to_good)
+        self.loss_good = check_probability("loss_good", loss_good)
+        self.loss_bad = check_probability("loss_bad", loss_bad)
+        self._in_bad_state = False
+
+    @property
+    def in_bad_state(self) -> bool:
+        """Whether the channel is currently in the BAD (bursty-loss) state."""
+        return self._in_bad_state
+
+    def should_drop(self, rng: random.Random) -> bool:
+        if self._in_bad_state:
+            if rng.random() < self.p_bad_to_good:
+                self._in_bad_state = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self._in_bad_state = True
+        loss_p = self.loss_bad if self._in_bad_state else self.loss_good
+        return rng.random() < loss_p
+
+    def reset(self) -> None:
+        self._in_bad_state = False
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottLoss(g2b={self.p_good_to_bad}, b2g={self.p_bad_to_good}, "
+            f"lg={self.loss_good}, lb={self.loss_bad})"
+        )
+
+
+class DeterministicLoss(LossModel):
+    """Drop exactly the packets whose (0-based) index is in ``drop_indices``.
+
+    Used by tests and by experiments that need a *specific* loss pattern
+    (e.g. "lose exactly the first fresh message after the receiver wakes").
+    """
+
+    def __init__(self, drop_indices: Iterable[int]) -> None:
+        self.drop_indices = frozenset(int(i) for i in drop_indices)
+        self._next_index = 0
+
+    def should_drop(self, rng: random.Random) -> bool:
+        index = self._next_index
+        self._next_index += 1
+        return index in self.drop_indices
+
+    def reset(self) -> None:
+        self._next_index = 0
+
+    def __repr__(self) -> str:
+        shown = sorted(self.drop_indices)[:8]
+        return f"DeterministicLoss({shown}{'...' if len(self.drop_indices) > 8 else ''})"

@@ -1,0 +1,54 @@
+"""The plain protocol message ``msg(s)`` of the paper.
+
+The anti-replay protocol of Section 2 exchanges messages that carry only a
+sequence number; real IPsec packets (with SPI, ICV, payload) live in
+:mod:`repro.ipsec.esp`.  :class:`Message` is frozen so that an adversary's
+recorded copy is byte-for-byte the original — replaying cannot accidentally
+mutate anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application message ``msg(seq)`` from sender to receiver.
+
+    Attributes:
+        seq: the sequence number attached by the sender.
+        payload: opaque application payload (defaults to ``b""``).
+        sent_at: simulated time of the *original* transmission.  A replayed
+            copy keeps the original ``sent_at``, which is how traces
+            distinguish fresh deliveries from replays post hoc.
+        meta: free-form annotations (never interpreted by protocol logic;
+            used by experiments, e.g. ``{"epoch": 0}`` to mark pre-reset
+            traffic).
+    """
+
+    seq: int
+    payload: bytes = b""
+    sent_at: float = 0.0
+    meta: tuple[tuple[str, Any], ...] = field(default=())
+
+    def with_meta(self, **annotations: Any) -> "Message":
+        """Return a copy with extra ``meta`` annotations appended."""
+        return Message(
+            seq=self.seq,
+            payload=self.payload,
+            sent_at=self.sent_at,
+            meta=self.meta + tuple(sorted(annotations.items())),
+        )
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        """Look up a ``meta`` annotation (last write wins)."""
+        value = default
+        for meta_key, meta_value in self.meta:
+            if meta_key == key:
+                value = meta_value
+        return value
+
+    def __repr__(self) -> str:
+        return f"msg({self.seq})"

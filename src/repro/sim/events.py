@@ -1,0 +1,111 @@
+"""Scheduled events and the event queue.
+
+Events are ordered by ``(time, priority, sequence)``.  ``priority`` breaks
+ties between events scheduled for the same instant (lower runs first), and
+``sequence`` (a monotonically increasing insertion counter) guarantees FIFO
+order among equal-priority simultaneous events — the property that makes
+simulation runs reproducible.
+
+Cancellation is lazy: :meth:`Event.cancel` marks the event and the queue
+skips cancelled entries on pop, which keeps cancellation O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for bookkeeping that must run before normal events at the same time.
+PRIORITY_EARLY = -10
+#: Priority for bookkeeping that must run after normal events at the same time.
+PRIORITY_LATE = 10
+
+
+@dataclass(order=True)
+class Event:
+    """A cancellable callback scheduled at a simulated time.
+
+    Instances are created by :class:`EventQueue.push` /
+    :meth:`repro.sim.engine.Engine.call_at`; user code normally only keeps
+    them around to call :meth:`cancel`.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (the engine calls this; not user code)."""
+        self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.9f} prio={self.priority} {name}{state}>"
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at ``time`` and return the event."""
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+            args=args,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises:
+            IndexError: if the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> float | None:
+        """Return the time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

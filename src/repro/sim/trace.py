@@ -1,0 +1,108 @@
+"""Structured simulation tracing.
+
+Every interesting occurrence (a send, a delivery, a discard, a reset, a
+SAVE commit, an adversary injection, ...) can be recorded as a
+:class:`TraceRecord`.  Experiments and tests then query the recorder
+instead of scraping printed output.
+
+Recording is cheap (an append) and can be disabled wholesale for
+throughput benchmarks via :attr:`TraceRecorder.enabled`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes:
+        time: simulated time of the occurrence.
+        source: name of the component that recorded it (e.g. ``"p"``,
+            ``"q"``, ``"link:p->q"``, ``"adversary"``).
+        kind: machine-readable event kind (e.g. ``"send"``, ``"deliver"``,
+            ``"discard"``, ``"reset"``, ``"save_commit"``).
+        detail: free-form payload (sequence numbers, verdicts, ...).
+    """
+
+    time: float
+    source: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v!r}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:.9f}] {self.source} {self.kind} {parts}".rstrip()
+
+
+class TraceRecorder:
+    """An append-only log of :class:`TraceRecord` objects with query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+
+    def record(
+        self,
+        time: float,
+        source: str,
+        kind: str,
+        **detail: Any,
+    ) -> None:
+        """Append a record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time=time, source=source, kind=kind, detail=detail))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The full record list (do not mutate)."""
+        return self._records
+
+    def filter(
+        self,
+        source: str | None = None,
+        kind: str | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Return records matching all given criteria."""
+        out = []
+        for record in self._records:
+            if source is not None and record.source != source:
+                continue
+            if kind is not None and record.kind != kind:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def count(self, source: str | None = None, kind: str | None = None) -> int:
+        """Count records matching the criteria."""
+        return len(self.filter(source=source, kind=kind))
+
+    def last(self, source: str | None = None, kind: str | None = None) -> TraceRecord | None:
+        """Return the most recent matching record, or ``None``."""
+        matches = self.filter(source=source, kind=kind)
+        return matches[-1] if matches else None
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()
+
+    def render(self, limit: int | None = None) -> str:
+        """Render the trace (optionally only the last ``limit`` records)."""
+        records = self._records if limit is None else self._records[-limit:]
+        return "\n".join(str(record) for record in records)

@@ -1,0 +1,33 @@
+"""Time units for the discrete-event simulation.
+
+Simulated time is a ``float`` number of **seconds**.  These constants and
+constructors exist so that scenario code reads naturally::
+
+    engine.call_at(milliseconds(5), wake_up)
+    T_SAVE = microseconds(100)   # the paper's write-to-file cost
+
+The paper's measured constants (Pentium III 730 MHz, Linux 2.4.18) are
+``T_save = 100 us`` and ``T_send = 4 us``; see
+:mod:`repro.ipsec.costs`.
+"""
+
+from __future__ import annotations
+
+SECOND: float = 1.0
+MILLISECOND: float = 1e-3
+MICROSECOND: float = 1e-6
+
+
+def seconds(value: float) -> float:
+    """Return ``value`` seconds as simulation time."""
+    return float(value) * SECOND
+
+
+def milliseconds(value: float) -> float:
+    """Return ``value`` milliseconds as simulation time."""
+    return float(value) * MILLISECOND
+
+
+def microseconds(value: float) -> float:
+    """Return ``value`` microseconds as simulation time."""
+    return float(value) * MICROSECOND

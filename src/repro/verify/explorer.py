@@ -1,0 +1,124 @@
+"""Breadth-first exhaustive state-space exploration.
+
+Plain explicit-state model checking: a frontier queue, a visited set of
+canonical states, invariant evaluation per state, and parent pointers so a
+violation can be reported as a minimal-length counterexample trace (BFS
+order guarantees minimality in steps).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.apn.core import ApnSystem, State, canon
+
+
+@dataclass
+class Violation:
+    """One invariant violation with its shortest witness trace."""
+
+    error: str
+    state: State
+    trace: list[str]  # action labels from the initial state
+
+    def __str__(self) -> str:
+        steps = " -> ".join(self.trace) if self.trace else "(initial state)"
+        return f"{self.error}\n  via: {steps}"
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exhaustive exploration."""
+
+    states_explored: int
+    transitions_explored: int
+    violations: list[Violation] = field(default_factory=list)
+    truncated: bool = False  # hit max_states before exhausting the space
+
+    @property
+    def ok(self) -> bool:
+        """No invariant violated anywhere reachable (and not truncated)."""
+        return not self.violations and not self.truncated
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else ("TRUNCATED" if self.truncated else "VIOLATED")
+        lines = [
+            f"{status}: {self.states_explored} states, "
+            f"{self.transitions_explored} transitions"
+        ]
+        lines.extend(str(v) for v in self.violations[:5])
+        return "\n".join(lines)
+
+
+class StateExplorer:
+    """Exhaustive BFS over an :class:`ApnSystem`'s reachable states.
+
+    Args:
+        system: the APN system to explore.
+        max_states: safety valve; exploration stops (and reports
+            ``truncated``) after visiting this many states.
+        stop_at_first_violation: return as soon as one violation is found
+            (with its shortest trace) instead of collecting all of them.
+    """
+
+    def __init__(
+        self,
+        system: ApnSystem,
+        max_states: int = 2_000_000,
+        stop_at_first_violation: bool = True,
+    ) -> None:
+        self.system = system
+        self.max_states = max_states
+        self.stop_at_first_violation = stop_at_first_violation
+
+    def explore(self) -> ExplorationResult:
+        """Run the exhaustive search; see :class:`ExplorationResult`."""
+        initial = dict(self.system.initial)
+        initial_key = canon(initial)
+        visited: set = {initial_key}
+        # parent[state_key] = (parent_key, label) for counterexample replay.
+        parent: dict = {initial_key: None}
+        frontier: deque = deque([initial])
+        result = ExplorationResult(states_explored=0, transitions_explored=0)
+
+        def trace_to(key) -> list[str]:
+            labels: list[str] = []
+            while parent[key] is not None:
+                key, label = parent[key][0], parent[key][1]
+                labels.append(label)
+            labels.reverse()
+            return labels
+
+        def check(state: State, key) -> bool:
+            """Record violations; returns True if exploration should stop."""
+            for error in self.system.check_invariants(state):
+                result.violations.append(
+                    Violation(error=error, state=state, trace=trace_to(key))
+                )
+                if self.stop_at_first_violation:
+                    return True
+            return False
+
+        if check(initial, initial_key):
+            result.states_explored = 1
+            return result
+
+        while frontier:
+            state = frontier.popleft()
+            state_key = canon(state)
+            result.states_explored += 1
+            if result.states_explored > self.max_states:
+                result.truncated = True
+                break
+            for transition in self.system.successors(state):
+                result.transitions_explored += 1
+                next_key = canon(transition.state)
+                if next_key in visited:
+                    continue
+                visited.add(next_key)
+                parent[next_key] = (state_key, transition.label)
+                if check(transition.state, next_key):
+                    return result
+                frontier.append(transition.state)
+        return result

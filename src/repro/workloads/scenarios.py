@@ -1,0 +1,188 @@
+"""Named end-to-end scenarios composed from the protocol harness.
+
+Each scenario runs one complete fault story and returns a
+:class:`ScenarioResult` bundling the harness (for deeper inspection) with
+the scored :class:`~repro.core.convergence.ConvergenceReport`.  The
+experiment modules in :mod:`repro.experiments` sweep these over parameter
+grids; tests pin individual cases.
+
+All scenarios are deterministic given their arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.convergence import ConvergenceReport
+from repro.core.protocol import ProtocolHarness, build_protocol
+from repro.core.reset import reset_at_count
+from repro.ipsec.costs import CostModel, PAPER_COSTS
+
+
+@dataclass
+class ScenarioResult:
+    """A finished scenario: the harness plus its scored report."""
+
+    harness: ProtocolHarness
+    report: ConvergenceReport
+
+
+def _run_to_completion(harness: ProtocolHarness, horizon: float) -> None:
+    harness.engine.run(until=horizon)
+    if harness.reorder_stage is not None:
+        harness.reorder_stage.flush()
+        harness.engine.run(until=horizon)
+
+
+def run_sender_reset_scenario(
+    protected: bool = True,
+    k: int = 25,
+    w: int = 64,
+    reset_after_sends: int = 500,
+    messages_after_reset: int = 500,
+    down_time: float | None = None,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    leap_factor: int = 2,
+    skip_wake_save: bool = False,
+) -> ScenarioResult:
+    """Claim (i) scenario: steady traffic, one sender reset, more traffic.
+
+    The channel is in-order and lossless (the claim's hypothesis).  The
+    reset lands immediately after the ``reset_after_sends``-th
+    transmission; the sweep over that count is what traces Fig. 1, since
+    it moves the reset across the SAVE cycle.
+    """
+    harness = build_protocol(
+        protected=protected,
+        k_p=k,
+        k_q=k,
+        w=w,
+        costs=costs,
+        seed=seed,
+        leap_factor=leap_factor,
+        skip_wake_save=skip_wake_save,
+    )
+    if down_time is None:
+        down_time = 2 * costs.t_save
+    reset_at_count(harness.sender, reset_after_sends, down_for=down_time)
+    total_attempts = reset_after_sends + messages_after_reset
+    # Generous attempt budget: attempts during down/recovery are suppressed.
+    slack = int(2 * down_time / costs.t_send) + 10 * k
+    harness.sender.start_traffic(count=total_attempts + slack)
+    horizon = (total_attempts + slack + 10) * costs.t_send + 10 * costs.t_save
+    _run_to_completion(harness, horizon)
+    return ScenarioResult(harness=harness, report=harness.score())
+
+
+def run_receiver_reset_scenario(
+    protected: bool = True,
+    k: int = 25,
+    w: int = 64,
+    reset_after_receives: int = 500,
+    messages_after_reset: int = 500,
+    down_time: float | None = None,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    leap_factor: int = 2,
+    replay_history_after: bool = False,
+) -> ScenarioResult:
+    """Claim (ii) scenario: steady traffic, one receiver reset.
+
+    With ``replay_history_after`` the Section 3 adversary replays the
+    entire recorded history right after the receiver wakes — accepted
+    wholesale by the unprotected receiver, rejected entirely by the
+    SAVE/FETCH one.
+    """
+    harness = build_protocol(
+        protected=protected,
+        k_p=k,
+        k_q=k,
+        w=w,
+        costs=costs,
+        seed=seed,
+        leap_factor=leap_factor,
+        with_adversary=True,
+    )
+    if down_time is None:
+        down_time = 2 * costs.t_save
+    reset_at_count(harness.receiver, reset_after_receives, down_for=down_time)
+
+    # Fire the replay as soon as the receiver is back up (its window is
+    # at its most vulnerable then).
+    if replay_history_after:
+        def on_wake_replay() -> None:
+            assert harness.adversary is not None
+            harness.adversary.replay_history(rate=1.0 / costs.t_recv)
+
+        harness.receiver.add_resume_listener(on_wake_replay)
+
+    # The sender is never suppressed by a *receiver* reset, so no slack:
+    # exactly the messages lost to the downtime stay lost (they are
+    # "never arrived", outside claim (ii)'s scope), and with
+    # ``messages_after_reset=0`` the channel is quiet when the replay
+    # lands — the Section 3 attack conditions.
+    total_attempts = reset_after_receives + messages_after_reset
+    harness.sender.start_traffic(count=total_attempts)
+    horizon = (total_attempts + 10) * costs.t_send + down_time + 10 * costs.t_save
+    replay_budget = (total_attempts + 10) * costs.t_recv
+    _run_to_completion(harness, horizon + replay_budget)
+    return ScenarioResult(harness=harness, report=harness.score())
+
+
+def run_dual_reset_scenario(
+    protected: bool = True,
+    k: int = 25,
+    w: int = 64,
+    reset_after_sends: int = 500,
+    stagger: float = 0.0,
+    messages_after_reset: int = 500,
+    down_time: float | None = None,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    window_jump_attack: bool = True,
+) -> ScenarioResult:
+    """Section 5's third case: both p and q reset (optionally staggered).
+
+    With ``window_jump_attack`` the adversary replays the
+    highest-sequence recorded message right after q wakes — the Section 3
+    attack that permanently desynchronises the unprotected pair by
+    shifting q's right edge above p's restarted counter.
+    """
+    harness = build_protocol(
+        protected=protected,
+        k_p=k,
+        k_q=k,
+        w=w,
+        costs=costs,
+        seed=seed,
+        with_adversary=True,
+    )
+    if down_time is None:
+        down_time = 2 * costs.t_save
+
+    def dual_reset(sent_total: int, packet: object) -> None:
+        if sent_total == reset_after_sends:
+            harness.sender.reset(down_for=down_time)
+            if stagger == 0.0:
+                harness.receiver.reset(down_for=down_time)
+            else:
+                harness.engine.call_later(
+                    stagger, harness.receiver.reset, down_time
+                )
+
+    harness.sender.add_send_listener(dual_reset)
+
+    if window_jump_attack:
+        def on_wake_jump() -> None:
+            assert harness.adversary is not None
+            harness.adversary.replay_max()
+
+        harness.receiver.add_resume_listener(on_wake_jump)
+
+    total_attempts = reset_after_sends + messages_after_reset
+    slack = int(2 * (down_time + stagger) / costs.t_send) + 10 * k
+    harness.sender.start_traffic(count=total_attempts + slack)
+    horizon = (total_attempts + slack + 10) * costs.t_send + 10 * costs.t_save + stagger
+    _run_to_completion(harness, horizon)
+    return ScenarioResult(harness=harness, report=harness.score())

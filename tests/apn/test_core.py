@@ -1,0 +1,96 @@
+"""Tests for the APN guarded-command interpreter."""
+
+import pytest
+
+from repro.apn.core import ApnAction, ApnSystem, canon, run_random
+
+
+def counter_system(limit: int = 3, invariant_cap: int | None = None) -> ApnSystem:
+    actions = [
+        ApnAction(
+            "p",
+            "inc",
+            guard=lambda state: state["x"] < limit,
+            apply=lambda state: [{**state, "x": state["x"] + 1}],
+        )
+    ]
+    invariants = []
+    if invariant_cap is not None:
+        invariants.append(
+            lambda state: f"x too big: {state['x']}" if state["x"] > invariant_cap else None
+        )
+    return ApnSystem({"x": 0}, actions, invariants=invariants)
+
+
+class TestCanon:
+    def test_order_insensitive(self):
+        assert canon({"a": 1, "b": 2}) == canon({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert canon({"a": 1}) != canon({"a": 2})
+
+    def test_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            canon({"a": [1, 2]})
+
+
+class TestSystem:
+    def test_enabled_respects_guard(self):
+        system = counter_system(limit=1)
+        assert len(system.enabled({"x": 0})) == 1
+        assert system.enabled({"x": 1}) == []
+
+    def test_successors_enumerate_nondeterminism(self):
+        action = ApnAction(
+            "p",
+            "pick",
+            guard=lambda state: True,
+            apply=lambda state: [{**state, "x": v} for v in (1, 2, 3)],
+        )
+        system = ApnSystem({"x": 0}, [action])
+        successors = system.successors({"x": 0})
+        assert sorted(t.state["x"] for t in successors) == [1, 2, 3]
+        assert all(t.label == "p.pick" for t in successors)
+
+    def test_check_invariants(self):
+        system = counter_system(invariant_cap=1)
+        assert system.check_invariants({"x": 0}) == []
+        assert system.check_invariants({"x": 2}) == ["x too big: 2"]
+
+
+class TestRunRandom:
+    def test_runs_to_quiescence(self):
+        system = counter_system(limit=5)
+        state, trace, violations = run_random(system, steps=100, seed=0)
+        assert state["x"] == 5
+        assert len(trace) == 5
+        assert violations == []
+
+    def test_stops_on_violation(self):
+        system = counter_system(limit=5, invariant_cap=2)
+        state, trace, violations = run_random(system, steps=100, seed=0)
+        assert violations == ["x too big: 3"]
+        assert state["x"] == 3
+
+    def test_deterministic_under_seed(self):
+        action = ApnAction(
+            "p",
+            "flip",
+            guard=lambda state: state["n"] < 10,
+            apply=lambda state: [
+                {**state, "n": state["n"] + 1, "bits": state["bits"] + (b,)}
+                for b in (0, 1)
+            ],
+        )
+        system = ApnSystem({"n": 0, "bits": ()}, [action])
+
+        def bits(seed):
+            state, _, _ = run_random(system, steps=10, seed=seed)
+            return state["bits"]
+
+        assert bits(3) == bits(3)
+
+    def test_step_budget_respected(self):
+        system = counter_system(limit=1000)
+        state, trace, _ = run_random(system, steps=7, seed=0)
+        assert len(trace) == 7

@@ -1,0 +1,46 @@
+"""Tests for the APN pretty-printer."""
+
+from repro.apn.core import run_random
+from repro.apn.pretty import render_execution, render_state, render_system
+from repro.apn.specs import SpecConfig, make_savefetch_system, make_unprotected_system
+
+
+class TestRenderState:
+    def test_groups_by_process(self):
+        text = render_state({"p.s": 1, "q.r": 0, "chan": ()})
+        assert "p: s = 1" in text
+        assert "q: r = 0" in text
+        assert "(system): chan = ()" in text
+
+
+class TestRenderSystem:
+    def test_unprotected_inventory(self):
+        text = render_system(make_unprotected_system(SpecConfig()), "unprotected")
+        assert text.startswith("protocol unprotected")
+        assert "process p" in text and "process q" in text
+        assert "<send>" in text and "<recv>" in text
+        assert "<reset>" in text and "<wake>" in text
+        assert "initially:" in text
+
+    def test_savefetch_has_save_commit(self):
+        text = render_system(make_savefetch_system(SpecConfig()))
+        assert "<save_commit>" in text
+        assert "lst = 1" in text  # paper initial value for p
+
+
+class TestRenderExecution:
+    def test_trace_with_deltas(self):
+        config = SpecConfig(max_resets_p=0, max_resets_q=0, max_replays=0, max_seq=3)
+        system = make_unprotected_system(config)
+        _, trace, _ = run_random(system, steps=4, seed=0)
+        text = render_execution(system, trace)
+        assert "initial:" in text
+        assert "step 1:" in text
+        assert "->" in text  # at least one delta rendered
+
+    def test_limit(self):
+        config = SpecConfig(max_resets_p=0, max_resets_q=0, max_replays=0, max_seq=5)
+        system = make_unprotected_system(config)
+        _, trace, _ = run_random(system, steps=8, seed=0)
+        text = render_execution(system, trace, limit=2)
+        assert "more steps" in text

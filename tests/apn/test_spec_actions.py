@@ -1,0 +1,99 @@
+"""Direct tests of individual APN spec actions (guards and effects)."""
+
+from repro.apn.specs import SpecConfig, make_savefetch_system, make_unprotected_system
+
+
+def action_by_label(system, label):
+    for action in system.actions:
+        if action.label == label:
+            return action
+    raise KeyError(label)
+
+
+class TestChannelSemantics:
+    def test_capacity_blocks_send(self):
+        system = make_unprotected_system(SpecConfig(chan_cap=2))
+        state = dict(system.initial)
+        send = action_by_label(system, "p.send")
+        assert send.guard(state)
+        state["chan"] = (1, 2)
+        assert not send.guard(state)
+
+    def test_drop_action_present_only_with_loss(self):
+        lossless = make_unprotected_system(SpecConfig(with_loss=False))
+        lossy = make_unprotected_system(SpecConfig(with_loss=True))
+        labels_lossless = {action.label for action in lossless.actions}
+        labels_lossy = {action.label for action in lossy.actions}
+        assert "chan.drop" not in labels_lossless
+        assert "chan.drop" in labels_lossy
+
+    def test_drop_enumerates_distinct_messages(self):
+        system = make_unprotected_system(SpecConfig(with_loss=True))
+        drop = action_by_label(system, "chan.drop")
+        state = {**system.initial, "chan": (1, 2, 2)}
+        successors = drop.apply(state)
+        assert sorted(tuple(s["chan"]) for s in successors) == [(1, 2), (2, 2)]
+
+    def test_recv_branches_over_reorders(self):
+        system = make_unprotected_system(SpecConfig())
+        recv = action_by_label(system, "q.recv")
+        state = {**system.initial, "chan": (1, 2)}
+        successors = recv.apply(state)
+        assert len(successors) == 2  # either message can arrive first
+
+
+class TestAdversarySemantics:
+    def test_replay_requires_budget_and_history(self):
+        system = make_unprotected_system(SpecConfig(max_replays=1))
+        replay = action_by_label(system, "adversary.replay")
+        state = dict(system.initial)
+        assert not replay.guard(state)  # nothing recorded yet
+        state["sent"] = frozenset({1})
+        assert replay.guard(state)
+        state["replays_left"] = 0
+        assert not replay.guard(state)
+
+    def test_replay_decrements_budget(self):
+        system = make_unprotected_system(SpecConfig(max_replays=2))
+        replay = action_by_label(system, "adversary.replay")
+        state = {**system.initial, "sent": frozenset({1, 2})}
+        successors = replay.apply(state)
+        assert len(successors) == 2  # one branch per recorded message
+        assert all(s["replays_left"] == 1 for s in successors)
+
+
+class TestSaveFetchActions:
+    def test_reset_aborts_pending_saves(self):
+        system = make_savefetch_system(SpecConfig())
+        reset = action_by_label(system, "p.reset")
+        state = {**system.initial, "p.pending": (3,)}
+        (after,) = reset.apply(state)
+        assert after["p.pending"] == ()
+        assert not after["p.up"]
+
+    def test_wake_applies_leap_from_persist(self):
+        system = make_savefetch_system(SpecConfig(k=2))
+        wake = action_by_label(system, "p.wake")
+        state = {**system.initial, "p.up": False, "p.persist": 7}
+        (after,) = wake.apply(state)
+        assert after["p.s"] == 7 + 4  # fetched + 2k
+        assert after["p.persist"] == 11  # synchronous wake save
+        assert after["p.up"]
+
+    def test_q_wake_floods_window(self):
+        system = make_savefetch_system(SpecConfig(w=3, k=1))
+        wake = action_by_label(system, "q.wake")
+        state = {**system.initial, "q.up": False, "q.persist": 5,
+                 "q.wdw": (False, False, False)}
+        (after,) = wake.apply(state)
+        assert after["q.r"] == 7
+        assert after["q.wdw"] == (True, True, True)
+
+    def test_sizing_rule_forces_commit_before_new_save(self):
+        system = make_savefetch_system(SpecConfig(k=1, max_seq=10))
+        send = action_by_label(system, "p.send")
+        state = {**system.initial, "p.s": 2, "p.lst": 2, "p.pending": (2,)}
+        (after,) = send.apply(state)
+        # The pending save committed at the instant the new one started.
+        assert after["p.persist"] == 2
+        assert after["p.pending"] == (3,)

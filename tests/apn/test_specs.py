@@ -1,0 +1,87 @@
+"""Tests for the paper-literal APN specs."""
+
+from repro.apn.core import run_random
+from repro.apn.specs import SpecConfig, make_savefetch_system, make_unprotected_system, window_update
+
+
+class TestWindowUpdateHelper:
+    def test_matches_paper_cases(self):
+        w = 4
+        # advance
+        accepted, r, wdw = window_update(0, (True,) * w, 1, w)
+        assert accepted and r == 1
+        # in-window fresh
+        accepted2, r2, wdw2 = window_update(r, wdw, 1, w)
+        assert not accepted2  # duplicate of the right edge
+
+    def test_agrees_with_bitmap_implementation(self):
+        from repro.ipsec.replay_window import BitmapReplayWindow
+
+        w = 5
+        window = BitmapReplayWindow(w)
+        r, wdw = 0, (True,) * w
+        for seq in [1, 3, 2, 3, 10, 7, 6, 5, 11, 1]:
+            expected = window.update(seq).accepted
+            accepted, r, wdw = window_update(r, wdw, seq, w)
+            assert accepted == expected
+            assert r == window.right_edge
+
+
+class TestUnprotectedSpec:
+    def test_initial_state_matches_paper(self):
+        system = make_unprotected_system(SpecConfig())
+        assert system.initial["p.s"] == 1
+        assert system.initial["q.r"] == 0
+        assert all(system.initial["q.wdw"])
+
+    def test_clean_run_no_violations_without_faults(self):
+        config = SpecConfig(max_resets_p=0, max_resets_q=0, max_replays=0, max_seq=8)
+        system = make_unprotected_system(config)
+        _, trace, violations = run_random(system, steps=400, seed=1)
+        assert violations == []
+        assert trace  # something happened
+
+    def test_random_walk_can_violate_with_faults(self):
+        """Some seed finds the Section 3 failure by random execution."""
+        config = SpecConfig(max_resets_p=1, max_resets_q=1, max_replays=3, max_seq=6)
+        system = make_unprotected_system(config)
+        found = False
+        for seed in range(40):
+            _, _, violations = run_random(system, steps=300, seed=seed)
+            if violations:
+                found = True
+                break
+        assert found
+
+
+class TestSaveFetchSpec:
+    def test_initial_state_matches_paper(self):
+        system = make_savefetch_system(SpecConfig())
+        assert system.initial["p.s"] == 1
+        assert system.initial["p.lst"] == 1
+        assert system.initial["q.lst"] == 0
+
+    def test_random_walks_never_violate_in_paper_scope(self):
+        """Single-sided resets, lossless channel: many random executions,
+        zero violations (the Section 5 theorems, statistically)."""
+        for resets_p, resets_q in [(1, 0), (0, 1)]:
+            config = SpecConfig(
+                max_resets_p=resets_p,
+                max_resets_q=resets_q,
+                max_replays=3,
+                max_seq=8,
+                k=2,
+                chan_cap=3,
+            )
+            system = make_savefetch_system(config)
+            for seed in range(30):
+                _, _, violations = run_random(system, steps=400, seed=seed)
+                assert violations == [], f"seed {seed}: {violations}"
+
+    def test_saves_commit_in_fifo_order(self):
+        config = SpecConfig(max_resets_p=0, max_resets_q=0, max_replays=0, max_seq=10, k=1)
+        system = make_savefetch_system(config)
+        state, _, _ = run_random(system, steps=500, seed=5)
+        # After quiescence everything pending has had a chance to commit;
+        # persist must be one of the initiated checkpoints.
+        assert state["p.persist"] >= 1

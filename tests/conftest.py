@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ipsec.costs import CostModel
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh simulation engine."""
+    return Engine()
+
+
+@pytest.fixture
+def paper_costs() -> CostModel:
+    """The paper's Pentium-III cost constants."""
+    return CostModel()
+
+
+@pytest.fixture
+def fast_costs() -> CostModel:
+    """A cost model with convenient round numbers for timing assertions."""
+    return CostModel(
+        t_save=100e-6,
+        t_send=4e-6,
+        t_recv=4e-6,
+        t_fetch=50e-6,
+        t_dh_exp=1e-3,
+        t_prf=10e-6,
+        t_sig=0.5e-3,
+    )

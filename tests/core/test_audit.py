@@ -1,0 +1,94 @@
+"""Tests for the delivery auditor."""
+
+from repro.core.audit import DeliveryAuditor
+from repro.ipsec.replay_window import Verdict
+from repro.net.message import Message
+
+
+def fresh(auditor: DeliveryAuditor, uid: int) -> Message:
+    packet = Message(seq=uid).with_meta(uid=uid)
+    auditor.register_send(packet, uid)
+    return packet
+
+
+class TestScoring:
+    def test_clean_delivery(self):
+        auditor = DeliveryAuditor()
+        packet = fresh(auditor, 1)
+        auditor.note_processed(packet, Verdict.ACCEPT_ADVANCE)
+        report = auditor.report()
+        assert report.fresh_sent == 1
+        assert report.delivered_uids == 1
+        assert report.duplicate_deliveries == 0
+        assert report.fresh_discarded == 0
+        assert report.never_arrived == 0
+
+    def test_duplicate_delivery_is_replay_accepted(self):
+        auditor = DeliveryAuditor()
+        packet = fresh(auditor, 1)
+        auditor.note_processed(packet, Verdict.ACCEPT_ADVANCE)
+        auditor.note_processed(packet, Verdict.ACCEPT_IN_WINDOW)  # replayed copy
+        report = auditor.report()
+        assert report.duplicate_deliveries == 1
+        assert report.replays_accepted == 1
+
+    def test_rejected_replay_not_a_fresh_discard(self):
+        """A replayed copy discarded after the original was delivered is a
+        success, not collateral."""
+        auditor = DeliveryAuditor()
+        packet = fresh(auditor, 1)
+        auditor.note_processed(packet, Verdict.ACCEPT_ADVANCE)
+        auditor.note_processed(packet, Verdict.STALE)
+        assert auditor.report().fresh_discarded == 0
+
+    def test_fresh_discard(self):
+        auditor = DeliveryAuditor()
+        packet = fresh(auditor, 1)
+        auditor.note_processed(packet, Verdict.STALE)
+        assert auditor.report().fresh_discarded == 1
+
+    def test_never_arrived(self):
+        auditor = DeliveryAuditor()
+        fresh(auditor, 1)
+        report = auditor.report()
+        assert report.never_arrived == 1
+        assert report.fresh_discarded == 0  # loss is out of scope
+
+    def test_integrity_failures_counted(self):
+        auditor = DeliveryAuditor()
+        packet = fresh(auditor, 1)
+        auditor.note_processed(packet, DeliveryAuditor.INTEGRITY_FAIL)
+        report = auditor.report()
+        assert report.integrity_rejections == 1
+        assert report.fresh_discarded == 1
+
+    def test_unknown_packets_tolerated(self):
+        auditor = DeliveryAuditor()
+        auditor.note_processed(Message(seq=9), Verdict.ACCEPT_ADVANCE)
+        assert auditor.unknown_packets == 1
+        assert auditor.report().deliveries_total == 0
+
+    def test_many_duplicates_counted_each(self):
+        auditor = DeliveryAuditor()
+        packet = fresh(auditor, 1)
+        for _ in range(4):
+            auditor.note_processed(packet, Verdict.ACCEPT_ADVANCE)
+        assert auditor.report().duplicate_deliveries == 3
+
+    def test_properties_match_report(self):
+        auditor = DeliveryAuditor()
+        packet = fresh(auditor, 1)
+        auditor.note_processed(packet, Verdict.ACCEPT_ADVANCE)
+        auditor.note_processed(packet, Verdict.ACCEPT_ADVANCE)
+        assert auditor.replays_accepted == 1
+        assert auditor.fresh_discarded == 0
+
+    def test_identical_payload_distinct_uids(self):
+        """Two equal-content packets must still be distinguishable."""
+        auditor = DeliveryAuditor()
+        a = Message(seq=1)
+        b = Message(seq=1)
+        auditor.register_send(a, 1)
+        auditor.register_send(b, 2)
+        assert auditor.uid_of(a) == 1
+        assert auditor.uid_of(b) == 2

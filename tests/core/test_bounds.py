@@ -1,0 +1,113 @@
+"""Tests for the closed-form bounds, incl. hypothesis checks that the
+piecewise predictions never exceed the paper's 2K bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    discarded_fresh_bound,
+    gap_bound,
+    lost_seq_bound,
+    messages_lost_during_outage,
+    min_safe_save_interval,
+    predicted_sender_gap,
+    predicted_sender_loss,
+    rekey_recovery_time,
+    save_overhead_fraction,
+    savefetch_recovery_time,
+    unprotected_fresh_discards,
+    unprotected_replay_exposure,
+)
+from repro.ipsec.costs import PAPER_COSTS, CostModel
+
+
+class TestPaperBounds:
+    def test_gap_bound(self):
+        assert gap_bound(25) == 50
+
+    def test_lost_bound(self):
+        assert lost_seq_bound(25) == 50
+
+    def test_discard_bound(self):
+        assert discarded_fresh_bound(25) == 50
+
+
+class TestPredictedGap:
+    def test_in_flight_case(self):
+        # Fig. 1 case 1: fetched = s - K, gap = K + t.
+        assert predicted_sender_gap(k=50, offset=10, save_duration_msgs=25) == 60
+
+    def test_committed_case(self):
+        # Fig. 1 case 2: fetched = s, gap = t.
+        assert predicted_sender_gap(k=50, offset=30, save_duration_msgs=25) == 30
+
+    def test_rejects_offset_outside_cycle(self):
+        with pytest.raises(ValueError):
+            predicted_sender_gap(k=50, offset=50, save_duration_msgs=25)
+
+    @given(
+        k=st.integers(min_value=1, max_value=500),
+        offset=st.integers(min_value=0, max_value=499),
+        duration=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_gap_never_exceeds_2k(self, k, offset, duration):
+        """Section 5's theorem, over the whole parameter space (with the
+        sizing rule duration <= k)."""
+        offset = offset % k
+        duration = min(duration, k)
+        assert predicted_sender_gap(k, offset, duration) < gap_bound(k)
+
+    @given(
+        k=st.integers(min_value=1, max_value=500),
+        offset=st.integers(min_value=0, max_value=499),
+        duration=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_loss_in_bounds_and_non_negative(self, k, offset, duration):
+        offset = offset % k
+        duration = min(duration, k)
+        loss = predicted_sender_loss(k, offset, duration)
+        assert 0 <= loss <= lost_seq_bound(k)
+
+
+class TestUnprotectedFormulas:
+    def test_replay_exposure_is_traffic(self):
+        assert unprotected_replay_exposure(1234) == 1234
+        assert unprotected_replay_exposure(-5) == 0
+
+    def test_fresh_discards(self):
+        assert unprotected_fresh_discards(right_edge=1000, w=64) == 936
+        assert unprotected_fresh_discards(right_edge=10, w=64) == 0
+
+
+class TestCostFormulas:
+    def test_overhead_fraction(self):
+        # One 100us save per 25 * 4us of sending = 100%.
+        assert save_overhead_fraction(25, PAPER_COSTS) == pytest.approx(1.0)
+        assert save_overhead_fraction(100, PAPER_COSTS) == pytest.approx(0.25)
+
+    def test_min_safe_interval_paper(self):
+        assert min_safe_save_interval(PAPER_COSTS) == 25
+
+    def test_savefetch_recovery(self):
+        costs = CostModel(t_save=100e-6, t_fetch=50e-6)
+        assert savefetch_recovery_time(costs) == pytest.approx(150e-6)
+
+    def test_rekey_scales_linearly_in_sas(self):
+        one = rekey_recovery_time(PAPER_COSTS, rtt=0.01, n_sas=1)
+        four = rekey_recovery_time(PAPER_COSTS, rtt=0.01, n_sas=4)
+        assert four == pytest.approx(4 * one)
+
+    def test_rekey_scales_with_rtt(self):
+        slow = rekey_recovery_time(PAPER_COSTS, rtt=0.1, n_sas=1)
+        fast = rekey_recovery_time(PAPER_COSTS, rtt=0.001, n_sas=1)
+        assert slow - fast == pytest.approx(4.5 * (0.1 - 0.001))
+
+    def test_messages_lost_during_outage(self):
+        assert messages_lost_during_outage(0.001, 4e-6) == 250
+
+    def test_messages_lost_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            messages_lost_during_outage(1.0, 0.0)

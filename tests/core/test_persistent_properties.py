@@ -1,0 +1,80 @@
+"""Property tests on the persistent store: the SAVE/FETCH axioms hold
+under arbitrary interleavings of saves, crashes and time.
+
+Axioms (the ones the paper's proofs lean on):
+
+1. FETCH returns a value that some SAVE was *initiated* with (or the
+   initial SA-establishment value) — never garbage.
+2. A crash never changes the committed value.
+3. Commits happen exactly ``t_save`` after initiation, in order, and
+   only for saves no crash intervened on.
+4. With monotonically increasing saved values, the committed value is
+   monotone over time.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.persistent import PersistentStore
+from repro.sim.engine import Engine
+
+#: One scripted step: ("save", gap_to_next) | ("crash", gap) | ("wait", gap)
+STEP = st.tuples(
+    st.sampled_from(["save", "crash", "wait"]),
+    st.floats(min_value=0.0, max_value=3e-4, allow_nan=False),
+)
+
+
+@given(steps=st.lists(STEP, max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_savefetch_axioms(steps):
+    engine = Engine()
+    store = PersistentStore(engine, "disk", t_save=1e-4, initial_value=0)
+    initiated = [0]  # values ever handed to SAVE (plus the initial)
+    fetch_history = []
+    value = 0
+
+    for action, gap in steps:
+        if action == "save":
+            value += 1
+            initiated.append(value)
+            store.begin_save(value)
+        elif action == "crash":
+            committed_before = store.committed_value
+            store.crash()
+            assert store.committed_value == committed_before  # axiom 2
+        engine.run(until=engine.now + gap)
+        fetched = store.fetch()
+        fetch_history.append(fetched)
+        assert fetched in initiated  # axiom 1
+        assert fetched <= value
+
+    # Axiom 4: monotone committed value for monotone saved values.
+    assert fetch_history == sorted(fetch_history)
+    # Bookkeeping is consistent.
+    engine.run()
+    assert (
+        store.saves_committed + store.saves_aborted + len(store._in_flight)
+        == store.saves_started
+    )
+
+
+@given(
+    n_saves=st.integers(min_value=1, max_value=20),
+    crash_after=st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_crash_loses_at_most_in_flight_saves(n_saves, crash_after):
+    """After a crash, the committed value is the last save initiated at
+    least ``t_save`` before the crash (sequential saves)."""
+    engine = Engine()
+    store = PersistentStore(engine, "disk", t_save=1e-4, initial_value=0)
+    for i in range(1, n_saves + 1):
+        store.begin_save(i)
+        engine.run(until=engine.now + 1e-4)  # commits before the next
+    # One more save, crash partway through.
+    store.begin_save(n_saves + 1)
+    engine.run(until=engine.now + 0.5e-4)
+    store.crash()
+    engine.run()
+    assert store.fetch() == n_saves  # the in-flight one was lost, no more

@@ -1,0 +1,116 @@
+"""Tests for the one-call protocol harness."""
+
+import pytest
+
+from repro.core.ceiling import CeilingReceiver, CeilingSender
+from repro.core.protocol import build_protocol
+from repro.core.receiver import SaveFetchReceiver, UnprotectedReceiver
+from repro.core.sender import SaveFetchSender, UnprotectedSender
+
+
+class TestVariants:
+    def test_protected_default(self):
+        harness = build_protocol()
+        assert isinstance(harness.sender, SaveFetchSender)
+        assert isinstance(harness.receiver, SaveFetchReceiver)
+
+    def test_unprotected(self):
+        harness = build_protocol(protected=False)
+        assert isinstance(harness.sender, UnprotectedSender)
+        assert isinstance(harness.receiver, UnprotectedReceiver)
+
+    def test_ceiling_variant(self):
+        harness = build_protocol(variant="ceiling")
+        assert isinstance(harness.sender, CeilingSender)
+        assert isinstance(harness.receiver, CeilingReceiver)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            build_protocol(variant="quantum")
+
+    def test_adversary_optional(self):
+        assert build_protocol().adversary is None
+        assert build_protocol(with_adversary=True).adversary is not None
+
+    def test_reorder_stage_wiring(self):
+        harness = build_protocol(reorder_degree=4, reorder_probability=0.5)
+        assert harness.reorder_stage is not None
+        assert harness.pipe is harness.reorder_stage
+
+    def test_esp_mode_builds_sa(self):
+        harness = build_protocol(encap="esp")
+        assert harness.sa_pair is not None
+        assert harness.sender.sa is harness.sa_pair.forward
+
+
+class TestEndToEnd:
+    def test_clean_run_delivers_everything(self):
+        harness = build_protocol()
+        harness.sender.start_traffic(count=500)
+        harness.run(until=1.0)
+        report = harness.score()
+        assert report.audit.fresh_sent == 500
+        assert report.audit.delivered_uids == 500
+        assert report.converged
+
+    def test_esp_run_delivers_everything(self):
+        harness = build_protocol(encap="esp")
+        harness.sender.start_traffic(count=100)
+        harness.run(until=1.0)
+        report = harness.score()
+        assert report.audit.delivered_uids == 100
+        assert harness.receiver.integrity_failures == 0
+
+    def test_ah_run_delivers_everything(self):
+        harness = build_protocol(encap="ah")
+        harness.sender.start_traffic(count=100)
+        harness.run(until=1.0)
+        assert harness.score().audit.delivered_uids == 100
+
+    def test_deterministic_given_seed(self):
+        def run_once() -> tuple:
+            harness = build_protocol(seed=5, loss=None)
+            harness.sender.start_traffic(count=200)
+            harness.engine.call_at(0.0003, harness.sender.reset, 0.0001)
+            harness.run(until=1.0)
+            report = harness.score()
+            return (
+                report.audit.delivered_uids,
+                tuple(report.gaps_sender),
+                tuple(report.lost_seqnums_per_reset),
+            )
+
+        assert run_once() == run_once()
+
+    def test_sender_reset_converges(self):
+        harness = build_protocol(k_p=25, k_q=25)
+        harness.sender.start_traffic(count=500)
+        harness.engine.call_at(0.0006, harness.sender.reset, 0.0002)
+        harness.run(until=1.0)
+        report = harness.score()
+        assert report.converged, report.bound_violations
+        assert report.sender_resets == 1
+
+    def test_metrics_snapshot(self):
+        harness = build_protocol(with_adversary=True)
+        harness.sender.start_traffic(count=300)
+        harness.engine.call_at(0.0005, harness.sender.reset, 0.0001)
+        harness.run(until=1.0)
+        exported = harness.metrics().as_dict()
+        counters = exported["counters"]
+        assert counters["sender.sent"] == counters["link.offered"]
+        assert counters["receiver.delivered"] == counters["audit.delivered_uids"]
+        assert counters["sender.resets"] == 1
+        assert counters["audit.replays_accepted"] == 0
+        assert exported["stats"]["sender.gap"]["count"] == 1
+        assert exported["stats"]["sender.gap"]["max"] <= 50
+
+    def test_receiver_reset_converges(self):
+        harness = build_protocol(k_p=25, k_q=25)
+        harness.sender.start_traffic(count=500)
+        harness.engine.call_at(0.0006, harness.receiver.reset, 0.0002)
+        harness.run(until=1.0)
+        report = harness.score()
+        assert report.converged, report.bound_violations
+        assert report.receiver_resets == 1
+        assert report.time_to_converge  # traffic resumed after the wake

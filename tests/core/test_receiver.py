@@ -1,0 +1,189 @@
+"""Tests for the receiver endpoints (Sections 2 and 4, process q)."""
+
+import pytest
+
+from repro.core.receiver import SaveFetchReceiver, UnprotectedReceiver
+from repro.ipsec.costs import CostModel
+from repro.ipsec.replay_window import Verdict
+from repro.net.message import Message
+
+
+@pytest.fixture
+def costs():
+    return CostModel(t_save=100e-6, t_send=4e-6, t_fetch=0.0)
+
+
+def msg(seq: int) -> Message:
+    return Message(seq=seq)
+
+
+class TestUnprotectedReceiver:
+    def test_delivers_in_order_stream(self, engine, costs):
+        receiver = UnprotectedReceiver(engine, "q", w=8, costs=costs)
+        delivered = []
+        receiver.on_deliver = lambda seq, payload: delivered.append(seq)
+        for seq in range(1, 6):
+            receiver.on_receive(msg(seq))
+        assert delivered == [1, 2, 3, 4, 5]
+        assert receiver.right_edge == 5
+
+    def test_discards_duplicates(self, engine, costs):
+        receiver = UnprotectedReceiver(engine, "q", w=8, costs=costs)
+        receiver.on_receive(msg(3))
+        receiver.on_receive(msg(3))
+        assert receiver.delivered_total == 1
+        assert receiver.verdict_counts[Verdict.DUPLICATE] == 1
+
+    def test_reset_loses_window(self, engine, costs):
+        receiver = UnprotectedReceiver(engine, "q", w=8, costs=costs)
+        for seq in range(1, 20):
+            receiver.on_receive(msg(seq))
+        receiver.reset(down_for=0.01)
+        engine.run()
+        # Cold window: the old traffic is acceptable again (the Section 3
+        # failure this class exists to demonstrate).
+        receiver.on_receive(msg(1))
+        assert receiver.delivered_total == 20
+        record = receiver.reset_records[0]
+        assert record.right_edge_at_reset == 19
+        assert record.resumed_right_edge == 0
+
+    def test_down_drops(self, engine, costs):
+        receiver = UnprotectedReceiver(engine, "q", w=8, costs=costs)
+        receiver.reset(down_for=None)
+        receiver.on_receive(msg(1))
+        assert receiver.dropped_while_down == 1
+        receiver.wake()
+        receiver.on_receive(msg(1))
+        assert receiver.delivered_total == 1
+
+    def test_window_impl_selectable(self, engine, costs):
+        from repro.ipsec.replay_window import ArrayReplayWindow
+
+        receiver = UnprotectedReceiver(
+            engine, "q", w=8, window_impl="array", costs=costs
+        )
+        assert isinstance(receiver.window, ArrayReplayWindow)
+
+    def test_bad_window_impl_rejected(self, engine, costs):
+        with pytest.raises(ValueError, match="unknown window impl"):
+            UnprotectedReceiver(engine, "q", w=8, window_impl="magic", costs=costs)
+
+
+class TestSaveFetchReceiverSaves:
+    def test_background_save_every_k_advance(self, engine, costs):
+        receiver = SaveFetchReceiver(engine, "q", k=10, w=8, costs=costs)
+        for seq in range(1, 10):
+            receiver.on_receive(msg(seq))
+        assert receiver.store.saves_started == 0
+        receiver.on_receive(msg(10))  # r = 10 >= 10 + 0
+        assert receiver.store.saves_started == 1
+        assert receiver.lst == 10
+
+    def test_save_triggered_by_jump(self, engine, costs):
+        receiver = SaveFetchReceiver(engine, "q", k=10, w=8, costs=costs)
+        receiver.on_receive(msg(35))  # single message jumps r past k
+        assert receiver.store.saves_started == 1
+        assert receiver.lst == 35
+
+
+class TestSaveFetchReceiverRecovery:
+    def drive(self, engine, receiver, upto: int) -> None:
+        for seq in range(1, upto + 1):
+            receiver.on_receive(msg(seq))
+        engine.run(until=engine.now + 1.0)  # commit outstanding saves
+
+    def test_wake_fetches_leaps_and_floods(self, engine, costs):
+        receiver = SaveFetchReceiver(engine, "q", k=10, w=8, costs=costs)
+        self.drive(engine, receiver, 23)
+        receiver.reset(down_for=0.001)
+        engine.run(until=engine.now + 1.0)
+        record = receiver.reset_records[0]
+        assert record.fetched == 20
+        assert record.resumed_right_edge == 40
+        assert receiver.right_edge == 40
+        # Everything at or below the resumed edge is assumed received.
+        receiver.on_receive(msg(40))
+        receiver.on_receive(msg(35))
+        assert receiver.delivered_total == 23
+        # The next fresh number is deliverable.
+        receiver.on_receive(msg(41))
+        assert receiver.delivered_total == 24
+
+    def test_wake_buffering_until_save_commits(self, engine, costs):
+        """Section 4: messages during the wake SAVE go to a buffer."""
+        receiver = SaveFetchReceiver(engine, "q", k=10, w=8, costs=costs)
+        self.drive(engine, receiver, 23)
+        receiver.reset(down_for=0.0)
+        engine.run(max_events=1)  # wake fires; sync save in flight
+        assert receiver.is_up and receiver.wait
+        receiver.on_receive(msg(41))
+        receiver.on_receive(msg(42))
+        assert receiver.delivered_total == 23  # buffered, not processed
+        assert receiver.reset_records[0].buffered_during_wake == 2
+        engine.run(until=engine.now + 1.0)
+        assert receiver.delivered_total == 25  # drained in order
+        assert [seq for _, seq in receiver.delivered_log[-2:]] == [41, 42]
+
+    def test_buffer_lost_if_second_reset_hits(self, engine, costs):
+        receiver = SaveFetchReceiver(engine, "q", k=10, w=8, costs=costs)
+        self.drive(engine, receiver, 23)
+        receiver.reset(down_for=0.0)
+        engine.run(max_events=1)
+        receiver.on_receive(msg(41))
+        receiver.reset(down_for=0.0)  # second reset during recovery
+        engine.run(until=engine.now + 1.0)
+        # The buffered message died with the host; no double delivery.
+        assert receiver.delivered_total == 23
+
+    def test_wake_save_persists_leaped_edge(self, engine, costs):
+        receiver = SaveFetchReceiver(engine, "q", k=10, w=8, costs=costs)
+        self.drive(engine, receiver, 23)
+        receiver.reset(down_for=0.0)
+        engine.run(until=engine.now + 1.0)
+        assert receiver.store.committed_value == 40
+
+    def test_replay_of_entire_history_rejected_after_wake(self, engine, costs):
+        receiver = SaveFetchReceiver(engine, "q", k=10, w=8, costs=costs)
+        history = [msg(seq) for seq in range(1, 24)]
+        for packet in history:
+            receiver.on_receive(packet)
+        engine.run(until=engine.now + 1.0)
+        receiver.reset(down_for=0.0)
+        engine.run(until=engine.now + 1.0)
+        before = receiver.delivered_total
+        for packet in history:
+            receiver.on_receive(packet)
+        assert receiver.delivered_total == before
+
+    def test_fresh_discards_bounded_by_2k(self, engine, costs):
+        receiver = SaveFetchReceiver(engine, "q", k=10, w=8, costs=costs)
+        self.drive(engine, receiver, 23)
+        receiver.reset(down_for=0.0)
+        engine.run(until=engine.now + 1.0)
+        # Fresh messages 24..40 look replayed (<= resumed edge 40): that is
+        # at most 2k = 20 losses; 41 is accepted.
+        discarded = 0
+        for seq in range(24, 42):
+            before = receiver.delivered_total
+            receiver.on_receive(msg(seq))
+            if receiver.delivered_total == before:
+                discarded += 1
+        assert discarded == 17
+        assert discarded <= 20
+
+    def test_resume_listener_fires_after_drain(self, engine, costs):
+        receiver = SaveFetchReceiver(engine, "q", k=10, w=8, costs=costs)
+        self.drive(engine, receiver, 23)
+        receiver.reset(down_for=0.0)
+        engine.run(max_events=1)
+        order = []
+        receiver.add_resume_listener(lambda: order.append("resumed"))
+        receiver.on_receive(msg(41))
+        receiver.on_deliver = lambda seq, payload: order.append(seq)
+        engine.run(until=engine.now + 1.0)
+        assert order == [41, "resumed"]
+
+    def test_rejects_bad_k(self, engine, costs):
+        with pytest.raises(ValueError):
+            SaveFetchReceiver(engine, "q", k=0, costs=costs)

@@ -1,0 +1,140 @@
+"""Tests for the reset fault injectors."""
+
+import pytest
+
+from repro.core.protocol import build_protocol
+from repro.core.reset import (
+    ResetSchedule,
+    reset_at_count,
+    reset_at_time,
+    reset_during_save,
+)
+from repro.ipsec.costs import PAPER_COSTS
+
+
+class TestResetAtTime:
+    def test_fires_at_time(self):
+        harness = build_protocol()
+        reset_at_time(harness.engine, harness.sender, at=0.001, down_for=0.0001)
+        harness.sender.start_traffic(count=500)
+        harness.run(until=1.0)
+        assert len(harness.sender.reset_records) == 1
+        assert harness.sender.reset_records[0].reset_time == pytest.approx(0.001)
+
+
+class TestResetAtCount:
+    def test_sender_count(self):
+        harness = build_protocol()
+        reset_at_count(harness.sender, count=100, down_for=0.0001)
+        harness.sender.start_traffic(count=300)
+        harness.run(until=1.0)
+        record = harness.sender.reset_records[0]
+        assert record.last_used_seq == 100
+
+    def test_receiver_count(self):
+        harness = build_protocol()
+        reset_at_count(harness.receiver, count=50, down_for=0.0001)
+        harness.sender.start_traffic(count=300)
+        harness.run(until=1.0)
+        record = harness.receiver.reset_records[0]
+        assert record.right_edge_at_reset == 50
+
+    def test_fires_only_once(self):
+        harness = build_protocol()
+        reset_at_count(harness.sender, count=10, down_for=0.0)
+        harness.sender.start_traffic(count=100)
+        harness.run(until=1.0)
+        assert len(harness.sender.reset_records) == 1
+
+    def test_rejects_bad_count(self):
+        harness = build_protocol()
+        with pytest.raises(ValueError):
+            reset_at_count(harness.sender, count=0)
+
+    def test_rejects_unsupported_target(self):
+        with pytest.raises(TypeError):
+            reset_at_count(object(), count=5)
+
+
+class TestResetDuringSave:
+    def test_strikes_inside_nth_save(self):
+        harness = build_protocol(k_p=50)
+        store = harness.sender.store
+        reset_during_save(
+            harness.engine, harness.sender, store, nth_save=2, fraction=0.5,
+            down_for=0.0001,
+        )
+        harness.sender.start_traffic(count=400)
+        harness.run(until=1.0)
+        record = harness.sender.reset_records[0]
+        assert record.save_in_flight
+        # Second background save stores 101; struck halfway through.
+        aborted = [r for r in store.history if r.aborted]
+        assert [r.value for r in aborted] == [101]
+        assert record.reset_time == pytest.approx(
+            aborted[0].started_at + 0.5 * store.t_save
+        )
+
+    def test_fraction_validated(self):
+        harness = build_protocol()
+        with pytest.raises(ValueError):
+            reset_during_save(
+                harness.engine, harness.sender, harness.sender.store, fraction=1.0
+            )
+
+    def test_nth_validated(self):
+        harness = build_protocol()
+        with pytest.raises(ValueError):
+            reset_during_save(
+                harness.engine, harness.sender, harness.sender.store, nth_save=0
+            )
+
+    def test_synchronous_saves_skipped_by_default(self):
+        harness = build_protocol(k_p=25)
+        fired = []
+        harness.sender.add_resume_listener(lambda: fired.append("resume"))
+        # Arm on save #2; reset manually first so save #2 would be the
+        # post-wake synchronous one — which must NOT trigger the injector.
+        reset_during_save(
+            harness.engine,
+            harness.sender,
+            harness.sender.store,
+            nth_save=2,
+            down_for=0.0,
+        )
+        harness.sender.send_burst(26)  # background save #1
+        harness.run(until=0.01)
+        harness.sender.reset(down_for=0.0)  # wake save is synchronous
+        harness.run(until=0.02)
+        assert fired == ["resume"]  # recovered; injector did not strike it
+        assert len(harness.sender.reset_records) == 1
+
+
+class TestResetSchedule:
+    def test_periodic_schedule(self):
+        schedule = ResetSchedule.periodic(first_at=0.001, period=0.002, count=3,
+                                          down_for=0.0001)
+        assert len(schedule.faults) == 3
+        harness = build_protocol()
+        schedule.apply(harness.engine, harness.sender)
+        harness.sender.start_traffic(count=2000)
+        harness.run(until=1.0)
+        assert len(harness.sender.reset_records) == 3
+
+    def test_reset_storm_still_converges(self):
+        """Repeated resets: every cycle recovers, nothing replayable."""
+        harness = build_protocol(k_p=25, k_q=25)
+        ResetSchedule.periodic(0.001, 0.002, 4, 0.0003).apply(
+            harness.engine, harness.sender
+        )
+        harness.sender.start_traffic(count=3000)
+        harness.run(until=1.0)
+        report = harness.score()
+        assert report.sender_resets == 4
+        assert report.converged, report.bound_violations
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResetSchedule([(-1.0, 0.0)])
+        with pytest.raises(ValueError):
+            ResetSchedule.periodic(0.0, 0.0, 2, 0.0)

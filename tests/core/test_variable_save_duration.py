@@ -1,0 +1,87 @@
+"""Variable SAVE durations: the paper sizes K by an *upper bound* on the
+save time; faster individual saves must never weaken the guarantees."""
+
+import random
+
+import pytest
+
+from repro.core.persistent import PersistentStore
+from repro.core.protocol import build_protocol
+from repro.core.sender import SaveFetchSender
+from repro.ipsec.costs import CostModel
+from repro.net.link import Link
+
+COSTS = CostModel(t_save=100e-6, t_send=4e-6, t_fetch=0.0)
+
+
+class TestDurationModel:
+    def test_faster_saves_commit_earlier(self, engine):
+        store = PersistentStore(
+            engine, "d", t_save=0.1, duration_model=lambda: 0.02
+        )
+        store.begin_save(5)
+        engine.run(until=0.03)
+        assert store.committed_value == 5
+
+    def test_durations_clamped_to_upper_bound(self, engine):
+        store = PersistentStore(
+            engine, "d", t_save=0.1, duration_model=lambda: 10.0
+        )
+        record = store.begin_save(5)
+        assert record.commit_due_at == pytest.approx(0.1)
+
+    def test_negative_durations_clamped_to_zero(self, engine):
+        store = PersistentStore(
+            engine, "d", t_save=0.1, duration_model=lambda: -1.0
+        )
+        record = store.begin_save(5)
+        assert record.commit_due_at == pytest.approx(0.0)
+
+    def test_busy_time_uses_actual_durations(self, engine):
+        store = PersistentStore(
+            engine, "d", t_save=0.1, duration_model=lambda: 0.04
+        )
+        store.begin_save(1)
+        engine.run()
+        store.begin_save(2)
+        engine.run()
+        assert store.busy_time == pytest.approx(0.08)
+
+
+class TestGuaranteesUnderJitter:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_sender_reset_bounds_hold_with_jittery_disk(self, engine, seed):
+        """K sized by the upper bound; actual saves take 20-100% of it."""
+        rng = random.Random(seed)
+        store = PersistentStore(
+            engine,
+            "disk:p",
+            t_save=COSTS.t_save,
+            initial_value=1,
+            duration_model=lambda: COSTS.t_save * rng.uniform(0.2, 1.0),
+        )
+        received = []
+        link = Link(engine, "link", sink=received.append)
+        sender = SaveFetchSender(engine, "p", link, k=50, store=store, costs=COSTS)
+        sender.start_traffic(count=700)
+        engine.call_at(0.0011, sender.reset, 0.0002)
+        engine.run(until=1.0)
+        record = sender.reset_records[0]
+        assert record.gap is not None and record.gap <= 100
+        assert record.lost_seqnums is not None and 0 <= record.lost_seqnums <= 100
+        seqs = [m.seq for m in received]
+        assert len(seqs) == len(set(seqs))
+
+    def test_full_harness_with_jitter_converges(self):
+        harness = build_protocol(k_p=50, k_q=50, costs=COSTS, seed=7)
+        rng = random.Random(7)
+        for endpoint in (harness.sender, harness.receiver):
+            endpoint.store.duration_model = (  # type: ignore[attr-defined]
+                lambda: COSTS.t_save * rng.uniform(0.1, 1.0)
+            )
+        harness.sender.start_traffic(count=1500)
+        harness.engine.call_at(0.002, harness.sender.reset, 0.0003)
+        harness.engine.call_at(0.004, harness.receiver.reset, 0.0003)
+        harness.run(until=1.0)
+        report = harness.score()
+        assert report.converged, report.bound_violations

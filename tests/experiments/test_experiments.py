@@ -1,0 +1,198 @@
+"""Smoke + shape tests for every experiment (small parameterisations).
+
+Each test asserts the *reproduced shape*: the qualitative claim the paper
+makes (who wins, what is bounded, where the cliff/knee sits), not exact
+numbers.
+"""
+
+import pytest
+
+from repro.experiments import (
+    e01_sender_gap,
+    e02_receiver_gap,
+    e03_sender_loss,
+    e04_receiver_discard,
+    e05_unbounded,
+    e06_save_interval,
+    e07_rekey_cost,
+    e08_dual_reset,
+    e09_prolonged_reset,
+    e10_reorder,
+    e11_double_reset,
+    e12_reset_notice,
+    e13_dpd,
+    e14_loss_robustness,
+)
+from repro.experiments.common import ExperimentResult, render_table
+
+
+class TestCommon:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [{"a": 1, "bb": 22}, {"a": 333, "bb": 4}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_result_container(self):
+        result = ExperimentResult("EX", "t", "p", columns=["x"])
+        result.add_row(x=1)
+        result.note("n")
+        assert result.column("x") == [1]
+        assert "EX" in result.render() and "note: n" in result.render()
+
+
+class TestE01:
+    def test_fig1_two_regimes_and_bound(self):
+        result = e01_sender_gap.run(k=50, offsets=[0, 10, 24, 30, 45])
+        assert all(row["within_bound"] for row in result.rows)
+        in_flight = [r["gap"] for r in result.rows if r["save_in_flight"]]
+        committed = [r["gap"] for r in result.rows if not r["save_in_flight"]]
+        assert in_flight and committed
+        # Fig. 1's two regimes: gap ~ k + t while the save is in flight
+        # (>= k - 1 at t = 0), gap ~ t (< k) once it committed.
+        assert min(in_flight) >= 49
+        assert max(in_flight) <= 100
+        assert max(committed) < 50
+        assert all(row["replays_accepted"] == 0 for row in result.rows)
+
+
+class TestE02:
+    def test_fig2_bound_and_no_replays(self):
+        result = e02_receiver_gap.run(k=50, offsets=[0, 20, 30, 45])
+        assert all(row["within_bound"] for row in result.rows)
+        assert all(row["replays_accepted"] == 0 for row in result.rows)
+        assert all(row["fresh_discarded"] <= 100 for row in result.rows)
+
+
+class TestE03:
+    def test_claim_i_shape(self):
+        result = e03_sender_loss.run(ks=[10, 40], offsets_per_k=3)
+        assert all(row["within_bound"] for row in result.rows)
+        assert all(row["fresh_discarded"] == 0 for row in result.rows)
+        assert all(row["converged"] for row in result.rows)
+        losses = result.column("max_lost")
+        assert losses[1] > losses[0]  # grows with Kp
+
+
+class TestE04:
+    def test_claim_ii_shape(self):
+        result = e04_receiver_discard.run(ks=[10, 40], offsets_per_k=3)
+        assert all(row["within_bound"] for row in result.rows)
+        assert all(row["replays_accepted"] == 0 for row in result.rows)
+        assert all(row["replays_injected"] > 0 for row in result.rows)
+
+
+class TestE05:
+    def test_headline_crossover(self):
+        result = e05_unbounded.run(traffic_volumes=[100, 400])
+        unprot = result.column("unprot_replays_accepted")
+        assert unprot == [100, 400]  # linear, unbounded
+        assert result.column("sf_replays_accepted") == [0, 0]
+        unprot_discards = result.column("unprot_fresh_discarded")
+        assert unprot_discards[1] > unprot_discards[0]
+        assert all(v <= 50 for v in result.column("sf_fresh_discarded"))
+
+
+class TestE06:
+    def test_knee_at_rule(self):
+        result = e06_save_interval.run(ks=[10, 50])
+        below, above = result.rows
+        assert not below["rule_satisfied"] and above["rule_satisfied"]
+        assert below["max_concurrent_saves"] > 1
+        assert above["max_concurrent_saves"] == 1
+        assert above["gap_bound_ok"]
+        assert above["overhead_fraction"] < below["overhead_fraction"]
+
+    def test_policy_comparison_waste(self):
+        comparison = e06_save_interval.compare_policies(k=25, bursts=10)
+        assert comparison.time_based_saves > comparison.count_based_saves
+        assert comparison.waste_fraction > 0.5
+
+
+class TestE07:
+    def test_savefetch_wins_and_scales(self):
+        result = e07_rekey_cost.run(sa_counts=[1, 4], rtts=[0.001])
+        assert all(row["speedup"] > 50 for row in result.rows)
+        times = result.column("rekey_time_s")
+        assert times[1] > 3 * times[0]  # linear in SA count
+        assert all(row["savefetch_time_s"] < 0.01 for row in result.rows)
+
+
+class TestE08:
+    def test_dual_reset_cases(self):
+        result = e08_dual_reset.run(k=25)
+        by_case = {(row["case"], row["protocol"]): row for row in result.rows}
+        assert by_case[("simultaneous", "save/fetch")]["converged"]
+        assert not by_case[("simultaneous", "unprotected")]["converged"]
+        # This reproduction's finding: the staggered window bites
+        # SAVE/FETCH and not the ceiling repair.
+        assert by_case[("staggered-vulnerable", "savefetch")]["replays_accepted"] >= 1
+        assert by_case[("staggered-vulnerable", "ceiling")]["replays_accepted"] == 0
+
+
+class TestE09:
+    def test_recovery_tracks_outage(self):
+        result = e09_prolonged_reset.run(outages=[0.05, 2.0], keep_alive_timeout=1.0)
+        short, long = result.rows
+        assert short["detected"] and short["resync_accepted"]
+        assert not short["keepalive_expired"]
+        assert long["keepalive_expired"]
+        assert all(row["replays_accepted"] == 0 for row in result.rows)
+        assert short["recovery_s"] == pytest.approx(0.05, abs=0.02)
+
+
+class TestE10:
+    def test_cliff_at_window_size(self):
+        result = e10_reorder.run(
+            window_sizes=[32], degrees=[1, 31, 32, 64], messages=800
+        )
+        by_degree = {row["degree"]: row for row in result.rows}
+        assert by_degree[1]["fresh_discarded"] == 0
+        assert by_degree[31]["fresh_discarded"] == 0
+        assert by_degree[32]["fresh_discarded"] > 0
+        assert by_degree[64]["discard_rate"] > 0.8
+        assert all(row["duplicates_delivered"] == 0 for row in result.rows)
+
+
+class TestE11:
+    def test_only_paper_config_safe(self):
+        result = e11_double_reset.run(k=25)
+        by_variant = {}
+        for row in result.rows:
+            by_variant.setdefault(row["variant"], []).append(row)
+        assert all(row["safe"] for row in by_variant["paper (leap 2K, wake save)"])
+        assert any(not row["safe"] for row in by_variant["leap 1K"])
+        assert any(not row["safe"] for row in by_variant["leap 0"])
+        skip_rows = {row["double_reset"]: row for row in by_variant["skip wake save"]}
+        assert skip_rows[False]["safe"]  # single reset: fine
+        assert not skip_rows[True]["safe"]  # the hazard the SAVE closes
+
+
+class TestE13:
+    def test_detection_scales_with_cadence(self):
+        result = e13_dpd.run(cadences=[0.1, 1.0])
+        assert all(row["detected"] for row in result.rows)
+        heartbeat = {r["cadence_s"]: r for r in result.rows
+                     if r["mechanism"] == "heartbeat"}
+        assert heartbeat[1.0]["detection_s"] > heartbeat[0.1]["detection_s"]
+
+
+class TestE14:
+    def test_hole_bites_savefetch_not_ceiling(self):
+        result = e14_loss_robustness.run(burst_levels=[0.0, 0.03], seeds=3)
+        clean, bursty = result.rows
+        assert clean["vulnerable_windows"] == 0
+        assert clean["sf_runs_with_replays"] == 0
+        assert bursty["vulnerable_windows"] > 0
+        assert bursty["sf_runs_with_replays"] > 0
+        assert bursty["ceiling_runs_with_replays"] == 0
+
+
+class TestE12:
+    def test_strawman_broken_savefetch_not(self):
+        result = e12_reset_notice.run(pre_reset_messages=200, post_reset_messages=80)
+        strawman, savefetch = result.rows
+        assert strawman["genuine_recovery_ok"]
+        assert strawman["broken_by_replay"]
+        assert strawman["replays_accepted"] > 100
+        assert not savefetch["broken_by_replay"]

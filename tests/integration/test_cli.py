@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "CONVERGED" in out
+
+    def test_spec_savefetch(self, capsys):
+        assert main(["spec", "savefetch"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol savefetch" in out
+        assert "process p" in out
+
+    def test_spec_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["spec", "quantum"])
+
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "e08"]) == 0
+        out = capsys.readouterr().out
+        assert "E8" in out and "staggered-vulnerable" in out
+
+    def test_experiments_unknown_id(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiments", "e99"])
+
+    def test_check_small_budget(self, capsys):
+        assert main(["check", "--budget", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "COUNTEREXAMPLE" in out  # unprotected cases fail fast
+        assert "unprotected / p resets" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

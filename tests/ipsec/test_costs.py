@@ -1,0 +1,37 @@
+"""Tests for repro.ipsec.costs."""
+
+import pytest
+
+from repro.ipsec.costs import PAPER_COSTS, CostModel
+
+
+class TestPaperConstants:
+    def test_measured_values(self):
+        assert PAPER_COSTS.t_save == pytest.approx(100e-6)
+        assert PAPER_COSTS.t_send == pytest.approx(4e-6)
+
+    def test_min_save_interval_is_25(self):
+        """The paper's worked example: 'we can set the interval between
+        two SAVEs to be at least 25'."""
+        assert PAPER_COSTS.min_save_interval() == 25
+
+    def test_send_rate(self):
+        assert PAPER_COSTS.send_rate() == pytest.approx(250_000)
+
+
+class TestDerived:
+    def test_min_save_interval_rounds_up(self):
+        costs = CostModel(t_save=10e-6, t_send=3e-6)
+        assert costs.min_save_interval() == 4  # ceil(10/3)
+
+    def test_min_save_interval_floor_one(self):
+        costs = CostModel(t_save=1e-9, t_send=1e-3)
+        assert costs.min_save_interval() == 1
+
+    def test_ike_compute_positive_and_dh_dominated(self):
+        total = PAPER_COSTS.ike_handshake_compute_time()
+        assert total > 4 * PAPER_COSTS.t_dh_exp  # two peers, two exps each
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_COSTS.t_save = 1.0  # type: ignore[misc]

@@ -1,0 +1,90 @@
+"""Tests for repro.ipsec.crypto."""
+
+import pytest
+
+from repro.ipsec.crypto import (
+    KEY_LENGTH,
+    derive_key,
+    encode_seq,
+    generate_key,
+    hmac_digest,
+    hmac_verify,
+    xor_stream,
+)
+
+
+class TestKeys:
+    def test_generate_key_length(self):
+        assert len(generate_key(1)) == KEY_LENGTH
+
+    def test_generate_key_deterministic(self):
+        assert generate_key(7) == generate_key(7)
+
+    def test_distinct_seeds_distinct_keys(self):
+        assert generate_key(1) != generate_key(2)
+
+    def test_derive_key_labelled(self):
+        master = generate_key(0)
+        assert derive_key(master, "auth") != derive_key(master, "enc")
+        assert derive_key(master, "auth") == derive_key(master, "auth")
+
+
+class TestHmac:
+    def test_verify_roundtrip(self):
+        key = generate_key(0)
+        icv = hmac_digest(key, b"hello")
+        assert hmac_verify(key, b"hello", icv)
+
+    def test_wrong_data_fails(self):
+        key = generate_key(0)
+        icv = hmac_digest(key, b"hello")
+        assert not hmac_verify(key, b"hellp", icv)
+
+    def test_wrong_key_fails(self):
+        icv = hmac_digest(generate_key(0), b"hello")
+        assert not hmac_verify(generate_key(1), b"hello", icv)
+
+    def test_tampered_icv_fails(self):
+        key = generate_key(0)
+        icv = bytearray(hmac_digest(key, b"hello"))
+        icv[0] ^= 1
+        assert not hmac_verify(key, b"hello", bytes(icv))
+
+
+class TestXorStream:
+    def test_roundtrip(self):
+        key = generate_key(0)
+        data = b"the quick brown fox" * 10
+        assert xor_stream(key, xor_stream(key, data)) == data
+
+    def test_nonce_separates_streams(self):
+        key = generate_key(0)
+        assert xor_stream(key, b"aaaa", nonce=b"1") != xor_stream(
+            key, b"aaaa", nonce=b"2"
+        )
+
+    def test_key_separates_streams(self):
+        assert xor_stream(generate_key(0), b"aaaa") != xor_stream(
+            generate_key(1), b"aaaa"
+        )
+
+    def test_empty_payload(self):
+        assert xor_stream(generate_key(0), b"") == b""
+
+
+class TestEncodeSeq:
+    def test_distinct_values_distinct_encodings(self):
+        seen = {encode_seq(n) for n in range(0, 5000, 7)}
+        assert len(seen) == len(range(0, 5000, 7))
+
+    def test_unbounded_values(self):
+        big = 2**300
+        assert encode_seq(big) != encode_seq(big + 1)
+
+    def test_no_prefix_collision(self):
+        # Length prefix prevents 1||2 colliding with 12 etc.
+        assert encode_seq(0x0102) != encode_seq(0x01) + encode_seq(0x02)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_seq(-1)

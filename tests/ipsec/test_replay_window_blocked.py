@@ -1,0 +1,98 @@
+"""Tests for the RFC 6479-style blocked window, incl. three-way
+equivalence property tests against the array and bitmap implementations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipsec.replay_window import ArrayReplayWindow, BitmapReplayWindow, Verdict
+from repro.ipsec.replay_window_blocked import BLOCK_BITS, BlockedReplayWindow
+
+
+class TestBasics:
+    def test_requires_block_multiple(self):
+        with pytest.raises(ValueError, match="multiple"):
+            BlockedReplayWindow(33)
+
+    def test_initial_state_matches_paper(self):
+        window = BlockedReplayWindow(32)
+        assert window.right_edge == 0
+        assert window.update(0) is Verdict.DUPLICATE
+        assert window.update(1) is Verdict.ACCEPT_ADVANCE
+
+    def test_three_cases(self):
+        window = BlockedReplayWindow(32)
+        window.update(40)
+        assert window.update(40) is Verdict.DUPLICATE
+        assert window.update(20) is Verdict.ACCEPT_IN_WINDOW
+        assert window.update(20) is Verdict.DUPLICATE
+        assert window.update(8) is Verdict.STALE
+        assert window.update(41) is Verdict.ACCEPT_ADVANCE
+
+    def test_far_jump_clears_history(self):
+        window = BlockedReplayWindow(32)
+        for seq in range(1, 30):
+            window.update(seq)
+        window.update(10_000)
+        assert window.update(10_000 - 31) is Verdict.ACCEPT_IN_WINDOW
+        assert window.update(10_000 - 32) is Verdict.STALE
+
+    def test_resume_floods(self):
+        window = BlockedReplayWindow(32)
+        window.resume(500)
+        assert window.right_edge == 500
+        for seq in (500, 490, 470):
+            assert not window.update(seq).accepted
+        assert window.update(501) is Verdict.ACCEPT_ADVANCE
+
+    def test_lap_around_ring_no_ghost_flags(self):
+        """Advancing more than a full ring must not resurrect old flags."""
+        window = BlockedReplayWindow(32)
+        window.update(5)
+        ring_span = (32 // BLOCK_BITS + 1) * BLOCK_BITS
+        target = 5 + ring_span * 3 + 7
+        window.update(target)
+        # In-window positions never received must be fresh, not ghosts.
+        assert window.update(target - 5) is Verdict.ACCEPT_IN_WINDOW
+
+
+class TestThreeWayEquivalence:
+    @given(
+        blocks=st.integers(min_value=1, max_value=4),
+        seqs=st.lists(st.integers(min_value=-5, max_value=400), max_size=250),
+    )
+    @settings(max_examples=250, deadline=None)
+    def test_same_verdicts_and_snapshots(self, blocks, seqs):
+        w = blocks * BLOCK_BITS
+        impls = [ArrayReplayWindow(w), BitmapReplayWindow(w), BlockedReplayWindow(w)]
+        for seq in seqs:
+            verdicts = [impl.update(seq) for impl in impls]
+            assert verdicts[0] == verdicts[1] == verdicts[2], f"diverged on {seq}"
+        snapshots = [impl.snapshot() for impl in impls]
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    @given(
+        resume_at=st.integers(min_value=0, max_value=300),
+        seqs=st.lists(st.integers(min_value=1, max_value=600), max_size=120),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_equivalence_after_resume(self, resume_at, seqs):
+        w = 2 * BLOCK_BITS
+        impls = [ArrayReplayWindow(w), BitmapReplayWindow(w), BlockedReplayWindow(w)]
+        for impl in impls:
+            impl.resume(resume_at)
+        for seq in seqs:
+            verdicts = [impl.update(seq) for impl in impls]
+            assert verdicts[0] == verdicts[1] == verdicts[2]
+
+
+class TestInHarness:
+    def test_usable_as_receiver_window(self):
+        from repro.core.protocol import build_protocol
+
+        harness = build_protocol(window_impl="blocked", w=64)
+        harness.sender.start_traffic(count=500)
+        harness.engine.call_at(0.0006, harness.receiver.reset, 0.0002)
+        harness.run(until=1.0)
+        report = harness.score()
+        assert report.converged, report.bound_violations

@@ -1,0 +1,196 @@
+"""Tests for the per-host IPsec stack (RFC 2401 processing model)."""
+
+import pytest
+
+from repro.ipsec.sa import make_sa_pair
+from repro.ipsec.sad import SecurityAssociationDatabase
+from repro.ipsec.spd import PolicyAction, SecurityPolicyDatabase
+from repro.ipsec.stack import IpsecStack
+from repro.net.link import Link
+
+
+def build_pair(engine, k=25, w=64, policy=PolicyAction.PROTECT):
+    """Two hosts with a shared SA pair and bidirectional links."""
+    sad_a = SecurityAssociationDatabase()
+    sad_b = SecurityAssociationDatabase()
+    spd = SecurityPolicyDatabase()
+    spd.add_rule("*", "*", "*", policy)
+
+    inbox_a: list[tuple[str, bytes]] = []
+    inbox_b: list[tuple[str, bytes]] = []
+    stack_a = IpsecStack(
+        engine, "a", spd, sad_a, k=k, w=w,
+        deliver_upward=lambda src, data: inbox_a.append((src, data)),
+    )
+    stack_b = IpsecStack(
+        engine, "b", spd, sad_b, k=k, w=w,
+        deliver_upward=lambda src, data: inbox_b.append((src, data)),
+    )
+    link_ab = Link(engine, "link:a->b", sink=stack_b.on_receive)
+    link_ba = Link(engine, "link:b->a", sink=stack_a.on_receive)
+    stack_a.add_route("b", link_ab.send)
+    stack_b.add_route("a", link_ba.send)
+
+    pair = make_sa_pair("a", "b", seed_or_rng=1)
+    for sad in (sad_a, sad_b):
+        sad.add(pair.forward)
+        sad.add(pair.backward)
+    return stack_a, stack_b, inbox_a, inbox_b, link_ab, pair
+
+
+class TestOutboundPolicy:
+    def test_protect_seals_and_delivers(self, engine):
+        stack_a, stack_b, _, inbox_b, _, _ = build_pair(engine)
+        assert stack_a.send("b", b"hello")
+        engine.run()
+        assert inbox_b == [("a", b"hello")]
+        assert stack_a.stats.sent_protected == 1
+        assert stack_b.stats.delivered == 1
+
+    def test_payload_not_cleartext_on_wire(self, engine):
+        stack_a, _, _, _, link_ab, _ = build_pair(engine)
+        seen = []
+        link_ab.add_tap(lambda t, p, injected: seen.append(p))
+        stack_a.send("b", b"secret-payload")
+        engine.run()
+        packet = seen[0]
+        assert b"secret-payload" not in packet.ciphertext
+
+    def test_discard_policy(self, engine):
+        stack_a, _, _, inbox_b, _, _ = build_pair(
+            engine, policy=PolicyAction.DISCARD
+        )
+        assert not stack_a.send("b", b"x")
+        engine.run()
+        assert inbox_b == []
+        assert stack_a.stats.outbound_discarded == 1
+
+    def test_bypass_policy(self, engine):
+        stack_a, stack_b, _, inbox_b, link_ab, _ = build_pair(
+            engine, policy=PolicyAction.BYPASS
+        )
+        seen = []
+        link_ab.add_tap(lambda t, p, injected: seen.append(p))
+        stack_a.send("b", b"open")
+        engine.run()
+        assert inbox_b == [("a", b"open")]
+        assert seen[0][0] == "cleartext"
+
+    def test_protect_without_sa_counts_no_sa(self, engine):
+        sad = SecurityAssociationDatabase()
+        spd = SecurityPolicyDatabase()
+        spd.add_rule("*", "*", "*", PolicyAction.PROTECT)
+        stack = IpsecStack(engine, "a", spd, sad)
+        stack.add_route("b", lambda p: None)
+        assert not stack.send("b", b"x")
+        assert stack.stats.no_sa == 1
+
+    def test_no_route(self, engine):
+        stack_a, *_ = build_pair(engine)
+        assert not stack_a.send("nowhere", b"x")
+
+
+class TestInboundPath:
+    def test_sequence_numbers_increase(self, engine):
+        stack_a, _, _, _, link_ab, _ = build_pair(engine)
+        seqs = []
+        link_ab.add_tap(lambda t, p, injected: seqs.append(p.seq))
+        for _ in range(5):
+            stack_a.send("b", b"m")
+        engine.run()
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_replayed_packet_discarded(self, engine):
+        stack_a, stack_b, _, inbox_b, link_ab, _ = build_pair(engine)
+        packets = []
+        link_ab.add_tap(lambda t, p, injected: packets.append(p))
+        for _ in range(3):
+            stack_a.send("b", b"m")
+        engine.run()
+        link_ab.inject(packets[1])  # replay
+        engine.run()
+        assert len(inbox_b) == 3
+        assert stack_b.stats.replay_discarded == 1
+
+    def test_unknown_spi_dropped(self, engine):
+        from repro.ipsec.esp import esp_seal
+        from repro.ipsec.sa import make_sa
+
+        stack_a, stack_b, _, inbox_b, _, _ = build_pair(engine)
+        alien_sa = make_sa("x", "b", seed_or_rng=77)
+        stack_b.on_receive(esp_seal(alien_sa, 1, b"alien"))
+        assert inbox_b == []
+        assert stack_b.stats.no_sa == 1
+
+    def test_tampered_packet_fails_integrity(self, engine):
+        from repro.ipsec.esp import EspPacket
+
+        stack_a, stack_b, _, inbox_b, link_ab, _ = build_pair(engine)
+        packets = []
+        link_ab.add_tap(lambda t, p, injected: packets.append(p))
+        stack_a.send("b", b"m")
+        engine.run()
+        original = packets[0]
+        forged = EspPacket(
+            spi=original.spi,
+            seq=original.seq + 1,
+            ciphertext=original.ciphertext,
+            icv=original.icv,
+        )
+        stack_b.on_receive(forged)
+        assert stack_b.stats.integrity_failures == 1
+        assert len(inbox_b) == 1
+
+
+class TestHostReset:
+    def test_multi_sa_reset_recovers_all_counters(self, engine):
+        """A host-wide reset recovers every SA independently, and no
+        sequence number is ever reused on any of them."""
+        stack_a, stack_b, _, inbox_b, link_ab, _ = build_pair(engine, k=10)
+        # Add a second SA pair a<->b (multi-SA host).
+        pair2 = make_sa_pair("a", "b", seed_or_rng=2)
+        stack_a.sad.add(pair2.forward)
+        stack_a.sad.add(pair2.backward)
+        stack_b.sad.add(pair2.forward)
+        stack_b.sad.add(pair2.backward)
+
+        seqs_by_spi: dict[int, list[int]] = {}
+        link_ab.add_tap(
+            lambda t, p, injected: seqs_by_spi.setdefault(p.spi, []).append(p.seq)
+        )
+        for _ in range(30):
+            stack_a.send("b", b"m")
+        engine.run(until=1.0)
+        stack_a.reset(down_for=0.001)
+        engine.run(until=2.0)
+        for _ in range(30):
+            stack_a.send("b", b"m")
+        engine.run(until=3.0)
+        for spi, seqs in seqs_by_spi.items():
+            assert len(seqs) == len(set(seqs)), f"reuse on SPI {spi:#x}"
+        assert stack_b.stats.replay_discarded == 0
+
+    def test_down_host_drops(self, engine):
+        stack_a, stack_b, _, inbox_b, _, _ = build_pair(engine)
+        stack_b.reset(down_for=None)
+        stack_a.send("b", b"m")
+        engine.run()
+        assert inbox_b == []
+        assert stack_b.stats.dropped_while_down == 1
+        stack_b.wake()
+        assert stack_b.is_up
+
+    def test_receiver_reset_then_history_replay_rejected(self, engine):
+        stack_a, stack_b, _, inbox_b, link_ab, _ = build_pair(engine, k=10)
+        recorded = []
+        link_ab.add_tap(lambda t, p, injected: injected or recorded.append(p))
+        for _ in range(40):
+            stack_a.send("b", b"m")
+        engine.run(until=1.0)
+        delivered_before = len(inbox_b)
+        stack_b.reset(down_for=0.001)
+        engine.run(until=2.0)
+        for packet in recorded:
+            link_ab.inject(packet)
+        engine.run(until=3.0)
+        assert len(inbox_b) == delivered_before  # nothing replayed in

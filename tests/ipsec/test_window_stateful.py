@@ -1,0 +1,87 @@
+"""Stateful property test: every window implementation against a naive
+reference model, under arbitrary interleavings of updates and resumes.
+
+The reference model keeps an explicit set of delivered sequence numbers
+and the right edge; correctness of the real implementations =
+bit-identical verdicts against it at every step.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.ipsec.replay_window import ArrayReplayWindow, BitmapReplayWindow, Verdict
+from repro.ipsec.replay_window_blocked import BlockedReplayWindow
+
+W = 32  # multiple of 32 so the blocked impl participates
+
+
+class ReferenceWindow:
+    """The obviously-correct (and obviously-slow) specification."""
+
+    def __init__(self, w: int) -> None:
+        self.w = w
+        self.r = 0
+        self.seen: set[int] = set()
+        self.floor = 0  # everything <= floor counts as seen
+
+    def update(self, seq: int) -> Verdict:
+        if seq <= self.r - self.w:
+            return Verdict.STALE
+        if seq <= self.floor or seq in self.seen:
+            return Verdict.DUPLICATE
+        if seq <= self.r:
+            self.seen.add(seq)
+            return Verdict.ACCEPT_IN_WINDOW
+        self.seen.add(seq)
+        self.r = seq
+        self.seen = {s for s in self.seen if s > self.r - self.w}
+        return Verdict.ACCEPT_ADVANCE
+
+    def resume(self, new_right_edge: int) -> None:
+        self.r = new_right_edge
+        self.floor = new_right_edge
+        self.seen = set()
+
+
+class WindowEquivalence(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.reference = ReferenceWindow(W)
+        self.impls = [
+            ArrayReplayWindow(W),
+            BitmapReplayWindow(W),
+            BlockedReplayWindow(W),
+        ]
+        self.base = 0  # drifting offset so sequences grow over time
+
+    @rule(offset=st.integers(min_value=-40, max_value=50))
+    def offer(self, offset):
+        seq = max(-5, self.base + offset)
+        self.base = max(self.base, seq)
+        expected = self.reference.update(seq)
+        for impl in self.impls:
+            assert impl.update(seq) == expected, (
+                f"{type(impl).__name__} diverged on seq {seq}"
+            )
+
+    @rule(leap=st.integers(min_value=0, max_value=100))
+    def resume(self, leap):
+        target = self.reference.r + leap
+        self.base = max(self.base, target)
+        self.reference.resume(target)
+        for impl in self.impls:
+            impl.resume(target)
+
+    @invariant()
+    def right_edges_agree(self):
+        if not hasattr(self, "reference"):
+            return
+        for impl in self.impls:
+            assert impl.right_edge == self.reference.r
+
+
+TestWindowEquivalence = WindowEquivalence.TestCase
+TestWindowEquivalence.settings = settings(
+    max_examples=60, stateful_step_count=80, deadline=None
+)

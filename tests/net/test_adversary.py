@@ -1,0 +1,128 @@
+"""Tests for repro.net.adversary."""
+
+from repro.net.adversary import ReplayAdversary
+from repro.net.link import Link
+from repro.net.message import Message
+
+
+def setup(engine):
+    received = []
+    link = Link(engine, "link", sink=received.append)
+    adversary = ReplayAdversary(engine, link, seed=0)
+    return link, adversary, received
+
+
+class TestRecording:
+    def test_records_legitimate_traffic(self, engine):
+        link, adversary, _ = setup(engine)
+        for seq in range(3):
+            link.send(Message(seq=seq))
+        engine.run()
+        assert [m.seq for m in adversary.recorded_packets] == [0, 1, 2]
+
+    def test_does_not_record_injections(self, engine):
+        link, adversary, _ = setup(engine)
+        link.send(Message(seq=1))
+        engine.run()
+        adversary.inject_now(adversary.recorded_packets[0])
+        engine.run()
+        assert len(adversary.recorded) == 1
+
+    def test_records_even_lost_packets(self, engine):
+        from repro.net.loss import DeterministicLoss
+
+        received = []
+        link = Link(engine, "link", sink=received.append, loss=DeterministicLoss([0]))
+        adversary = ReplayAdversary(engine, link, seed=0)
+        link.send(Message(seq=1))
+        engine.run()
+        assert received == []  # dropped
+        assert len(adversary.recorded) == 1  # but the on-path attacker saw it
+
+    def test_highest_seq_packet(self, engine):
+        link, adversary, _ = setup(engine)
+        for seq in [3, 9, 5]:
+            link.send(Message(seq=seq))
+        engine.run()
+        best = adversary.highest_seq_packet()
+        assert best is not None and best.seq == 9
+
+    def test_highest_seq_empty(self, engine):
+        _, adversary, _ = setup(engine)
+        assert adversary.highest_seq_packet() is None
+
+
+class TestStrategies:
+    def test_replay_history_in_order(self, engine):
+        link, adversary, received = setup(engine)
+        for seq in range(4):
+            link.send(Message(seq=seq))
+        engine.run()
+        received.clear()
+        count = adversary.replay_history()
+        engine.run()
+        assert count == 4
+        assert [m.seq for m in received] == [0, 1, 2, 3]
+        assert adversary.injections == 4
+
+    def test_replay_history_limit(self, engine):
+        link, adversary, received = setup(engine)
+        for seq in range(4):
+            link.send(Message(seq=seq))
+        engine.run()
+        received.clear()
+        assert adversary.replay_history(limit=2) == 2
+        engine.run()
+        assert [m.seq for m in received] == [0, 1]
+
+    def test_replay_history_rate_paces_injections(self, engine):
+        link, adversary, received = setup(engine)
+        times = []
+        link.sink = lambda m: times.append(engine.now)
+        for seq in range(3):
+            link.send(Message(seq=seq))
+        engine.run()
+        times.clear()
+        adversary.replay_history(rate=10.0, start_delay=1.0)
+        engine.run()
+        assert times == [1.0, 1.1, 1.2]
+
+    def test_replay_max(self, engine):
+        link, adversary, received = setup(engine)
+        for seq in [1, 7, 3]:
+            link.send(Message(seq=seq))
+        engine.run()
+        received.clear()
+        assert adversary.replay_max() == 1
+        engine.run()
+        assert [m.seq for m in received] == [7]
+
+    def test_replay_max_nothing_recorded(self, engine):
+        _, adversary, _ = setup(engine)
+        assert adversary.replay_max() == 0
+
+    def test_replay_range(self, engine):
+        link, adversary, received = setup(engine)
+        for seq in range(10):
+            link.send(Message(seq=seq))
+        engine.run()
+        received.clear()
+        count = adversary.replay_range(3, 6)
+        engine.run()
+        assert count == 4
+        assert [m.seq for m in received] == [3, 4, 5, 6]
+
+    def test_replay_random_count(self, engine):
+        link, adversary, received = setup(engine)
+        for seq in range(5):
+            link.send(Message(seq=seq))
+        engine.run()
+        received.clear()
+        assert adversary.replay_random(7) == 7
+        engine.run()
+        assert len(received) == 7
+        assert all(0 <= m.seq < 5 for m in received)
+
+    def test_replay_random_empty_recording(self, engine):
+        _, adversary, _ = setup(engine)
+        assert adversary.replay_random(3) == 0

@@ -1,0 +1,51 @@
+"""Tests for repro.net.delay."""
+
+import random
+
+import pytest
+
+from repro.net.delay import ExponentialJitterDelay, FixedDelay, UniformJitterDelay
+
+
+class TestFixedDelay:
+    def test_constant(self):
+        model = FixedDelay(0.01)
+        rng = random.Random(0)
+        assert {model.sample(rng) for _ in range(10)} == {0.01}
+
+    def test_default_zero(self):
+        assert FixedDelay().sample(random.Random(0)) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedDelay(-1.0)
+
+
+class TestUniformJitterDelay:
+    def test_within_bounds(self):
+        model = UniformJitterDelay(base=0.01, jitter=0.005)
+        rng = random.Random(1)
+        for _ in range(200):
+            delay = model.sample(rng)
+            assert 0.01 <= delay <= 0.015
+
+    def test_zero_jitter_is_fixed(self):
+        model = UniformJitterDelay(base=0.02, jitter=0.0)
+        assert model.sample(random.Random(0)) == 0.02
+
+
+class TestExponentialJitterDelay:
+    def test_at_least_base(self):
+        model = ExponentialJitterDelay(base=0.01, mean_jitter=0.002)
+        rng = random.Random(2)
+        assert all(model.sample(rng) >= 0.01 for _ in range(200))
+
+    def test_mean_roughly_base_plus_jitter(self):
+        model = ExponentialJitterDelay(base=0.0, mean_jitter=0.01)
+        rng = random.Random(3)
+        samples = [model.sample(rng) for _ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.01, rel=0.05)
+
+    def test_zero_jitter(self):
+        model = ExponentialJitterDelay(base=0.005, mean_jitter=0.0)
+        assert model.sample(random.Random(0)) == 0.005

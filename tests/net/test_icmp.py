@@ -1,0 +1,30 @@
+"""Tests for repro.net.icmp."""
+
+from repro.net.icmp import IcmpMessage, IcmpType
+from repro.net.message import Message
+
+
+def test_types_have_rfc_numbers():
+    assert IcmpType.DESTINATION_UNREACHABLE.value == 3
+    assert IcmpType.ECHO_REQUEST.value == 8
+    assert IcmpType.ECHO_REPLY.value == 0
+
+
+def test_message_carries_offending_packet():
+    packet = Message(seq=4)
+    icmp = IcmpMessage(
+        icmp_type=IcmpType.DESTINATION_UNREACHABLE, about=packet, time=1.5
+    )
+    assert icmp.about is packet
+    assert icmp.time == 1.5
+    assert "DESTINATION_UNREACHABLE" in repr(icmp)
+
+
+def test_frozen():
+    icmp = IcmpMessage(icmp_type=IcmpType.ECHO_REQUEST, about=1, time=0.0)
+    try:
+        icmp.time = 1.0  # type: ignore[misc]
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised

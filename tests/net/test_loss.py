@@ -1,0 +1,90 @@
+"""Tests for repro.net.loss."""
+
+import random
+
+import pytest
+
+from repro.net.loss import BernoulliLoss, DeterministicLoss, GilbertElliottLoss, NoLoss
+
+
+class TestNoLoss:
+    def test_never_drops(self):
+        model = NoLoss()
+        rng = random.Random(0)
+        assert not any(model.should_drop(rng) for _ in range(100))
+
+
+class TestBernoulliLoss:
+    def test_zero_probability_never_drops(self):
+        model = BernoulliLoss(0.0)
+        rng = random.Random(0)
+        assert not any(model.should_drop(rng) for _ in range(100))
+
+    def test_one_probability_always_drops(self):
+        model = BernoulliLoss(1.0)
+        rng = random.Random(0)
+        assert all(model.should_drop(rng) for _ in range(100))
+
+    def test_empirical_rate(self):
+        model = BernoulliLoss(0.3)
+        rng = random.Random(42)
+        drops = sum(model.should_drop(rng) for _ in range(10_000))
+        assert 0.27 < drops / 10_000 < 0.33
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5)
+
+
+class TestGilbertElliott:
+    def test_all_good_never_drops(self):
+        model = GilbertElliottLoss(0.0, 1.0, loss_good=0.0, loss_bad=1.0)
+        rng = random.Random(0)
+        assert not any(model.should_drop(rng) for _ in range(100))
+
+    def test_stuck_bad_always_drops(self):
+        model = GilbertElliottLoss(1.0, 0.0, loss_good=0.0, loss_bad=1.0)
+        rng = random.Random(0)
+        results = [model.should_drop(rng) for _ in range(20)]
+        assert all(results)
+        assert model.in_bad_state
+
+    def test_produces_bursts(self):
+        """Loss events should cluster more than Bernoulli at equal rate."""
+        model = GilbertElliottLoss(0.01, 0.2, loss_good=0.0, loss_bad=1.0)
+        rng = random.Random(7)
+        drops = [model.should_drop(rng) for _ in range(20_000)]
+        # Count runs of consecutive drops.
+        runs, current = [], 0
+        for dropped in drops:
+            if dropped:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert runs, "expected some loss"
+        assert max(runs) >= 3  # bursts, not isolated drops
+
+    def test_reset_returns_to_good(self):
+        model = GilbertElliottLoss(1.0, 0.0)
+        rng = random.Random(0)
+        model.should_drop(rng)
+        assert model.in_bad_state
+        model.reset()
+        assert not model.in_bad_state
+
+
+class TestDeterministicLoss:
+    def test_drops_exact_indices(self):
+        model = DeterministicLoss([1, 3])
+        rng = random.Random(0)
+        results = [model.should_drop(rng) for _ in range(5)]
+        assert results == [False, True, False, True, False]
+
+    def test_reset_restarts_index(self):
+        model = DeterministicLoss([0])
+        rng = random.Random(0)
+        assert model.should_drop(rng)
+        assert not model.should_drop(rng)
+        model.reset()
+        assert model.should_drop(rng)

@@ -1,0 +1,36 @@
+"""Tests for repro.net.message."""
+
+from repro.net.message import Message
+
+
+class TestMessage:
+    def test_repr_matches_paper_notation(self):
+        assert repr(Message(seq=7)) == "msg(7)"
+
+    def test_frozen(self):
+        message = Message(seq=1)
+        try:
+            message.seq = 2  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+    def test_with_meta_appends(self):
+        message = Message(seq=1).with_meta(uid=5)
+        assert message.get_meta("uid") == 5
+        assert message.seq == 1
+
+    def test_meta_last_write_wins(self):
+        message = Message(seq=1).with_meta(tag="a").with_meta(tag="b")
+        assert message.get_meta("tag") == "b"
+
+    def test_meta_default(self):
+        assert Message(seq=1).get_meta("missing", default=0) == 0
+
+    def test_equality_by_content(self):
+        assert Message(seq=1, sent_at=0.5) == Message(seq=1, sent_at=0.5)
+        assert Message(seq=1) != Message(seq=2)
+
+    def test_hashable(self):
+        assert len({Message(seq=1), Message(seq=1), Message(seq=2)}) == 2

@@ -1,0 +1,77 @@
+"""Tests for repro.sim.events."""
+
+import pytest
+
+from repro.sim.events import PRIORITY_EARLY, PRIORITY_LATE, EventQueue
+
+
+class TestEventQueueOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, order.append, (2,))
+        queue.push(1.0, order.append, (1,))
+        queue.push(3.0, order.append, (3,))
+        while queue:
+            queue.pop().fire()
+        assert order == [1, 2, 3]
+
+    def test_fifo_among_simultaneous(self):
+        queue = EventQueue()
+        order = []
+        for tag in "abc":
+            queue.push(1.0, order.append, (tag,))
+        while queue:
+            queue.pop().fire()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, order.append, ("normal",))
+        queue.push(1.0, order.append, ("late",), priority=PRIORITY_LATE)
+        queue.push(1.0, order.append, ("early",), priority=PRIORITY_EARLY)
+        while queue:
+            queue.pop().fire()
+        assert order == ["early", "normal", "late"]
+
+
+class TestCancellation:
+    def test_cancelled_event_not_popped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, fired.append, (1,))
+        queue.push(2.0, fired.append, (2,))
+        event.cancel()
+        while queue:
+            queue.pop().fire()
+        assert fired == [2]
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        queue = EventQueue()
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_peek_time_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert not queue

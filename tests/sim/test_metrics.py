@@ -1,0 +1,89 @@
+"""Tests for repro.sim.metrics."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import Counter, MetricSet, SummaryStat, TimeSeries
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("x")
+        counter.increment()
+        counter.increment(5)
+        assert counter.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+
+class TestSummaryStat:
+    def test_empty(self):
+        stat = SummaryStat("x")
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+        assert stat.as_dict()["min"] == 0.0
+
+    def test_mean_min_max(self):
+        stat = SummaryStat("x")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            stat.observe(value)
+        assert stat.mean == pytest.approx(2.5)
+        assert stat.minimum == 1.0
+        assert stat.maximum == 4.0
+        assert stat.total == 10.0
+
+    def test_variance_welford(self):
+        stat = SummaryStat("x")
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for value in values:
+            stat.observe(value)
+        assert stat.variance == pytest.approx(4.0)
+        assert stat.stddev == pytest.approx(2.0)
+
+    def test_numerically_stable_for_large_offsets(self):
+        stat = SummaryStat("x")
+        base = 1e12
+        for value in [base + 1, base + 2, base + 3]:
+            stat.observe(value)
+        assert stat.variance == pytest.approx(2.0 / 3.0, rel=1e-6)
+
+    def test_single_observation_variance_zero(self):
+        stat = SummaryStat("x")
+        stat.observe(5.0)
+        assert stat.variance == 0.0
+        assert not math.isnan(stat.stddev)
+
+
+class TestTimeSeries:
+    def test_sampling(self):
+        series = TimeSeries("x")
+        series.sample(0.0, 1.0)
+        series.sample(1.0, 2.0)
+        assert series.values == [1.0, 2.0]
+        assert series.times == [0.0, 1.0]
+        assert series.last_value() == 2.0
+
+    def test_last_value_default(self):
+        assert TimeSeries("x").last_value(default=-1.0) == -1.0
+
+
+class TestMetricSet:
+    def test_lazy_creation_and_reuse(self):
+        metrics = MetricSet()
+        metrics.counter("a").increment()
+        metrics.counter("a").increment()
+        assert metrics.count("a") == 2
+        assert metrics.count("missing") == 0
+
+    def test_as_dict_roundtrip(self):
+        metrics = MetricSet()
+        metrics.counter("sent").increment(3)
+        metrics.stat("gap").observe(1.5)
+        metrics.series("edge").sample(0.0, 10.0)
+        exported = metrics.as_dict()
+        assert exported["counters"]["sent"] == 3
+        assert exported["stats"]["gap"]["count"] == 1
+        assert exported["series"]["edge"] == [(0.0, 10.0)]

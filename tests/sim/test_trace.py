@@ -1,0 +1,65 @@
+"""Tests for repro.sim.trace."""
+
+from repro.sim.trace import TraceRecorder
+
+
+def make_recorder() -> TraceRecorder:
+    recorder = TraceRecorder()
+    recorder.record(0.0, "p", "send", seq=1)
+    recorder.record(0.1, "q", "deliver", seq=1)
+    recorder.record(0.2, "p", "send", seq=2)
+    recorder.record(0.3, "q", "discard", seq=2, verdict="stale")
+    return recorder
+
+
+class TestRecording:
+    def test_len_and_iter(self):
+        recorder = make_recorder()
+        assert len(recorder) == 4
+        assert [r.kind for r in recorder] == ["send", "deliver", "send", "discard"]
+
+    def test_disabled_recorder_drops(self):
+        recorder = TraceRecorder(enabled=False)
+        recorder.record(0.0, "p", "send")
+        assert len(recorder) == 0
+
+    def test_clear(self):
+        recorder = make_recorder()
+        recorder.clear()
+        assert len(recorder) == 0
+
+
+class TestQueries:
+    def test_filter_by_source(self):
+        assert len(make_recorder().filter(source="p")) == 2
+
+    def test_filter_by_kind(self):
+        assert len(make_recorder().filter(kind="send")) == 2
+
+    def test_filter_by_predicate(self):
+        matches = make_recorder().filter(
+            predicate=lambda r: r.detail.get("seq") == 2
+        )
+        assert len(matches) == 2
+
+    def test_count(self):
+        assert make_recorder().count(source="q", kind="deliver") == 1
+
+    def test_last(self):
+        last = make_recorder().last(source="p")
+        assert last is not None and last.detail["seq"] == 2
+
+    def test_last_no_match_is_none(self):
+        assert make_recorder().last(source="nobody") is None
+
+    def test_render_contains_details(self):
+        text = make_recorder().render()
+        assert "deliver" in text and "seq=1" in text
+
+    def test_render_limit(self):
+        text = make_recorder().render(limit=1)
+        assert "discard" in text and "deliver" not in text
+
+    def test_str_format(self):
+        record = make_recorder().records[0]
+        assert str(record).startswith("[0.000000000] p send")

@@ -1,0 +1,49 @@
+"""Tests for repro.util.rng."""
+
+import random
+
+import pytest
+
+from repro.util.rng import make_rng, spawn_rng
+
+
+class TestMakeRng:
+    def test_none_gives_default_seed_deterministically(self):
+        a = make_rng(None)
+        b = make_rng(None)
+        assert a.random() == b.random()
+
+    def test_int_seed_is_deterministic(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_distinct_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_existing_generator_passthrough(self):
+        rng = random.Random(7)
+        assert make_rng(rng) is rng
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="expected int seed"):
+            make_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSpawnRng:
+    def test_same_label_same_stream(self):
+        a = spawn_rng(random.Random(5), "link")
+        b = spawn_rng(random.Random(5), "link")
+        assert [a.random() for _ in range(4)] == [b.random() for _ in range(4)]
+
+    def test_different_labels_differ(self):
+        parent = random.Random(5)
+        a = spawn_rng(parent, "link")
+        parent2 = random.Random(5)
+        b = spawn_rng(parent2, "adversary")
+        assert a.random() != b.random()
+
+    def test_child_independent_of_parent_consumption(self):
+        parent = random.Random(9)
+        child = spawn_rng(parent, "x")
+        first = child.random()
+        parent.random()  # consuming the parent must not affect the child
+        assert child.random() != first  # child stream advances on its own

@@ -1,0 +1,34 @@
+"""Tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    microseconds,
+    milliseconds,
+    seconds,
+)
+
+
+def test_constants_ratio():
+    assert SECOND == 1000 * MILLISECOND
+    assert MILLISECOND == 1000 * MICROSECOND
+
+
+def test_seconds():
+    assert seconds(2) == 2.0
+
+
+def test_milliseconds():
+    assert milliseconds(5) == 0.005
+
+
+def test_microseconds():
+    assert microseconds(100) == pytest.approx(100e-6)
+
+
+def test_paper_constants_expressible():
+    # T_save = 100 us, T_send = 4 us => exactly 25 sends per save.
+    assert microseconds(100) / microseconds(4) == pytest.approx(25)

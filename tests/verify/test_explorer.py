@@ -1,0 +1,131 @@
+"""Bounded model checking of the paper's protocols.
+
+These are the machine-checked versions of the paper's claims:
+
+* unprotected: the explorer *finds* the Section 3 attacks;
+* SAVE/FETCH: exhaustively safe in the paper's stated scope
+  (single-sided resets, lossless channel);
+* SAVE/FETCH outside that scope: counterexamples exist (loss before a
+  receiver reset; staggered dual resets) — this reproduction's finding;
+* the ceiling repair: safe even in those configurations.
+
+Configurations are kept small so the whole file runs in seconds.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apn.specs import SpecConfig, make_savefetch_system, make_unprotected_system
+from repro.apn.specs_ceiling import make_ceiling_system
+from repro.verify.explorer import StateExplorer
+
+SMALL = SpecConfig(w=2, k=1, max_seq=4, chan_cap=2, max_replays=1)
+
+
+class TestUnprotectedCounterexamples:
+    def test_sender_reset_reuse_found(self):
+        config = replace(SMALL, max_resets_p=1, max_resets_q=0)
+        result = StateExplorer(make_unprotected_system(config)).explore()
+        assert not result.ok
+        assert any("reused" in v.error for v in result.violations)
+
+    def test_counterexample_trace_is_concrete_and_short(self):
+        config = replace(SMALL, max_resets_p=1, max_resets_q=0)
+        result = StateExplorer(make_unprotected_system(config)).explore()
+        violation = result.violations[0]
+        assert violation.trace  # a replayable action sequence
+        assert violation.trace[0].startswith("p.")
+        assert len(violation.trace) <= 8  # BFS gives a minimal witness
+
+    def test_receiver_reset_replay_found(self):
+        config = replace(SMALL, max_resets_p=0, max_resets_q=1, max_replays=2)
+        result = StateExplorer(make_unprotected_system(config)).explore()
+        assert not result.ok
+        assert any("Discrimination" in v.error for v in result.violations)
+
+    def test_no_faults_no_violations(self):
+        config = replace(SMALL, max_resets_p=0, max_resets_q=0, max_replays=0)
+        result = StateExplorer(make_unprotected_system(config)).explore()
+        assert result.ok
+
+
+class TestSaveFetchTheorems:
+    """Section 5, machine-checked for the bounded instance."""
+
+    def test_sender_resets_safe(self):
+        config = replace(SMALL, max_resets_p=1, max_resets_q=0, max_replays=2)
+        result = StateExplorer(make_savefetch_system(config)).explore()
+        assert result.ok, result.summary()
+        assert result.states_explored > 1000
+
+    def test_receiver_resets_safe(self):
+        config = replace(SMALL, max_resets_p=0, max_resets_q=1, max_replays=2)
+        result = StateExplorer(make_savefetch_system(config)).explore()
+        assert result.ok, result.summary()
+
+    def test_sender_resets_safe_even_with_loss(self):
+        config = replace(
+            SMALL, max_resets_p=1, max_resets_q=0, max_replays=1, with_loss=True
+        )
+        result = StateExplorer(make_savefetch_system(config)).explore()
+        assert result.ok, result.summary()
+
+
+class TestSaveFetchBoundaries:
+    """Outside the proofs' implicit hypotheses, counterexamples exist."""
+
+    def test_sizing_rule_is_necessary(self):
+        """Without 'at most one SAVE in flight', FETCH under-reads."""
+        config = replace(
+            SMALL, max_resets_p=1, max_resets_q=0, enforce_sizing=False, max_seq=5
+        )
+        result = StateExplorer(make_savefetch_system(config)).explore()
+        assert not result.ok
+        assert any("reused" in v.error for v in result.violations)
+
+    def test_loss_before_receiver_reset_breaks_no_replay(self):
+        config = replace(
+            SMALL, max_resets_p=0, max_resets_q=1, with_loss=True, max_replays=2
+        )
+        result = StateExplorer(make_savefetch_system(config)).explore()
+        assert not result.ok
+        assert any("Discrimination" in v.error for v in result.violations)
+
+    def test_staggered_dual_reset_breaks_no_replay(self):
+        config = replace(SMALL, max_resets_p=1, max_resets_q=1, max_replays=2, max_seq=5)
+        result = StateExplorer(make_savefetch_system(config)).explore()
+        assert not result.ok
+        trace = result.violations[0].trace
+        # The witness interleaves a p reset before the q reset.
+        assert "p.reset" in trace and "q.reset" in trace
+
+
+class TestCeilingRepair:
+    """The write-ahead ceiling closes both boundary holes."""
+
+    def test_safe_under_loss_and_receiver_reset(self):
+        config = replace(
+            SMALL, max_resets_p=0, max_resets_q=1, with_loss=True, max_replays=2
+        )
+        result = StateExplorer(make_ceiling_system(config)).explore()
+        assert result.ok, result.summary()
+
+    def test_safe_under_staggered_dual_resets(self):
+        config = replace(SMALL, max_resets_p=1, max_resets_q=1, max_replays=2)
+        result = StateExplorer(make_ceiling_system(config)).explore()
+        assert result.ok, result.summary()
+
+
+class TestExplorerMechanics:
+    def test_truncation_reported(self):
+        config = replace(SMALL, max_resets_p=1, max_resets_q=1)
+        explorer = StateExplorer(make_savefetch_system(config), max_states=50,
+                                 stop_at_first_violation=False)
+        result = explorer.explore()
+        assert result.truncated or result.violations
+
+    def test_summary_renders(self):
+        config = replace(SMALL, max_resets_p=0, max_resets_q=0, max_replays=0)
+        result = StateExplorer(make_unprotected_system(config)).explore()
+        assert "OK" in result.summary()

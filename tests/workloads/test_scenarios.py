@@ -1,0 +1,92 @@
+"""Tests for the named scenarios."""
+
+from repro.workloads.scenarios import (
+    run_dual_reset_scenario,
+    run_receiver_reset_scenario,
+    run_sender_reset_scenario,
+)
+
+
+class TestSenderResetScenario:
+    def test_protected_converges(self):
+        result = run_sender_reset_scenario(
+            protected=True, k=25, reset_after_sends=100, messages_after_reset=100
+        )
+        assert result.report.converged, result.report.bound_violations
+        assert result.report.sender_resets == 1
+        assert result.report.fresh_discarded == 0
+
+    def test_reset_placement_exact(self):
+        result = run_sender_reset_scenario(
+            protected=True, k=25, reset_after_sends=137, messages_after_reset=50
+        )
+        assert result.harness.sender.reset_records[0].last_used_seq == 137
+
+    def test_unprotected_discards_fresh(self):
+        result = run_sender_reset_scenario(
+            protected=False, k=25, reset_after_sends=200, messages_after_reset=150
+        )
+        assert result.report.fresh_discarded >= 150
+
+    def test_ablated_leap_flagged(self):
+        result = run_sender_reset_scenario(
+            protected=True, k=25, reset_after_sends=100, messages_after_reset=100,
+            leap_factor=0,
+        )
+        assert not result.report.converged
+
+
+class TestReceiverResetScenario:
+    def test_protected_rejects_history_replay(self):
+        result = run_receiver_reset_scenario(
+            protected=True,
+            k=25,
+            reset_after_receives=150,
+            messages_after_reset=0,
+            replay_history_after=True,
+        )
+        assert result.harness.adversary is not None
+        assert result.harness.adversary.injections >= 150
+        assert result.report.replays_accepted == 0
+
+    def test_unprotected_accepts_history_replay(self):
+        result = run_receiver_reset_scenario(
+            protected=False,
+            k=25,
+            reset_after_receives=150,
+            messages_after_reset=0,
+            replay_history_after=True,
+        )
+        assert result.report.replays_accepted >= 150
+
+    def test_discards_bounded(self):
+        result = run_receiver_reset_scenario(
+            protected=True, k=25, reset_after_receives=150, messages_after_reset=200
+        )
+        assert result.report.fresh_discarded <= 50
+
+
+class TestDualResetScenario:
+    def test_protected_survives_window_jump(self):
+        result = run_dual_reset_scenario(
+            protected=True, k=25, reset_after_sends=200, messages_after_reset=200
+        )
+        assert result.report.replays_accepted == 0
+        assert result.report.fresh_discarded <= 50
+
+    def test_unprotected_desynchronised_by_window_jump(self):
+        result = run_dual_reset_scenario(
+            protected=False, k=25, reset_after_sends=300, messages_after_reset=250
+        )
+        assert result.report.fresh_discarded > 100
+
+    def test_stagger_parameter(self):
+        result = run_dual_reset_scenario(
+            protected=True,
+            k=25,
+            reset_after_sends=200,
+            stagger=0.001,
+            messages_after_reset=200,
+        )
+        assert result.report.sender_resets == 1
+        assert result.report.receiver_resets == 1
