@@ -1,0 +1,108 @@
+"""Bench M3 — fleet campaign throughput: sessions/second, serial vs pool.
+
+Runs the same mixed-scenario campaign through :class:`FleetRunner` at
+``jobs=1`` (in-process) and ``jobs=cpu_count`` (worker pool) and reports
+sessions/second for each.  On a multi-core host the pool wins roughly
+linearly (tasks are independent and CPU-bound); on a single core the two
+are within pool-overhead of each other.
+
+Also runnable standalone, printing the comparison directly::
+
+    PYTHONPATH=src python benchmarks/bench_m3_fleet_throughput.py
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+import time
+from pathlib import Path
+
+from repro.fleet import (
+    CampaignSpec,
+    FleetOutcome,
+    FleetRunner,
+    ResultStore,
+    ScenarioGrid,
+)
+
+SESSIONS = 48
+POOL_JOBS = max(2, multiprocessing.cpu_count())
+
+
+def _bench_spec(sessions: int) -> CampaignSpec:
+    """Longer streams than ``example_spec`` so per-session compute
+    dominates pool/fork overhead and the parallel speedup is visible."""
+    half = sessions // 2
+    return CampaignSpec(
+        name="bench-m3",
+        base_seed=31337,
+        grids=(
+            ScenarioGrid(
+                scenario="sender_reset",
+                params={
+                    "k": 25,
+                    "reset_after_sends": [200, 300, 400],
+                    "messages_after_reset": 400,
+                },
+                sessions=sessions - half,
+            ),
+            ScenarioGrid(
+                scenario="loss_reset",
+                params={
+                    "k": 25,
+                    "loss_rate": [0.0, 0.02, 0.05],
+                    "reset_after_sends": 300,
+                    "messages_after_reset": 400,
+                },
+                sessions=half,
+            ),
+        ),
+    )
+
+
+def _run_campaign(jobs: int, workdir: str) -> FleetOutcome:
+    spec = _bench_spec(SESSIONS)
+    store = ResultStore(Path(workdir) / f"jobs{jobs}" / "results.jsonl")
+    outcome = FleetRunner(spec, store, jobs=jobs).run()
+    assert len(outcome.executed) == SESSIONS
+    assert all(record.status == "ok" for record in outcome.executed)
+    return outcome
+
+
+def bench_fleet_serial(benchmark):
+    with tempfile.TemporaryDirectory() as workdir:
+        outcome = benchmark.pedantic(
+            lambda: _run_campaign(1, tempfile.mkdtemp(dir=workdir)),
+            rounds=3, iterations=1, warmup_rounds=1,
+        )
+    print(f"\nserial: {outcome.sessions_per_second:.1f} sessions/s")
+
+
+def bench_fleet_pool(benchmark):
+    with tempfile.TemporaryDirectory() as workdir:
+        outcome = benchmark.pedantic(
+            lambda: _run_campaign(POOL_JOBS, tempfile.mkdtemp(dir=workdir)),
+            rounds=3, iterations=1, warmup_rounds=1,
+        )
+    print(f"\njobs={POOL_JOBS}: {outcome.sessions_per_second:.1f} sessions/s")
+
+
+def main() -> None:
+    print(f"fleet throughput, {SESSIONS}-session mixed campaign "
+          f"(cpu_count={multiprocessing.cpu_count()})")
+    with tempfile.TemporaryDirectory() as workdir:
+        results: dict[int, float] = {}
+        for jobs in (1, POOL_JOBS):
+            started = time.perf_counter()
+            outcome = _run_campaign(jobs, workdir)
+            elapsed = time.perf_counter() - started
+            results[jobs] = outcome.sessions_per_second
+            print(f"  jobs={jobs:<3d} {elapsed:6.2f}s  "
+                  f"{outcome.sessions_per_second:8.1f} sessions/s")
+        speedup = results[POOL_JOBS] / results[1]
+        print(f"  pool speedup over serial: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

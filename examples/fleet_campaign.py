@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Fleet campaign walkthrough: declare, run, interrupt, resume, aggregate.
+
+Builds a mixed reset/loss/replay campaign spec, round-trips it through
+JSON (the same file format ``python -m repro fleet`` consumes), runs the
+first half serially, then "resumes the interrupted campaign" across a
+two-worker pool and prints the cross-fleet summary — worst-case sessions
+ship with their repro seeds, so any outlier replays as one deterministic
+scenario call.
+
+Run:  python examples/fleet_campaign.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.fleet import (
+    CampaignSpec,
+    FleetRunner,
+    ResultStore,
+    ScenarioGrid,
+    execute_task,
+    summarize,
+)
+
+
+def make_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="walkthrough",
+        base_seed=2003,
+        grids=(
+            # Grid mode: the full cartesian product of the axes — the
+            # Fig. 1 sweep of a sender reset across the SAVE cycle.
+            ScenarioGrid(
+                scenario="sender_reset",
+                params={
+                    "k": 25,
+                    "reset_after_sends": [40, 45, 50, 55, 60],
+                    "messages_after_reset": 60,
+                },
+            ),
+            # Population mode: 12 randomized receiver-reset sessions,
+            # half of them with the Section 3 history-replay attack.
+            ScenarioGrid(
+                scenario="receiver_reset",
+                params={
+                    "k": 25,
+                    "reset_after_receives": [40, 50, 60],
+                    "messages_after_reset": 60,
+                    "replay_history_after": [True, False],
+                },
+                sessions=12,
+            ),
+            # Mixed fault story: Bernoulli loss plus a sender reset.
+            ScenarioGrid(
+                scenario="loss_reset",
+                params={
+                    "k": 25,
+                    "loss_rate": [0.0, 0.02, 0.05],
+                    "reset_after_sends": 50,
+                    "messages_after_reset": 60,
+                },
+                sessions=12,
+            ),
+        ),
+    )
+
+
+def main() -> None:
+    spec = make_spec()
+    workdir = Path(tempfile.mkdtemp(prefix="fleet_campaign_"))
+
+    spec_path = spec.dump(workdir / "campaign.json")
+    spec = CampaignSpec.load(spec_path)  # same round-trip the CLI does
+    total = spec.session_count()
+    print("=== fleet campaign walkthrough ===")
+    print(f"spec: {spec_path} ({total} sessions, 3 scenario grids)")
+
+    # --- first invocation, "interrupted" partway ---------------------
+    store = ResultStore(workdir / "results.jsonl")
+    half = spec.tasks()[: total // 2]
+    for task in half:
+        store.append(execute_task(task, spec.max_events))
+    print(f"first run (interrupted): {len(half)} sessions persisted")
+
+    # --- resume: same spec, same store, now on a worker pool ---------
+    outcome = FleetRunner(spec, store, jobs=2).run()
+    print(f"resume: skipped {outcome.skipped} finished sessions, "
+          f"executed {len(outcome.executed)} new ones "
+          f"({outcome.sessions_per_second:.0f} sessions/s)")
+
+    # --- aggregate the whole campaign --------------------------------
+    print()
+    print(summarize(store.records()).render())
+    print()
+    print(f"durable store: {store.path}")
+    print("re-running this spec against that store would recompute nothing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,8 +25,14 @@ Quickstart::
     harness.run(until=0.05)
     print(harness.score().summary())
 
-See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
-the paper-vs-measured record of every reproduced figure and claim.
+Beyond one pair, :mod:`repro.fleet` scales the same scenarios to whole
+campaigns — thousands of independent sessions under mixed reset/loss/replay
+stories, run across a process pool with durable, resumable JSONL results
+(``python -m repro fleet campaign.json --jobs 8``).
+
+See ``DESIGN.md`` for the full system inventory; the paper-vs-measured
+record of every reproduced figure and claim lives in
+:mod:`repro.experiments` (run ``python -m repro experiments``).
 """
 
 from repro.core.audit import DeliveryAuditor
@@ -44,12 +50,23 @@ from repro.core.receiver import SaveFetchReceiver, UnprotectedReceiver
 from repro.core.recovery import ProlongedResetSession
 from repro.core.reset import ResetSchedule, reset_at_count, reset_at_time, reset_during_save
 from repro.core.sender import SaveFetchSender, UnprotectedSender
+from repro.fleet import (
+    CampaignSpec,
+    FleetRunner,
+    FleetSummary,
+    FleetTask,
+    ResultStore,
+    ScenarioGrid,
+    TaskRecord,
+    run_campaign,
+    summarize,
+)
 from repro.ipsec.costs import PAPER_COSTS, CostModel
 from repro.ipsec.replay_window import ArrayReplayWindow, BitmapReplayWindow, Verdict
 from repro.ipsec.replay_window_blocked import BlockedReplayWindow
 from repro.ipsec.stack import IpsecStack
 from repro.net.adversary import ReplayAdversary
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, EngineEventLimitError
 
 __version__ = "1.0.0"
 
@@ -57,12 +74,17 @@ __all__ = [
     "ArrayReplayWindow",
     "BitmapReplayWindow",
     "BlockedReplayWindow",
+    "CampaignSpec",
     "CeilingReceiver",
     "CeilingSender",
     "ConvergenceReport",
     "CostModel",
     "DeliveryAuditor",
     "Engine",
+    "EngineEventLimitError",
+    "FleetRunner",
+    "FleetSummary",
+    "FleetTask",
     "IpsecStack",
     "PAPER_COSTS",
     "PersistentStore",
@@ -72,9 +94,12 @@ __all__ = [
     "RekeySimulation",
     "ReplayAdversary",
     "ResetSchedule",
+    "ResultStore",
     "SaveFetchOutcome",
     "SaveFetchReceiver",
     "SaveFetchSender",
+    "ScenarioGrid",
+    "TaskRecord",
     "UnprotectedReceiver",
     "UnprotectedSender",
     "Verdict",
@@ -83,6 +108,8 @@ __all__ = [
     "reset_at_count",
     "reset_at_time",
     "reset_during_save",
+    "run_campaign",
     "savefetch_recovery_outcome",
     "score_run",
+    "summarize",
 ]

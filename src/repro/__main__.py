@@ -9,6 +9,9 @@ Commands:
 * ``demo`` — the quickstart scenario, one screenful.
 * ``spec {unprotected,savefetch,ceiling}`` — print the APN spec inventory
   in the paper's notation style.
+* ``fleet <spec.json>`` — run a multi-session campaign (``--jobs N`` for
+  a worker pool, ``--out DIR`` for the durable result store; re-running
+  the same spec resumes).  ``fleet --sample`` prints an example spec.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import replace
+from pathlib import Path
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -89,6 +93,61 @@ def _cmd_spec(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import CampaignSpec, FleetRunner, ResultStore, example_spec, summarize
+
+    if args.sample:
+        print(example_spec().to_json())
+        return 0
+    if args.spec is None:
+        print("error: a campaign spec file is required (or use --sample)",
+              file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    try:
+        spec = CampaignSpec.load(args.spec)
+        spec.validate_scenarios()
+    except OSError as exc:
+        print(f"error: cannot read spec file: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: invalid campaign spec {args.spec!r}: {exc}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out) if args.out else Path("fleet_runs") / spec.name
+    store = ResultStore(out_dir / "results.jsonl")
+    total = spec.session_count()
+    print(f"campaign {spec.name!r}: {total} sessions, jobs={args.jobs}, "
+          f"store={store.path}")
+
+    stride = max(1, total // 20)
+
+    def progress(done: int, pending: int, record) -> None:
+        if done % stride == 0 or done == pending or record.status != "ok":
+            status = "" if record.status == "ok" else f"  [{record.status}: {record.error}]"
+            print(f"  [{done}/{pending}] {record.task_id}{status}")
+
+    try:
+        outcome = FleetRunner(spec, store, jobs=args.jobs, progress=progress).run()
+    except KeyboardInterrupt:
+        done = len(store.completed_ids())
+        print(f"\ninterrupted — {done}/{total} sessions persisted to {store.path}; "
+              "re-run the same command to resume", file=sys.stderr)
+        return 130
+    print(f"executed {len(outcome.executed)} sessions "
+          f"({outcome.skipped} resumed from store) in {outcome.wall_time:.2f}s "
+          f"({outcome.sessions_per_second:.1f} sessions/s)")
+    print()
+    summary = summarize(store.records())
+    print(summary.render())
+    if summary.errors:
+        print(f"error: {summary.errors} session(s) errored; "
+              "re-run the same command to retry them", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -112,6 +171,18 @@ def main(argv: list[str] | None = None) -> int:
     p_spec = subparsers.add_parser("spec", help="print an APN spec")
     p_spec.add_argument("which", choices=["unprotected", "savefetch", "ceiling"])
     p_spec.set_defaults(fn=_cmd_spec)
+
+    p_fleet = subparsers.add_parser(
+        "fleet", help="run a multi-session campaign from a spec file"
+    )
+    p_fleet.add_argument("spec", nargs="?", help="campaign spec JSON file")
+    p_fleet.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (default: 1, serial)")
+    p_fleet.add_argument("--out", default=None,
+                         help="output directory (default: fleet_runs/<name>)")
+    p_fleet.add_argument("--sample", action="store_true",
+                         help="print an example campaign spec and exit")
+    p_fleet.set_defaults(fn=_cmd_fleet)
 
     args = parser.parse_args(argv)
     return args.fn(args)

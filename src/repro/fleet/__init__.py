@@ -1,0 +1,62 @@
+"""Fleet campaigns: parallel multi-session runs with durable results.
+
+One :class:`ProtocolHarness` is one sender–receiver pair; a *fleet* is
+thousands of them — a declarative population of scenario sessions under
+mixed reset/loss/replay stories, executed serially or across a process
+pool, with every finished session appended to a crash-tolerant JSONL
+store and aggregated into campaign-level verdicts.
+
+* :mod:`~repro.fleet.spec` — :class:`CampaignSpec` / :class:`ScenarioGrid`,
+  the JSON-round-trippable campaign description, and its deterministic
+  expansion into seeded :class:`FleetTask` units.
+* :mod:`~repro.fleet.runner` — :class:`FleetRunner`, the serial /
+  ``multiprocessing`` executor with resume-after-interrupt.
+* :mod:`~repro.fleet.results` — :class:`ResultStore` and
+  :class:`TaskRecord`, the append-only JSONL persistence layer.
+* :mod:`~repro.fleet.aggregate` — :func:`summarize` and
+  :class:`FleetSummary`, cross-fleet percentiles and worst-case outliers
+  with repro seeds.
+
+Quickstart::
+
+    from repro.fleet import ResultStore, example_spec, run_campaign, summarize
+
+    spec = example_spec(sessions=60)
+    store = ResultStore("fleet_runs/demo/results.jsonl")
+    run_campaign(spec, store, jobs=4)
+    print(summarize(store.records()).render())
+
+or from the command line::
+
+    python -m repro fleet campaign.json --jobs 4 --out fleet_runs/demo
+"""
+
+from repro.fleet.aggregate import FleetSummary, Outlier, percentile, summarize
+from repro.fleet.results import ResultStore, TaskRecord, report_metrics
+from repro.fleet.runner import FleetOutcome, FleetRunner, execute_task, run_campaign
+from repro.fleet.spec import (
+    DEFAULT_MAX_EVENTS,
+    CampaignSpec,
+    FleetTask,
+    ScenarioGrid,
+    example_spec,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "DEFAULT_MAX_EVENTS",
+    "FleetOutcome",
+    "FleetRunner",
+    "FleetSummary",
+    "FleetTask",
+    "Outlier",
+    "ResultStore",
+    "ScenarioGrid",
+    "TaskRecord",
+    "example_spec",
+    "execute_task",
+    "percentile",
+    "report_metrics",
+    "run_campaign",
+    "summarize",
+]

@@ -1,0 +1,185 @@
+"""Cross-fleet aggregation of campaign results.
+
+Turns a pile of :class:`~repro.fleet.results.TaskRecord` lines into the
+campaign-level verdicts an operator actually reads: how many sessions
+converged, the distribution of convergence times, the collateral totals
+(discards, lost sequence numbers, accepted replays), and — most useful in
+practice — the worst-case outliers *with their repro seeds*, so any tail
+case replays as a single deterministic scenario call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.fleet.results import STATUS_ERROR, STATUS_OK, TaskRecord
+
+#: Percentile points reported for convergence time.
+PERCENTILES = (50.0, 90.0, 99.0, 100.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``.
+
+    Raises:
+        ValueError: on an empty sequence or ``q`` outside [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (rank - low) * (ordered[high] - ordered[low])
+
+
+@dataclass
+class Outlier:
+    """A worst-case session, carrying everything needed to replay it."""
+
+    task_id: str
+    scenario: str
+    seed: int
+    params: dict[str, Any]
+    reason: str
+    value: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.task_id} [{self.reason}={self.value:g}] "
+            f"scenario={self.scenario} seed={self.seed} params={self.params}"
+        )
+
+
+@dataclass
+class FleetSummary:
+    """Aggregate scores for one campaign's result records."""
+
+    tasks: int = 0
+    ok: int = 0
+    errors: int = 0
+    converged: int = 0
+    with_violations: int = 0
+    replays_accepted_total: int = 0
+    fresh_discarded_total: int = 0
+    lost_seqnums_total: int = 0
+    resets_total: int = 0
+    convergence_time: dict[str, float] = field(default_factory=dict)
+    wall_time_total: float = 0.0
+    outliers: list[Outlier] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Multi-line human-readable campaign report."""
+        lines = [
+            f"sessions: {self.tasks} ({self.ok} ok, {self.errors} errored)",
+            f"converged: {self.converged}/{self.ok}"
+            f" ({self.with_violations} with bound violations)",
+            f"resets injected: {self.resets_total}",
+            f"replays accepted: {self.replays_accepted_total}",
+            f"fresh discarded: {self.fresh_discarded_total}",
+            f"seqnums lost: {self.lost_seqnums_total}",
+        ]
+        if self.convergence_time:
+            formatted = "  ".join(
+                f"{name}={value * 1e6:.1f}us"
+                for name, value in self.convergence_time.items()
+            )
+            lines.append(f"time-to-converge: {formatted}")
+        lines.append(f"worker wall time: {self.wall_time_total:.2f}s")
+        if self.outliers:
+            lines.append("worst cases (repro seeds):")
+            lines.extend(f"  {outlier.summary()}" for outlier in self.outliers)
+        return "\n".join(lines)
+
+
+def summarize(records: Iterable[TaskRecord], worst_k: int = 5) -> FleetSummary:
+    """Fold task records into a :class:`FleetSummary`.
+
+    A resumed store may hold several records for one task (an error line
+    from an interrupted run, then the successful retry); each task counts
+    once, its **latest** record winning — stores are append-ordered, so
+    the latest record is the current truth.
+
+    Outlier selection: every errored or non-converged session qualifies
+    outright (reason ``error`` / ``violations`` / ``replays``); among the
+    rest, the slowest convergers fill the remaining ``worst_k`` slots.
+    """
+    latest: dict[str, TaskRecord] = {}
+    for record in records:
+        latest[record.task_id] = record
+    summary = FleetSummary()
+    times: list[float] = []
+    candidates: list[Outlier] = []
+    slow: list[Outlier] = []
+    for record in latest.values():
+        summary.tasks += 1
+        summary.wall_time_total += record.wall_time
+        if record.status == STATUS_ERROR:
+            summary.errors += 1
+            candidates.append(Outlier(
+                task_id=record.task_id,
+                scenario=record.scenario,
+                seed=record.seed,
+                params=dict(record.params),
+                reason="error",
+                value=1.0,
+            ))
+            continue
+        if record.status != STATUS_OK:
+            continue
+        summary.ok += 1
+        metrics = record.metrics
+        replays = metrics.get("replays_accepted", 0)
+        violations = metrics.get("bound_violations", [])
+        summary.replays_accepted_total += replays
+        summary.fresh_discarded_total += metrics.get("fresh_discarded", 0)
+        summary.lost_seqnums_total += sum(metrics.get("lost_seqnums_per_reset", []))
+        summary.resets_total += (
+            metrics.get("sender_resets", 0) + metrics.get("receiver_resets", 0)
+        )
+        task_times = metrics.get("time_to_converge", [])
+        times.extend(task_times)
+        if metrics.get("converged", False):
+            summary.converged += 1
+        if violations:
+            summary.with_violations += 1
+            candidates.append(Outlier(
+                task_id=record.task_id,
+                scenario=record.scenario,
+                seed=record.seed,
+                params=dict(record.params),
+                reason="violations",
+                value=float(len(violations)),
+            ))
+        elif replays:
+            candidates.append(Outlier(
+                task_id=record.task_id,
+                scenario=record.scenario,
+                seed=record.seed,
+                params=dict(record.params),
+                reason="replays",
+                value=float(replays),
+            ))
+        elif task_times:
+            slow.append(Outlier(
+                task_id=record.task_id,
+                scenario=record.scenario,
+                seed=record.seed,
+                params=dict(record.params),
+                reason="slow_converge",
+                value=max(task_times),
+            ))
+    if times:
+        summary.convergence_time = {
+            f"p{q:g}" if q < 100.0 else "max": percentile(times, q)
+            for q in PERCENTILES
+        }
+    candidates.sort(key=lambda o: (-o.value, o.task_id))
+    slow.sort(key=lambda o: (-o.value, o.task_id))
+    summary.outliers = (candidates + slow)[:worst_k]
+    return summary

@@ -1,0 +1,168 @@
+"""Durable campaign results: append-only JSONL records.
+
+Every finished task becomes one :class:`TaskRecord` line in a
+:class:`ResultStore` file.  Append-on-complete plus one-line-per-record
+makes the store crash-tolerant by construction: an interrupt can at worst
+truncate the final line, which :meth:`ResultStore.records` detects and
+drops, so the corresponding task simply reruns on resume.  The runner
+never rewrites or reorders the file — records from successive (possibly
+interrupted) invocations accumulate.
+
+Records are serialised with sorted keys and a canonical float format, so
+two runs of the same spec produce byte-identical lines modulo the
+``wall_time`` field (the only wall-clock-dependent value).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.core.convergence import ConvergenceReport
+
+#: Record status values.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+def report_metrics(report: ConvergenceReport) -> dict[str, Any]:
+    """Flatten a :class:`ConvergenceReport` into JSON-safe metrics."""
+    return {
+        "converged": report.converged,
+        "sender_resets": report.sender_resets,
+        "receiver_resets": report.receiver_resets,
+        "replays_accepted": report.replays_accepted,
+        "fresh_discarded": report.fresh_discarded,
+        "lost_seqnums_per_reset": list(report.lost_seqnums_per_reset),
+        "gaps_sender": list(report.gaps_sender),
+        "gaps_receiver": list(report.gaps_receiver),
+        "time_to_converge": list(report.time_to_converge),
+        "bound_violations": list(report.bound_violations),
+        "fresh_sent": report.audit.fresh_sent,
+        "delivered_uids": report.audit.delivered_uids,
+        "never_arrived": report.audit.never_arrived,
+    }
+
+
+@dataclass
+class TaskRecord:
+    """One completed (or failed) task, as persisted to the store.
+
+    Attributes:
+        task_id / scenario / params / seed: echo of the expanded task.
+        status: ``"ok"`` or ``"error"``; only ``"ok"`` records count as
+            completed for resume purposes, so failed tasks retry.
+        metrics: the flattened :class:`ConvergenceReport` (empty on error).
+        wall_time: task execution wall time in seconds (the one field
+            excluded from determinism comparisons).
+        error: ``repr`` of the exception, for ``"error"`` records.
+    """
+
+    task_id: str
+    scenario: str
+    params: dict[str, Any]
+    seed: int
+    status: str = STATUS_OK
+    metrics: dict[str, Any] = field(default_factory=dict)
+    wall_time: float = 0.0
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "task_id": self.task_id,
+            "scenario": self.scenario,
+            "params": self.params,
+            "seed": self.seed,
+            "status": self.status,
+            "metrics": self.metrics,
+            "wall_time": self.wall_time,
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaskRecord":
+        return cls(
+            task_id=data["task_id"],
+            scenario=data["scenario"],
+            params=dict(data["params"]),
+            seed=data["seed"],
+            status=data.get("status", STATUS_OK),
+            metrics=dict(data.get("metrics", {})),
+            wall_time=data.get("wall_time", 0.0),
+            error=data.get("error"),
+        )
+
+    def to_json(self) -> str:
+        """One canonical JSONL line (sorted keys, no stray whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """Append-only JSONL store for :class:`TaskRecord` lines.
+
+    The store is deliberately single-writer: the fleet runner appends from
+    the parent process only, workers hand records back over the pool, so
+    no file locking is needed and line integrity is trivial.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: malformed lines seen by the last :meth:`records` call (a value
+        #: above 1 suggests external tampering, not a crash artefact).
+        self.corrupt_lines = 0
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    def _ends_mid_line(self) -> bool:
+        """True if the file is non-empty and missing its final newline —
+        the signature a crash interrupted the previous append."""
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(-1, 2)
+                return handle.read(1) != b"\n"
+        except (FileNotFoundError, OSError):
+            return False
+
+    def append(self, record: TaskRecord) -> None:
+        """Durably append one record (line-buffered, flushed per call).
+
+        If a previous run died mid-write, the file ends without a
+        newline; terminate that partial line first so the new record
+        does not glue onto it (the partial line then reads as one
+        corrupt line and its task reruns).
+        """
+        heal = self._ends_mid_line()
+        with self.path.open("a", encoding="utf-8") as handle:
+            if heal:
+                handle.write("\n")
+            handle.write(record.to_json() + "\n")
+            handle.flush()
+
+    def records(self) -> Iterator[TaskRecord]:
+        """Yield stored records, skipping any truncated/corrupt line."""
+        self.corrupt_lines = 0
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield TaskRecord.from_dict(json.loads(line))
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    self.corrupt_lines += 1
+
+    def completed_ids(self) -> set[str]:
+        """Task ids recorded with ``status == "ok"`` (the resume set)."""
+        return {
+            record.task_id
+            for record in self.records()
+            if record.status == STATUS_OK
+        }

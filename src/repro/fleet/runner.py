@@ -1,0 +1,191 @@
+"""Campaign execution: expand a spec, run its tasks, persist results.
+
+:class:`FleetRunner` is the driver loop: expand the
+:class:`~repro.fleet.spec.CampaignSpec` into tasks, drop the ones the
+:class:`~repro.fleet.results.ResultStore` already holds (resume), execute
+the rest — in-process when ``jobs=1``, across a ``multiprocessing`` pool
+otherwise — and append each record to the store the moment it completes.
+
+Two properties the rest of the fleet stack depends on:
+
+* **Determinism** — every task carries its own derived seed, task
+  execution never reads shared mutable state, and completed records are
+  appended in task order (``imap``, not ``imap_unordered``), so serial
+  and parallel runs of the same spec write byte-identical stores modulo
+  the ``wall_time`` field.
+* **Crash tolerance** — the store is append-on-complete from the parent
+  process only; kill the run at any point and re-running the same spec
+  skips every finished task and recomputes nothing else.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.fleet.results import (
+    STATUS_ERROR,
+    STATUS_OK,
+    ResultStore,
+    TaskRecord,
+    report_metrics,
+)
+from repro.fleet.spec import CampaignSpec, FleetTask
+from repro.sim.engine import Engine
+from repro.workloads.scenarios import get_scenario
+
+#: Progress callback signature: (completed_in_this_run, remaining_total,
+#: record).  Called once per finished task, in completion order.
+ProgressFn = Callable[[int, int, TaskRecord], None]
+
+
+def execute_task(task: FleetTask, max_events: int | None = None) -> TaskRecord:
+    """Run one task to completion and score it; never raises.
+
+    The engine's class-wide default hard event limit is set for the
+    duration of the call so the guard reaches the engine built deep
+    inside the scenario helper; any exception — including the
+    :class:`~repro.sim.engine.EngineEventLimitError` tripwire — becomes a
+    ``status="error"`` record (retried on the next resume) instead of
+    taking the whole campaign down.
+    """
+    started = time.perf_counter()
+    previous_limit = Engine.default_hard_event_limit
+    Engine.default_hard_event_limit = max_events
+    try:
+        scenario = get_scenario(task.scenario)
+        result = scenario(seed=task.seed, **dict(task.params))
+        return TaskRecord(
+            task_id=task.task_id,
+            scenario=task.scenario,
+            params=dict(task.params),
+            seed=task.seed,
+            status=STATUS_OK,
+            metrics=report_metrics(result.report),
+            wall_time=time.perf_counter() - started,
+        )
+    except Exception as exc:  # noqa: BLE001 - one bad task must not kill the fleet
+        return TaskRecord(
+            task_id=task.task_id,
+            scenario=task.scenario,
+            params=dict(task.params),
+            seed=task.seed,
+            status=STATUS_ERROR,
+            error=f"{type(exc).__name__}: {exc}",
+            wall_time=time.perf_counter() - started,
+        )
+    finally:
+        Engine.default_hard_event_limit = previous_limit
+
+
+def _pool_execute(payload: tuple[dict[str, Any], int | None]) -> dict[str, Any]:
+    """Pool worker entry point (module-level so it pickles by reference)."""
+    task_data, max_events = payload
+    return execute_task(FleetTask.from_dict(task_data), max_events).to_dict()
+
+
+@dataclass
+class FleetOutcome:
+    """What one :meth:`FleetRunner.run` call did.
+
+    Attributes:
+        total: tasks the spec expands to.
+        skipped: tasks already in the store (resume hits).
+        executed: records produced by this call, in task order.
+        wall_time: elapsed wall time of this call, in seconds.
+    """
+
+    total: int
+    skipped: int
+    executed: list[TaskRecord] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def sessions_per_second(self) -> float:
+        """Throughput of this call (0 when nothing ran)."""
+        if not self.executed or self.wall_time <= 0:
+            return 0.0
+        return len(self.executed) / self.wall_time
+
+
+class FleetRunner:
+    """Executes a campaign spec against a result store.
+
+    Args:
+        spec: the campaign to run.
+        store: durable record sink; pre-existing ``ok`` records are
+            treated as finished work and skipped.
+        jobs: worker processes; ``1`` runs in-process (no pool overhead).
+        max_events: per-task engine event budget; defaults to
+            ``spec.max_events``.
+        progress: optional per-record callback (see :data:`ProgressFn`).
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        jobs: int = 1,
+        max_events: int | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.spec = spec
+        self.store = store
+        self.jobs = jobs
+        self.max_events = max_events if max_events is not None else spec.max_events
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def pending_tasks(self) -> tuple[int, list[FleetTask]]:
+        """Expand the spec and subtract completed work.
+
+        Returns:
+            ``(total, pending)`` — the full task count and the tasks not
+            yet recorded ``ok`` in the store, in stable task order.
+        """
+        tasks = self.spec.tasks()
+        done = self.store.completed_ids()
+        return len(tasks), [task for task in tasks if task.task_id not in done]
+
+    def _results(self, pending: list[FleetTask]) -> Iterator[TaskRecord]:
+        if self.jobs == 1:
+            for task in pending:
+                yield execute_task(task, self.max_events)
+            return
+        payloads = [(task.to_dict(), self.max_events) for task in pending]
+        # chunksize=1 keeps completion streaming; ordered imap keeps the
+        # store's line order identical to the serial run.
+        with multiprocessing.Pool(processes=self.jobs) as pool:
+            for record_data in pool.imap(_pool_execute, payloads, chunksize=1):
+                yield TaskRecord.from_dict(record_data)
+
+    def run(self) -> FleetOutcome:
+        """Execute every pending task, appending records as they finish."""
+        started = time.perf_counter()
+        total, pending = self.pending_tasks()
+        outcome = FleetOutcome(total=total, skipped=total - len(pending))
+        for record in self._results(pending):
+            self.store.append(record)
+            outcome.executed.append(record)
+            if self.progress is not None:
+                self.progress(len(outcome.executed), len(pending), record)
+        outcome.wall_time = time.perf_counter() - started
+        return outcome
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore | str,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
+) -> FleetOutcome:
+    """Convenience wrapper: build the runner and execute the campaign."""
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    return FleetRunner(spec, store, jobs=jobs, progress=progress).run()

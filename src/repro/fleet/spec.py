@@ -1,0 +1,365 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` describes a whole population of scenario runs —
+which scenarios, over which parameter choices, how many sessions, under
+which master seed — without executing anything.  Specs round-trip through
+plain dicts and JSON, so campaigns live in version-controllable files and
+travel unchanged between the CLI, the runner, and worker processes.
+
+Expansion (:meth:`CampaignSpec.tasks`) is pure and deterministic: the same
+spec always yields the same list of :class:`FleetTask` with the same ids
+and the same per-task seeds, derived via the stable spawn-key scheme in
+:func:`repro.util.rng.derive_seed`.  That invariant is what makes fleet
+results resumable and byte-for-byte reproducible.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.util.rng import derive_seed, make_rng
+from repro.util.validation import check_positive
+from repro.workloads.scenarios import SCENARIOS
+
+#: Default per-task event budget (see ``Engine.hard_event_limit``): far
+#: above any sane scenario (~10 events per message, thousands of
+#: messages), low enough to kill a self-rescheduling loop in seconds.
+DEFAULT_MAX_EVENTS = 5_000_000
+
+
+@dataclass(frozen=True)
+class FleetTask:
+    """One executable unit of a campaign: a scenario call, fully pinned.
+
+    Attributes:
+        task_id: stable identifier, unique within the campaign; the
+            resume key in the result store.
+        scenario: name in :data:`repro.workloads.scenarios.SCENARIOS`.
+        params: keyword arguments for the scenario (seed excluded).
+        seed: the derived, independent seed for this task.
+    """
+
+    task_id: str
+    scenario: str
+    params: Mapping[str, Any]
+    seed: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "task_id": self.task_id,
+            "scenario": self.scenario,
+            "params": dict(self.params),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetTask":
+        return cls(
+            task_id=data["task_id"],
+            scenario=data["scenario"],
+            params=dict(data["params"]),
+            seed=data["seed"],
+        )
+
+
+def _as_choices(axis: str, value: Any) -> tuple[Any, ...]:
+    """Normalise a grid axis value into a non-empty tuple of choices."""
+    if isinstance(value, (list, tuple)):
+        if not value:
+            raise ValueError(f"axis {axis!r} has an empty choice list")
+        return tuple(value)
+    return (value,)  # a bare scalar is a single-choice axis
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """One scenario plus its parameter space.
+
+    Attributes:
+        scenario: registry name of the scenario to run.
+        params: axis name -> choice list (a bare scalar means "always
+            this value").  Axes are combined in sorted-name order, so the
+            expansion does not depend on dict insertion order.
+        sessions: ``None`` expands the full cartesian product of the
+            axes ("grid mode"); an ``int`` draws that many sessions, each
+            with one choice per axis picked by a spec-seeded RNG
+            ("population mode" — how a 10k-session mixed campaign stays a
+            three-line spec).
+        repeats: grid mode only — replicate every combination this many
+            times under distinct seeds.
+    """
+
+    scenario: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    sessions: int | None = None
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.scenario:
+            raise ValueError("scenario name must be non-empty")
+        if self.sessions is not None:
+            check_positive("sessions", self.sessions)
+        check_positive("repeats", self.repeats)
+        if self.sessions is not None and self.repeats != 1:
+            raise ValueError(
+                "repeats applies to grid mode only; population mode "
+                "(sessions=N) draws each session independently — drop "
+                "repeats or raise sessions"
+            )
+        for axis, value in self.params.items():
+            _as_choices(axis, value)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "scenario": self.scenario,
+            "params": {k: list(v) if isinstance(v, tuple) else v
+                       for k, v in self.params.items()},
+        }
+        if self.sessions is not None:
+            data["sessions"] = self.sessions
+        if self.repeats != 1:
+            data["repeats"] = self.repeats
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioGrid":
+        return cls(
+            scenario=data["scenario"],
+            params=dict(data.get("params", {})),
+            sessions=data.get("sessions"),
+            repeats=data.get("repeats", 1),
+        )
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def session_count(self) -> int:
+        """Number of tasks this grid expands to."""
+        if self.sessions is not None:
+            return self.sessions
+        count = self.repeats
+        for axis in self.params:
+            count *= len(_as_choices(axis, self.params[axis]))
+        return count
+
+    def expand(self, base_seed: int, grid_index: int) -> Iterator[FleetTask]:
+        """Yield this grid's tasks with derived ids and seeds."""
+        axes = sorted(self.params)
+        choices = [_as_choices(axis, self.params[axis]) for axis in axes]
+        if self.sessions is None:
+            combos = enumerate(itertools.product(*choices))
+            for combo_index, combo in combos:
+                for rep in range(self.repeats):
+                    suffix = f"c{combo_index:05d}" + (
+                        f"r{rep}" if self.repeats > 1 else ""
+                    )
+                    yield FleetTask(
+                        task_id=f"g{grid_index}/{self.scenario}/{suffix}",
+                        scenario=self.scenario,
+                        params=dict(zip(axes, combo)),
+                        seed=derive_seed(
+                            base_seed, grid_index, self.scenario, combo_index, rep
+                        ),
+                    )
+        else:
+            # Population mode: the draw RNG is itself spawn-key derived,
+            # so the sampled parameters are a pure function of the spec.
+            rng = make_rng(derive_seed(base_seed, grid_index, "population"))
+            for session in range(self.sessions):
+                params = {
+                    axis: rng.choice(axis_choices)
+                    for axis, axis_choices in zip(axes, choices)
+                }
+                yield FleetTask(
+                    task_id=f"g{grid_index}/{self.scenario}/s{session:05d}",
+                    scenario=self.scenario,
+                    params=params,
+                    seed=derive_seed(base_seed, grid_index, self.scenario, session),
+                )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A complete, declarative fleet campaign.
+
+    Attributes:
+        name: campaign label (used for default output paths).
+        grids: the scenario populations making up the campaign.
+        base_seed: master seed every per-task seed is derived from.
+        max_events: hard per-task event budget handed to the engine guard
+            (see :class:`repro.sim.engine.EngineEventLimitError`).
+    """
+
+    name: str
+    grids: tuple[ScenarioGrid, ...]
+    base_seed: int = 0
+    max_events: int = DEFAULT_MAX_EVENTS
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        if not self.grids:
+            raise ValueError("campaign needs at least one scenario grid")
+        object.__setattr__(self, "grids", tuple(
+            grid if isinstance(grid, ScenarioGrid) else ScenarioGrid.from_dict(grid)
+            for grid in self.grids
+        ))
+        check_positive("max_events", self.max_events)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "base_seed": self.base_seed,
+            "max_events": self.max_events,
+            "grids": [grid.to_dict() for grid in self.grids],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        missing = [key for key in ("name", "grids") if key not in data]
+        if missing:
+            raise ValueError(f"campaign spec missing required keys: {missing}")
+        return cls(
+            name=data["name"],
+            grids=tuple(ScenarioGrid.from_dict(g) for g in data["grids"]),
+            base_seed=data.get("base_seed", 0),
+            max_events=data.get("max_events", DEFAULT_MAX_EVENTS),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the spec as JSON to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignSpec":
+        """Read a spec from a JSON file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def validate_scenarios(self) -> None:
+        """Check every grid names a registered scenario and real params.
+
+        Catching a misspelled parameter axis here costs one signature
+        inspection; catching it later costs the whole campaign, one
+        per-task ``TypeError`` error record at a time.
+        """
+        for grid in self.grids:
+            if grid.scenario not in SCENARIOS:
+                known = ", ".join(sorted(SCENARIOS))
+                raise ValueError(
+                    f"campaign {self.name!r}: unknown scenario "
+                    f"{grid.scenario!r}; known scenarios: {known}"
+                )
+            signature = inspect.signature(SCENARIOS[grid.scenario])
+            allowed = set(signature.parameters) - {"seed"}
+            unknown = sorted(set(grid.params) - allowed)
+            if unknown:
+                detail = (
+                    "'seed' is derived per task and cannot be a parameter axis"
+                    if unknown == ["seed"]
+                    else f"valid parameters: {', '.join(sorted(allowed))}"
+                )
+                raise ValueError(
+                    f"campaign {self.name!r}: scenario {grid.scenario!r} "
+                    f"has no parameter(s) {unknown}; {detail}"
+                )
+
+    def session_count(self) -> int:
+        """Total number of tasks the spec expands to."""
+        return sum(grid.session_count() for grid in self.grids)
+
+    def tasks(self) -> list[FleetTask]:
+        """Expand into the deterministic, ordered task list."""
+        self.validate_scenarios()
+        expanded: list[FleetTask] = []
+        for grid_index, grid in enumerate(self.grids):
+            expanded.extend(grid.expand(self.base_seed, grid_index))
+        ids = [task.task_id for task in expanded]
+        if len(set(ids)) != len(ids):  # only reachable via a future id-scheme bug
+            raise ValueError(f"campaign {self.name!r} expanded to duplicate task ids")
+        return expanded
+
+
+def example_spec(sessions: int = 60, base_seed: int = 2003) -> CampaignSpec:
+    """A small mixed-scenario campaign, used by docs, examples and tests.
+
+    Keeps the paper's safe SAVE interval (K=25, the T_save/T_send
+    minimum) but shortens the streams so a session takes milliseconds;
+    ``sessions`` splits across a sender-reset population and randomized
+    receiver-replay / loss populations (below 3 sessions there is
+    nothing to split — it degenerates to sender resets only).
+    """
+    check_positive("sessions", sessions)
+    if sessions < 3:
+        return CampaignSpec(
+            name="mixed-demo",
+            base_seed=base_seed,
+            grids=(ScenarioGrid(
+                scenario="sender_reset",
+                params={
+                    "k": 25,
+                    "reset_after_sends": [40, 45, 50, 55, 60],
+                    "messages_after_reset": 60,
+                },
+                sessions=sessions,
+            ),),
+        )
+    third = max(1, sessions // 3)
+    return CampaignSpec(
+        name="mixed-demo",
+        base_seed=base_seed,
+        grids=(
+            ScenarioGrid(
+                scenario="sender_reset",
+                params={
+                    "k": 25,
+                    "reset_after_sends": [40, 45, 50, 55, 60],
+                    "messages_after_reset": 60,
+                },
+                sessions=sessions - 2 * third,
+            ),
+            ScenarioGrid(
+                scenario="receiver_reset",
+                params={
+                    "k": 25,
+                    "reset_after_receives": [40, 50, 60],
+                    "messages_after_reset": 60,
+                    "replay_history_after": [True, False],
+                },
+                sessions=third,
+            ),
+            ScenarioGrid(
+                scenario="loss_reset",
+                params={
+                    "k": 25,
+                    "loss_rate": [0.0, 0.02, 0.05],
+                    "reset_after_sends": 50,
+                    "messages_after_reset": 60,
+                },
+                sessions=third,
+            ),
+        ),
+    )

@@ -25,7 +25,7 @@ Example::
     assert ticks == [1.0]
 """
 
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, EngineEventLimitError
 from repro.sim.events import Event, EventQueue
 from repro.sim.metrics import Counter, MetricSet, SummaryStat, TimeSeries
 from repro.sim.process import SimProcess, Timer
@@ -34,6 +34,7 @@ from repro.sim.trace import TraceRecord, TraceRecorder
 __all__ = [
     "Counter",
     "Engine",
+    "EngineEventLimitError",
     "Event",
     "EventQueue",
     "MetricSet",

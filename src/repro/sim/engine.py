@@ -16,11 +16,23 @@ completions are events, ...).
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, ClassVar
 
 from repro.sim.events import PRIORITY_NORMAL, Event, EventQueue
 from repro.sim.trace import TraceRecorder
 from repro.util.validation import check_non_negative
+
+
+class EngineEventLimitError(RuntimeError):
+    """Raised when a run blows through its hard event budget.
+
+    A simulation whose event count keeps growing without the clock closing
+    in on its horizon is almost always a self-rescheduling bug (an event
+    that re-posts itself with zero or epsilon delay).  For unattended
+    batch runs — the fleet runner in particular — that failure mode must
+    surface as an error on the one offending task, not as a worker that
+    spins forever.
+    """
 
 
 class Engine:
@@ -30,11 +42,31 @@ class Engine:
         now: current simulated time in seconds.
         trace: a :class:`TraceRecorder` shared by all components of the
             simulation (components may ignore it; experiments use it).
+        hard_event_limit: lifetime event budget; once
+            :attr:`events_processed` exceeds it, :meth:`run` raises
+            :class:`EngineEventLimitError` instead of continuing.  ``None``
+            (the default) disables the guard.  Unlike :meth:`run`'s
+            ``max_events`` argument — a polite "pause after N" that
+            returns normally — this is a tripwire for runaway schedules.
     """
 
-    def __init__(self, trace: TraceRecorder | None = None) -> None:
+    #: Default ``hard_event_limit`` applied to newly constructed engines.
+    #: Batch drivers (the fleet runner) set this around task execution so
+    #: the guard reaches engines built deep inside scenario helpers.
+    default_hard_event_limit: ClassVar[int | None] = None
+
+    def __init__(
+        self,
+        trace: TraceRecorder | None = None,
+        hard_event_limit: int | None = None,
+    ) -> None:
         self.now: float = 0.0
         self.trace: TraceRecorder = trace if trace is not None else TraceRecorder()
+        self.hard_event_limit: int | None = (
+            hard_event_limit
+            if hard_event_limit is not None
+            else type(self).default_hard_event_limit
+        )
         self._queue = EventQueue()
         self._events_processed = 0
         self._running = False
@@ -122,6 +154,17 @@ class Engine:
                     break
                 self.step()
                 fired += 1
+                if (
+                    self.hard_event_limit is not None
+                    and self._events_processed > self.hard_event_limit
+                ):
+                    raise EngineEventLimitError(
+                        f"engine exceeded hard_event_limit={self.hard_event_limit} "
+                        f"(events_processed={self._events_processed}, "
+                        f"t={self.now:.9f}, pending={self.pending_events}): "
+                        "likely a self-rescheduling event loop; raise the limit "
+                        "or fix the schedule"
+                    )
         finally:
             self._running = False
         if until is not None and until > self.now and self._stop_requested is False:

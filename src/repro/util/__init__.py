@@ -5,7 +5,7 @@ component in the library takes an explicit :class:`random.Random` (or a
 seed) so that simulations are reproducible bit-for-bit.
 """
 
-from repro.util.rng import make_rng, spawn_rng
+from repro.util.rng import derive_seed, make_rng, spawn_rng
 from repro.util.units import (
     MICROSECOND,
     MILLISECOND,
@@ -29,6 +29,7 @@ __all__ = [
     "check_positive",
     "check_probability",
     "check_type",
+    "derive_seed",
     "make_rng",
     "microseconds",
     "milliseconds",

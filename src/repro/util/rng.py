@@ -8,13 +8,53 @@ seed"), and normalise it through :func:`make_rng`.
 :func:`spawn_rng` derives an independent child generator from a parent in a
 deterministic way, so that adding a new random component to a scenario does
 not perturb the random streams of existing components.
+
+:func:`derive_seed` is the pure spawn-key derivation underneath: it folds a
+root seed and a path of labels through SHA-256, so the same
+``(root, *path)`` always yields the same 64-bit seed — in any process, under
+any ``PYTHONHASHSEED``.  The fleet runner leans on this to give every task
+in a campaign an independent, reproducible seed regardless of execution
+order or worker count.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 
 _DEFAULT_SEED = 0xC0FFEE
+
+
+def derive_seed(root: int, *path: int | str) -> int:
+    """Derive a 64-bit seed from ``root`` and a spawn-key ``path``.
+
+    The derivation is a pure function of its arguments (SHA-256 over a
+    canonical encoding), so it is stable across processes and interpreter
+    invocations — unlike :func:`hash`, which is salted per process for
+    strings.  Distinct paths give independent seeds; the same path always
+    gives the same seed.
+
+    Args:
+        root: the campaign / scenario master seed.
+        path: any mix of ``int`` and ``str`` labels identifying the
+            component (e.g. ``derive_seed(7, "grid", 0, "task", 42)``).
+
+    Returns:
+        An unsigned 64-bit seed suitable for :func:`make_rng`.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(int(root).to_bytes(16, "little", signed=True))
+    for part in path:
+        if isinstance(part, bool) or not isinstance(part, (int, str)):
+            raise TypeError(
+                f"spawn-key path parts must be int or str, got {type(part).__name__}"
+            )
+        if isinstance(part, int):
+            hasher.update(b"i" + part.to_bytes(16, "little", signed=True))
+        else:
+            encoded = part.encode("utf-8")
+            hasher.update(b"s" + len(encoded).to_bytes(4, "little") + encoded)
+    return int.from_bytes(hasher.digest()[:8], "little")
 
 
 def make_rng(seed_or_rng: int | random.Random | None = None) -> random.Random:
@@ -53,5 +93,4 @@ def spawn_rng(parent: random.Random, label: str) -> random.Random:
         A new :class:`random.Random` seeded from ``parent`` and ``label``.
     """
     base = parent.getrandbits(64)
-    mixed = hash((base, label)) & 0xFFFF_FFFF_FFFF_FFFF
-    return random.Random(mixed)
+    return random.Random(derive_seed(base, label))

@@ -8,8 +8,11 @@
 """
 
 from repro.workloads.scenarios import (
+    SCENARIOS,
     ScenarioResult,
+    get_scenario,
     run_dual_reset_scenario,
+    run_loss_reset_scenario,
     run_receiver_reset_scenario,
     run_sender_reset_scenario,
 )
@@ -24,9 +27,12 @@ __all__ = [
     "BurstyTraffic",
     "ConstantRateTraffic",
     "PoissonTraffic",
+    "SCENARIOS",
     "ScenarioResult",
     "TrafficGenerator",
+    "get_scenario",
     "run_dual_reset_scenario",
+    "run_loss_reset_scenario",
     "run_receiver_reset_scenario",
     "run_sender_reset_scenario",
 ]

@@ -6,17 +6,22 @@ the scored :class:`~repro.core.convergence.ConvergenceReport`.  The
 experiment modules in :mod:`repro.experiments` sweep these over parameter
 grids; tests pin individual cases.
 
-All scenarios are deterministic given their arguments.
+All scenarios are deterministic given their arguments.  The module-level
+:data:`SCENARIOS` registry maps stable names to the ``run_*`` callables so
+that declarative drivers — the fleet campaign specs in
+:mod:`repro.fleet` — can reference scenarios by string.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.convergence import ConvergenceReport
 from repro.core.protocol import ProtocolHarness, build_protocol
 from repro.core.reset import reset_at_count
 from repro.ipsec.costs import CostModel, PAPER_COSTS
+from repro.net.loss import BernoulliLoss
 
 
 @dataclass
@@ -186,3 +191,64 @@ def run_dual_reset_scenario(
     horizon = (total_attempts + slack + 10) * costs.t_send + 10 * costs.t_save + stagger
     _run_to_completion(harness, horizon)
     return ScenarioResult(harness=harness, report=harness.score())
+
+
+def run_loss_reset_scenario(
+    protected: bool = True,
+    k: int = 25,
+    w: int = 64,
+    loss_rate: float = 0.05,
+    reset_after_sends: int = 500,
+    messages_after_reset: int = 500,
+    down_time: float | None = None,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+) -> ScenarioResult:
+    """Mixed fault story: Bernoulli channel loss plus one sender reset.
+
+    Outside the paper's lossless hypothesis, so the run is scored without
+    the Section 5 bound checks (the claims are conditioned on "no message
+    loss"); the report still carries the raw gap / discard / replay
+    counts, which is what loss-robustness campaigns aggregate.
+    """
+    harness = build_protocol(
+        protected=protected,
+        k_p=k,
+        k_q=k,
+        w=w,
+        costs=costs,
+        seed=seed,
+        loss=BernoulliLoss(loss_rate),
+        with_adversary=True,
+    )
+    if down_time is None:
+        down_time = 2 * costs.t_save
+    reset_at_count(harness.sender, reset_after_sends, down_for=down_time)
+    total_attempts = reset_after_sends + messages_after_reset
+    slack = int(2 * down_time / costs.t_send) + 10 * k
+    harness.sender.start_traffic(count=total_attempts + slack)
+    horizon = (total_attempts + slack + 10) * costs.t_send + 10 * costs.t_save
+    _run_to_completion(harness, horizon)
+    return ScenarioResult(harness=harness, report=harness.score(check_bounds=False))
+
+
+#: Stable scenario names for declarative drivers (fleet campaign specs).
+SCENARIOS: dict[str, Callable[..., ScenarioResult]] = {
+    "sender_reset": run_sender_reset_scenario,
+    "receiver_reset": run_receiver_reset_scenario,
+    "dual_reset": run_dual_reset_scenario,
+    "loss_reset": run_loss_reset_scenario,
+}
+
+
+def get_scenario(name: str) -> Callable[..., ScenarioResult]:
+    """Look up a scenario by registry name.
+
+    Raises:
+        KeyError: with the list of known names, if ``name`` is unknown.
+    """
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None

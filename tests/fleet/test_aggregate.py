@@ -1,0 +1,132 @@
+"""Tests for repro.fleet.aggregate: percentiles, summaries, outliers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.aggregate import FleetSummary, percentile, summarize
+from repro.fleet.results import STATUS_ERROR, STATUS_OK, TaskRecord
+
+
+def record(task_id: str, **overrides) -> TaskRecord:
+    metrics = {
+        "converged": True,
+        "sender_resets": 1,
+        "receiver_resets": 0,
+        "replays_accepted": 0,
+        "fresh_discarded": 2,
+        "lost_seqnums_per_reset": [10],
+        "gaps_sender": [4],
+        "gaps_receiver": [],
+        "time_to_converge": [2e-4],
+        "bound_violations": [],
+        "fresh_sent": 100,
+        "delivered_uids": 98,
+        "never_arrived": 0,
+    }
+    metrics.update(overrides.pop("metrics", {}))
+    defaults = dict(
+        task_id=task_id,
+        scenario="sender_reset",
+        params={"k": 25},
+        seed=11,
+        status=STATUS_OK,
+        metrics=metrics,
+        wall_time=0.25,
+    )
+    defaults.update(overrides)
+    return TaskRecord(**defaults)
+
+
+class TestPercentile:
+    def test_known_points(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 100) == 5.0
+        assert percentile(values, 75) == 4.0
+
+    def test_interpolates_between_ranks(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+        with pytest.raises(ValueError, match="outside"):
+            percentile([1.0], 101)
+
+
+class TestSummarize:
+    def test_counts_and_totals(self):
+        records = [
+            record("a"),
+            record("b", metrics={"replays_accepted": 3, "converged": False}),
+            record("c", status=STATUS_ERROR, metrics={}, error="RuntimeError: x"),
+        ]
+        summary = summarize(records)
+        assert summary.tasks == 3
+        assert summary.ok == 2
+        assert summary.errors == 1
+        assert summary.converged == 1
+        assert summary.replays_accepted_total == 3
+        assert summary.fresh_discarded_total == 4
+        assert summary.lost_seqnums_total == 20
+        assert summary.resets_total == 2
+        assert summary.wall_time_total == pytest.approx(0.75)
+
+    def test_convergence_percentiles(self):
+        records = [
+            record(f"t{i}", metrics={"time_to_converge": [i * 1e-4]})
+            for i in range(1, 11)
+        ]
+        summary = summarize(records)
+        assert summary.convergence_time["p50"] == pytest.approx(5.5e-4)
+        assert summary.convergence_time["max"] == pytest.approx(10e-4)
+
+    def test_empty_records(self):
+        summary = summarize([])
+        assert summary == FleetSummary()
+        assert "sessions: 0" in summary.render()
+
+    def test_outliers_prefer_failures_over_slow_convergers(self):
+        records = [
+            record("slow", metrics={"time_to_converge": [9.0]}),
+            record("viol", metrics={
+                "bound_violations": ["gap too big"], "converged": False,
+            }),
+            record("replay", metrics={"replays_accepted": 2, "converged": False}),
+            record("err", status=STATUS_ERROR, metrics={}, error="E: x"),
+        ]
+        summary = summarize(records, worst_k=3)
+        reasons = [o.reason for o in summary.outliers]
+        assert "slow_converge" not in reasons
+        assert set(reasons) == {"error", "violations", "replays"}
+
+    def test_outliers_carry_repro_seed_and_params(self):
+        summary = summarize([record("a", seed=424242)])
+        outlier = summary.outliers[0]
+        assert outlier.seed == 424242
+        assert outlier.params == {"k": 25}
+        assert "seed=424242" in outlier.summary()
+
+    def test_duplicate_task_ids_count_once_with_latest_winning(self):
+        # A resumed store: the task errored once, then retried fine.
+        records = [
+            record("a", status=STATUS_ERROR, metrics={}, error="E: transient"),
+            record("a"),
+        ]
+        summary = summarize(records)
+        assert summary.tasks == 1
+        assert summary.ok == 1
+        assert summary.errors == 0
+        assert summary.converged == 1
+
+    def test_render_mentions_key_quantities(self):
+        text = summarize([record("a")]).render()
+        assert "sessions: 1" in text
+        assert "converged: 1/1" in text
+        assert "time-to-converge" in text
+        assert "worst cases" in text

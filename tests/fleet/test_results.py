@@ -1,0 +1,84 @@
+"""Tests for repro.fleet.results: the append-only JSONL store."""
+
+from __future__ import annotations
+
+from repro.fleet.results import STATUS_ERROR, STATUS_OK, ResultStore, TaskRecord
+
+
+def make_record(task_id: str, status: str = STATUS_OK, **metrics) -> TaskRecord:
+    return TaskRecord(
+        task_id=task_id,
+        scenario="sender_reset",
+        params={"k": 25},
+        seed=7,
+        status=status,
+        metrics=metrics,
+        wall_time=0.5,
+        error="RuntimeError: boom" if status == STATUS_ERROR else None,
+    )
+
+
+class TestTaskRecord:
+    def test_dict_round_trip(self):
+        record = make_record("a", converged=True, time_to_converge=[2e-4])
+        assert TaskRecord.from_dict(record.to_dict()) == record
+
+    def test_error_round_trip(self):
+        record = make_record("b", status=STATUS_ERROR)
+        restored = TaskRecord.from_dict(record.to_dict())
+        assert restored.error == "RuntimeError: boom"
+
+    def test_json_is_canonical(self):
+        record = make_record("a", converged=True)
+        assert record.to_json() == record.to_json()
+        assert "\n" not in record.to_json()
+
+
+class TestResultStore:
+    def test_append_then_read_back(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        records = [make_record("a"), make_record("b", status=STATUS_ERROR)]
+        for record in records:
+            store.append(record)
+        assert list(store.records()) == records
+        assert len(store) == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        store = ResultStore(tmp_path / "deep" / "nested" / "r.jsonl")
+        store.append(make_record("a"))
+        assert store.path.exists()
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "never.jsonl")
+        assert list(store.records()) == []
+        assert store.completed_ids() == set()
+
+    def test_completed_ids_exclude_errors(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(make_record("ok-task"))
+        store.append(make_record("bad-task", status=STATUS_ERROR))
+        assert store.completed_ids() == {"ok-task"}
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(make_record("a"))
+        store.append(make_record("b"))
+        # Simulate a crash mid-append: chop the file mid-way through the
+        # final line.
+        text = store.path.read_text()
+        store.path.write_text(text[: len(text) - 25])
+        survivors = list(store.records())
+        assert [r.task_id for r in survivors] == ["a"]
+        assert store.corrupt_lines == 1
+        # The store must still accept appends afterwards.
+        store.append(make_record("b"))
+        assert store.completed_ids() == {"a", "b"}
+
+    def test_blank_lines_ignored(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(make_record("a"))
+        with store.path.open("a") as handle:
+            handle.write("\n\n")
+        store.append(make_record("b"))
+        assert [r.task_id for r in store.records()] == ["a", "b"]
+        assert store.corrupt_lines == 0

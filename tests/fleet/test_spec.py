@@ -1,0 +1,171 @@
+"""Tests for repro.fleet.spec: round-trips and deterministic expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.spec import (
+    DEFAULT_MAX_EVENTS,
+    CampaignSpec,
+    FleetTask,
+    ScenarioGrid,
+    example_spec,
+)
+
+
+def small_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="unit",
+        base_seed=99,
+        grids=(
+            ScenarioGrid(
+                scenario="sender_reset",
+                params={"k": 25, "reset_after_sends": [40, 50], "w": [32, 64]},
+            ),
+            ScenarioGrid(
+                scenario="loss_reset",
+                params={"k": 25, "loss_rate": [0.0, 0.05]},
+                sessions=5,
+            ),
+        ),
+    )
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        spec = small_spec()
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = small_spec()
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = small_spec()
+        path = spec.dump(tmp_path / "deep" / "campaign.json")
+        assert CampaignSpec.load(path) == spec
+
+    def test_defaults_survive_round_trip(self):
+        spec = CampaignSpec.from_dict(
+            {"name": "d", "grids": [{"scenario": "sender_reset"}]}
+        )
+        assert spec.base_seed == 0
+        assert spec.max_events == DEFAULT_MAX_EVENTS
+        assert spec.grids[0].repeats == 1
+        assert spec.grids[0].sessions is None
+
+    def test_grids_coerced_from_dicts(self):
+        spec = CampaignSpec(
+            name="c", grids=({"scenario": "sender_reset", "params": {"k": 25}},)
+        )
+        assert isinstance(spec.grids[0], ScenarioGrid)
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name must be non-empty"):
+            CampaignSpec(name="", grids=(ScenarioGrid(scenario="sender_reset"),))
+
+    def test_no_grids_rejected(self):
+        with pytest.raises(ValueError, match="at least one scenario grid"):
+            CampaignSpec(name="x", grids=())
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="empty choice list"):
+            ScenarioGrid(scenario="sender_reset", params={"k": []})
+
+    def test_bad_sessions_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioGrid(scenario="sender_reset", sessions=0)
+
+    def test_unknown_scenario_caught_at_expansion(self):
+        spec = CampaignSpec(name="x", grids=(ScenarioGrid(scenario="nope"),))
+        with pytest.raises(ValueError, match="unknown scenario 'nope'"):
+            spec.tasks()
+
+    def test_misspelled_parameter_fails_fast_with_valid_names(self):
+        spec = CampaignSpec(
+            name="x",
+            grids=(ScenarioGrid(
+                scenario="sender_reset",
+                params={"k": 25, "reset_after_send": [40, 50]},  # missing 's'
+            ),),
+        )
+        with pytest.raises(ValueError, match="reset_after_send"):
+            spec.tasks()
+        with pytest.raises(ValueError, match="valid parameters:.*reset_after_sends"):
+            spec.tasks()
+
+    def test_seed_cannot_be_a_parameter_axis(self):
+        spec = CampaignSpec(
+            name="x",
+            grids=(ScenarioGrid(scenario="sender_reset", params={"seed": [1, 2]}),),
+        )
+        with pytest.raises(ValueError, match="derived per task"):
+            spec.tasks()
+
+    def test_repeats_rejected_in_population_mode(self):
+        with pytest.raises(ValueError, match="repeats applies to grid mode only"):
+            ScenarioGrid(scenario="sender_reset", sessions=10, repeats=3)
+
+
+class TestExpansion:
+    def test_grid_mode_is_cartesian_product(self):
+        spec = small_spec()
+        tasks = spec.tasks()
+        grid_tasks = [t for t in tasks if t.scenario == "sender_reset"]
+        assert len(grid_tasks) == 2 * 2  # reset_after_sends x w (k is scalar)
+        combos = {(t.params["reset_after_sends"], t.params["w"]) for t in grid_tasks}
+        assert combos == {(40, 32), (40, 64), (50, 32), (50, 64)}
+
+    def test_population_mode_draws_requested_sessions(self):
+        tasks = small_spec().tasks()
+        sampled = [t for t in tasks if t.scenario == "loss_reset"]
+        assert len(sampled) == 5
+        assert all(t.params["loss_rate"] in (0.0, 0.05) for t in sampled)
+
+    def test_session_count_matches_expansion(self):
+        spec = small_spec()
+        assert spec.session_count() == len(spec.tasks())
+        demo = example_spec(sessions=60)
+        assert demo.session_count() == len(demo.tasks()) == 60
+
+    def test_example_spec_handles_tiny_session_counts(self):
+        for sessions in (1, 2, 3, 4):
+            assert example_spec(sessions=sessions).session_count() == sessions
+        with pytest.raises(ValueError):
+            example_spec(sessions=0)
+
+    def test_repeats_replicate_combos_with_distinct_seeds(self):
+        spec = CampaignSpec(
+            name="r",
+            grids=(ScenarioGrid(
+                scenario="sender_reset", params={"k": 25}, repeats=3
+            ),),
+        )
+        tasks = spec.tasks()
+        assert len(tasks) == 3
+        assert len({t.seed for t in tasks}) == 3
+        assert len({t.task_id for t in tasks}) == 3
+
+    def test_expansion_is_deterministic(self):
+        assert small_spec().tasks() == small_spec().tasks()
+
+    def test_task_ids_unique_across_grids(self):
+        tasks = example_spec(sessions=60).tasks()
+        assert len({t.task_id for t in tasks}) == len(tasks)
+
+    def test_seeds_independent_across_tasks(self):
+        tasks = example_spec(sessions=60).tasks()
+        assert len({t.seed for t in tasks}) == len(tasks)
+
+    def test_base_seed_changes_every_seed_but_not_ids(self):
+        a = small_spec()
+        b = CampaignSpec(name=a.name, grids=a.grids, base_seed=a.base_seed + 1)
+        tasks_a, tasks_b = a.tasks(), b.tasks()
+        assert [t.task_id for t in tasks_a] == [t.task_id for t in tasks_b]
+        assert all(x.seed != y.seed for x, y in zip(tasks_a, tasks_b))
+
+    def test_task_round_trips_through_dict(self):
+        task = small_spec().tasks()[0]
+        assert FleetTask.from_dict(task.to_dict()) == task

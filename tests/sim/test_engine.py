@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, EngineEventLimitError
 
 
 class TestScheduling:
@@ -106,3 +106,67 @@ class TestDeterminism:
             return order
 
         assert run_once() == run_once()
+
+
+class TestHardEventLimit:
+    def _self_rescheduling(self, engine: Engine) -> None:
+        def tick() -> None:
+            engine.call_later(1e-9, tick)
+
+        engine.call_later(0.0, tick)
+
+    def test_runaway_schedule_raises_clear_error(self):
+        engine = Engine(hard_event_limit=100)
+        self._self_rescheduling(engine)
+        with pytest.raises(EngineEventLimitError, match="hard_event_limit=100"):
+            engine.run()
+        assert engine.events_processed == 101
+
+    def test_error_suggests_the_likely_cause(self):
+        engine = Engine(hard_event_limit=10)
+        self._self_rescheduling(engine)
+        with pytest.raises(EngineEventLimitError, match="self-rescheduling"):
+            engine.run()
+
+    def test_no_limit_by_default(self, engine):
+        for i in range(1000):
+            engine.call_later(i * 1e-6, lambda: None)
+        assert engine.run() == 1000
+
+    def test_run_below_the_limit_is_unaffected(self):
+        engine = Engine(hard_event_limit=1000)
+        fired = []
+        for i in range(5):
+            engine.call_later(i * 1e-6, fired.append, i)
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_class_default_applies_to_new_engines(self):
+        previous = Engine.default_hard_event_limit
+        Engine.default_hard_event_limit = 50
+        try:
+            engine = Engine()
+            assert engine.hard_event_limit == 50
+            self._self_rescheduling(engine)
+            with pytest.raises(EngineEventLimitError):
+                engine.run()
+        finally:
+            Engine.default_hard_event_limit = previous
+
+    def test_explicit_limit_overrides_class_default(self):
+        previous = Engine.default_hard_event_limit
+        Engine.default_hard_event_limit = 50
+        try:
+            assert Engine(hard_event_limit=7).hard_event_limit == 7
+        finally:
+            Engine.default_hard_event_limit = previous
+
+    def test_limit_counts_lifetime_events(self):
+        engine = Engine(hard_event_limit=10)
+        for i in range(8):
+            engine.call_later(i * 1e-6, lambda: None)
+        engine.run()
+        for i in range(8):
+            engine.call_later(1.0 + i * 1e-6, lambda: None)
+        with pytest.raises(EngineEventLimitError):
+            engine.run()

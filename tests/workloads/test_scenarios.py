@@ -1,7 +1,12 @@
 """Tests for the named scenarios."""
 
+import pytest
+
 from repro.workloads.scenarios import (
+    SCENARIOS,
+    get_scenario,
     run_dual_reset_scenario,
+    run_loss_reset_scenario,
     run_receiver_reset_scenario,
     run_sender_reset_scenario,
 )
@@ -90,3 +95,43 @@ class TestDualResetScenario:
         )
         assert result.report.sender_resets == 1
         assert result.report.receiver_resets == 1
+
+
+class TestLossResetScenario:
+    def test_protected_pair_survives_loss_plus_reset(self):
+        result = run_loss_reset_scenario(
+            k=25, loss_rate=0.05, reset_after_sends=60,
+            messages_after_reset=60, seed=9,
+        )
+        assert result.report.replays_accepted == 0
+        assert result.report.sender_resets == 1
+        # Outside the lossless hypothesis no Section 5 bound is checked.
+        assert result.report.bound_violations == []
+
+    def test_zero_loss_matches_plain_sender_reset_deliveries(self):
+        lossless = run_loss_reset_scenario(
+            loss_rate=0.0, reset_after_sends=60, messages_after_reset=60, seed=4,
+        )
+        assert lossless.report.audit.never_arrived == 0
+
+    def test_deterministic_given_seed(self):
+        kwargs = dict(loss_rate=0.1, reset_after_sends=50,
+                      messages_after_reset=50, seed=21)
+        a = run_loss_reset_scenario(**kwargs).report
+        b = run_loss_reset_scenario(**kwargs).report
+        assert a.audit.never_arrived == b.audit.never_arrived
+        assert a.time_to_converge == b.time_to_converge
+
+
+class TestScenarioRegistry:
+    def test_registry_names_are_stable(self):
+        assert set(SCENARIOS) == {
+            "sender_reset", "receiver_reset", "dual_reset", "loss_reset",
+        }
+
+    def test_get_scenario_returns_the_callable(self):
+        assert get_scenario("sender_reset") is run_sender_reset_scenario
+
+    def test_unknown_name_lists_known_scenarios(self):
+        with pytest.raises(KeyError, match="known scenarios: dual_reset"):
+            get_scenario("bogus")
