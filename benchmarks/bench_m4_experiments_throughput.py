@@ -1,0 +1,78 @@
+"""Bench M4 — experiment-suite throughput: sessions/second, serial vs pool.
+
+The fourteen paper experiments now execute through the fleet runner, so
+the whole suite parallelises.  This benchmark runs a reduced-size (but
+structurally complete) slice of the :data:`EXPERIMENTS` registry at
+``jobs=1`` and ``jobs=cpu_count`` and reports wall time and
+sessions/second for each.  On a multi-core host the pool wins roughly
+linearly (experiment sessions are independent and CPU-bound); on a
+single core the two are within pool-overhead of each other.
+
+Also runnable standalone, printing the comparison directly::
+
+    PYTHONPATH=src python benchmarks/bench_m4_experiments_throughput.py
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.experiments import e01_sender_gap, e03_sender_loss, e10_reorder
+from repro.experiments.sweep import ExperimentDriver, SweepSpec
+
+POOL_JOBS = max(2, multiprocessing.cpu_count())
+
+
+def _bench_specs() -> list[SweepSpec]:
+    """A cross-section of the suite: single-call rows, grouped rows, and
+    a two-axis grid — enough sessions that per-session compute dominates
+    pool/fork overhead."""
+    return [
+        e01_sender_gap.sweep(k=50, offsets=list(range(0, 50, 5))),
+        e03_sender_loss.sweep(ks=[10, 25, 50], offsets_per_k=4),
+        e10_reorder.sweep(window_sizes=[32, 64], degrees=[1, 31, 32, 64],
+                          messages=1000),
+    ]
+
+
+def _run_suite(jobs: int) -> tuple[int, float]:
+    """Run the benchmark slice; returns (sessions, wall_seconds)."""
+    sessions = 0
+    started = time.perf_counter()
+    for spec in _bench_specs():
+        driver = ExperimentDriver(spec, jobs=jobs)
+        driver.run()
+        assert driver.outcome is not None
+        sessions += len(driver.outcome.executed)
+    return sessions, time.perf_counter() - started
+
+
+def bench_experiments_serial(benchmark):
+    sessions, _ = benchmark.pedantic(
+        lambda: _run_suite(1), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print(f"\nserial: {sessions} sessions")
+
+
+def bench_experiments_pool(benchmark):
+    sessions, _ = benchmark.pedantic(
+        lambda: _run_suite(POOL_JOBS), rounds=3, iterations=1, warmup_rounds=1
+    )
+    print(f"\njobs={POOL_JOBS}: {sessions} sessions")
+
+
+def main() -> None:
+    print(f"experiment-suite throughput "
+          f"(cpu_count={multiprocessing.cpu_count()})")
+    rates: dict[int, float] = {}
+    for jobs in (1, POOL_JOBS):
+        sessions, elapsed = _run_suite(jobs)
+        rates[jobs] = sessions / elapsed
+        print(f"  jobs={jobs:<3d} {elapsed:6.2f}s  "
+              f"{rates[jobs]:8.1f} sessions/s  ({sessions} sessions)")
+    print(f"  pool speedup over serial: {rates[POOL_JOBS] / rates[1]:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

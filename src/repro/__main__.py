@@ -3,7 +3,12 @@
 Commands:
 
 * ``experiments [ids...]`` — run experiments (default: all) and print the
-  paper-style tables (same registry as ``repro.experiments.runall``).
+  paper-style tables (the ``EXPERIMENTS`` registry in
+  ``repro.experiments.runall``).  ``--only eNN`` selects experiments
+  (repeatable; equivalent to the positional ids), ``--jobs N`` runs each
+  sweep through a fleet worker pool, and ``--resume`` persists per-task
+  records under ``--out`` so an interrupted suite picks up where it
+  stopped.
 * ``check [--budget N]`` — model-check the protocol specs in the standard
   bounded configurations and print SAFE / COUNTEREXAMPLE per case.
 * ``demo`` — the quickstart scenario, one screenful.
@@ -25,7 +30,22 @@ from pathlib import Path
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runall import run_all
 
-    run_all(args.ids)
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    ids = list(args.ids) + list(args.only or [])
+    resume_dir = args.out if args.resume else None
+    try:
+        run_all(ids or None, jobs=args.jobs, resume_dir=resume_dir)
+    except KeyboardInterrupt:
+        if resume_dir is not None:
+            print(f"\ninterrupted — finished sessions persisted under "
+                  f"{resume_dir}/; re-run the same command to resume",
+                  file=sys.stderr)
+        else:
+            print("\ninterrupted — re-run with --resume to make experiment "
+                  "runs interrupt-safe", file=sys.stderr)
+        return 130
     return 0
 
 
@@ -158,6 +178,16 @@ def main(argv: list[str] | None = None) -> int:
 
     p_exp = subparsers.add_parser("experiments", help="run experiment tables")
     p_exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    p_exp.add_argument("--only", action="append", metavar="eNN",
+                       help="run only this experiment (repeatable)")
+    p_exp.add_argument("--jobs", type=int, default=1,
+                       help="worker processes per sweep (default: 1, serial)")
+    p_exp.add_argument("--resume", action="store_true",
+                       help="persist per-task records under --out and skip "
+                            "already-finished sessions on re-run")
+    p_exp.add_argument("--out", default="experiment_runs",
+                       help="result-store directory for --resume "
+                            "(default: experiment_runs)")
     p_exp.set_defaults(fn=_cmd_experiments)
 
     p_check = subparsers.add_parser("check", help="model-check the specs")

@@ -1,10 +1,16 @@
 """Experiment harness (system S18): one module per reproduced artifact.
 
-Every module exposes ``run(...) -> ExperimentResult`` (pure, deterministic,
-parameterised so tests can shrink it) and the benchmarks under
-``benchmarks/`` call them.  The experiment <-> paper-artifact mapping lives
-in ``DESIGN.md``; measured-vs-paper results are recorded in
-``EXPERIMENTS.md``.
+Every module declares its experiment as a fleet-executed sweep: a
+``sweep(...) -> SweepSpec`` factory (named parameter axes, scenario
+references into ``workloads.SCENARIOS``, and a per-row reducer) plus a
+``run(...) -> ExperimentResult`` convenience wrapper that drives the
+sweep through :class:`~repro.experiments.sweep.ExperimentDriver` —
+serial, parallel (``jobs=N``), or resumable (file-backed store).  The
+full-size specs are registered in
+:data:`repro.experiments.runall.EXPERIMENTS`; benchmarks under
+``benchmarks/`` run the same specs with timing.  The experiment <->
+paper-artifact mapping lives in ``DESIGN.md``; measured-vs-paper results
+are recorded in ``EXPERIMENTS.md``.
 
 ==========  ==========================================================
 module      paper artifact
@@ -22,9 +28,28 @@ e09         Section 6 — prolonged-reset recovery over bidirectional SAs
 e10         Section 2 — w-Delivery under reorder (motivates ref [2])
 e11         Section 4 — second-reset hazard / wake-SAVE + leap ablation
 e12         Section 6 — the replayed "reset notice" strawman attack
+e13         supplementary — dead-peer detection time vs probe cadence
+e14         extension — replay exposure under bursty loss (loss hole)
 ==========  ==========================================================
 """
 
 from repro.experiments.common import ExperimentResult, render_table
+from repro.experiments.sweep import (
+    ExperimentDriver,
+    ExperimentTaskError,
+    SweepPoint,
+    SweepSpec,
+    TaskCall,
+    run_sweep,
+)
 
-__all__ = ["ExperimentResult", "render_table"]
+__all__ = [
+    "ExperimentDriver",
+    "ExperimentResult",
+    "ExperimentTaskError",
+    "SweepPoint",
+    "SweepSpec",
+    "TaskCall",
+    "render_table",
+    "run_sweep",
+]

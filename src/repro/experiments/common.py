@@ -1,4 +1,5 @@
-"""Shared experiment plumbing: result container and table rendering.
+"""Shared experiment plumbing: result container, table rendering, and the
+couple of parameter helpers several sweeps share.
 
 Experiments return structured rows; rendering is separate so benchmarks
 can print paper-style tables while tests assert on the raw values.
@@ -6,8 +7,10 @@ can print paper-style tables while tests assert on the raw values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
+
+from repro.ipsec.costs import CostModel
 
 
 def _format_cell(value: Any) -> str:
@@ -16,17 +19,27 @@ def _format_cell(value: Any) -> str:
     if isinstance(value, float):
         if value == 0:
             return "0"
-        if abs(value) >= 1000 or abs(value) < 0.001:
+        # Decide fixed-vs-scientific on the value *as it would print*:
+        # ``999.99996`` rounds to ``1000`` under ``%.4g``, so comparing
+        # the raw value against the threshold would render two all-but-
+        # equal values in different notations across the 1000 boundary.
+        compact = f"{value:.4g}"
+        magnitude = abs(float(compact))
+        if magnitude >= 1000 or magnitude < 0.001:
             return f"{value:.3e}"
-        return f"{value:.4g}"
+        return compact
     return str(value)
 
 
 def render_table(columns: list[str], rows: list[dict[str, Any]]) -> str:
-    """Render rows as an aligned plain-text table."""
+    """Render rows as an aligned plain-text table.
+
+    Zero rows is a legal table (header and rule only) — experiments can
+    legitimately reduce to nothing, e.g. a sweep over an empty axis.
+    """
     cells = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
     widths = [
-        max(len(col), *(len(row[i]) for row in cells)) if cells else len(col)
+        max([len(col)] + [len(row[i]) for row in cells])
         for i, col in enumerate(columns)
     ]
     header = "  ".join(col.ljust(width) for col, width in zip(columns, widths))
@@ -36,6 +49,31 @@ def render_table(columns: list[str], rows: list[dict[str, Any]]) -> str:
         for row in cells
     ]
     return "\n".join([header, rule, *body])
+
+
+def swept_offsets(k: int, offsets_per_k: int) -> list[int]:
+    """``offsets_per_k`` reset positions spread across one SAVE cycle.
+
+    ``int(i * k / offsets_per_k)`` collides for small ``k`` (e.g. ``k=5,
+    offsets_per_k=6`` yields offset 0 twice), which would silently re-run
+    identical sessions — and collide outright with the sweep layer's
+    unique-task-id invariant.  Deduplicated, order preserved.
+    """
+    return list(dict.fromkeys(
+        int(i * k / offsets_per_k) for i in range(offsets_per_k)
+    ))
+
+
+def costs_for_k(k: int, base: CostModel) -> CostModel:
+    """A cost model under which ``k`` strictly satisfies the sizing rule.
+
+    The paper requires ``K >= T_save / T_send``; sweeping small ``K``
+    under the fixed Pentium-III constants would violate the protocol's
+    operating condition (and the bounds legitimately fail there — that
+    regime is E6's subject).  Here the save spans ``max(1, k // 2)``
+    messages for every swept ``k``.
+    """
+    return replace(base, t_save=max(1, k // 2) * base.t_send)
 
 
 @dataclass

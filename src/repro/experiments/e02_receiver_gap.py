@@ -9,20 +9,68 @@ analysis (the right edge advances by exactly one per received message).
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.bounds import gap_bound
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import ExperimentDriver, SweepPoint, SweepSpec, TaskCall
 from repro.ipsec.costs import CostModel, PAPER_COSTS
-from repro.workloads.scenarios import run_receiver_reset_scenario
 
 
-def run(
+def sweep(
     k: int = 50,
     offsets: list[int] | None = None,
     costs: CostModel = PAPER_COSTS,
     seed: int = 0,
-) -> ExperimentResult:
-    """Sweep the receiver reset across one SAVE cycle (see E1)."""
-    result = ExperimentResult(
+) -> SweepSpec:
+    """Declare the receiver-reset sweep across one SAVE cycle (see E1)."""
+    if offsets is None:
+        offsets = list(range(0, k, max(1, k // 25)))
+    anchor = 2 * k
+    bound = gap_bound(k)
+
+    points = [
+        SweepPoint(
+            axis={"offset_msgs": offset},
+            calls={"run": TaskCall(
+                scenario="receiver_reset",
+                params=dict(
+                    protected=True,
+                    k=k,
+                    reset_after_receives=anchor + offset,
+                    messages_after_reset=4 * k,
+                    costs=costs,
+                ),
+                seed=seed,
+            )},
+        )
+        for offset in offsets
+    ]
+
+    def reduce_row(axis: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        m = metrics["run"]
+        record = m["receiver_reset_records"][0]
+        gap = record["gap"] if record["gap"] is not None else -1
+        return dict(
+            offset_msgs=axis["offset_msgs"],
+            save_in_flight=record["save_in_flight"],
+            gap=gap,
+            bound_2k=bound,
+            within_bound=gap <= bound,
+            fresh_discarded=m["fresh_discarded"],
+            discard_bound_2k=bound,
+            replays_accepted=m["replays_accepted"],
+        )
+
+    def notes(rows: list[dict[str, Any]]) -> list[str]:
+        max_gap = max((row["gap"] for row in rows), default=-1)
+        max_discarded = max((row["fresh_discarded"] for row in rows), default=-1)
+        return [
+            f"k={k}; max measured gap {max_gap} vs bound 2k={bound}; "
+            f"max fresh discards {max_discarded} vs claim (ii) bound {bound}"
+        ]
+
+    return SweepSpec(
         experiment_id="E2",
         title="receiver-reset gap vs position in the SAVE cycle",
         paper_artifact="Figure 2 and the Section 5 receiver analysis",
@@ -36,39 +84,20 @@ def run(
             "discard_bound_2k",
             "replays_accepted",
         ],
+        points=points,
+        reduce_row=reduce_row,
+        notes=notes,
     )
-    if offsets is None:
-        offsets = list(range(0, k, max(1, k // 25)))
-    anchor = 2 * k
-    bound = gap_bound(k)
-    max_gap = -1
-    max_discarded = -1
-    for offset in offsets:
-        scenario = run_receiver_reset_scenario(
-            protected=True,
-            k=k,
-            reset_after_receives=anchor + offset,
-            messages_after_reset=4 * k,
-            costs=costs,
-            seed=seed,
-        )
-        record = scenario.harness.receiver.reset_records[0]
-        gap = record.gap if record.gap is not None else -1
-        max_gap = max(max_gap, gap)
-        discarded = scenario.report.fresh_discarded
-        max_discarded = max(max_discarded, discarded)
-        result.add_row(
-            offset_msgs=offset,
-            save_in_flight=record.save_in_flight,
-            gap=gap,
-            bound_2k=bound,
-            within_bound=gap <= bound,
-            fresh_discarded=discarded,
-            discard_bound_2k=bound,
-            replays_accepted=scenario.report.replays_accepted,
-        )
-    result.note(
-        f"k={k}; max measured gap {max_gap} vs bound 2k={bound}; "
-        f"max fresh discards {max_discarded} vs claim (ii) bound {bound}"
-    )
-    return result
+
+
+def run(
+    k: int = 50,
+    offsets: list[int] | None = None,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    jobs: int = 1,
+    store: Any = None,
+) -> ExperimentResult:
+    """Sweep the receiver reset across one SAVE cycle (see E1)."""
+    spec = sweep(k=k, offsets=offsets, costs=costs, seed=seed)
+    return ExperimentDriver(spec, jobs=jobs, store=store).run()

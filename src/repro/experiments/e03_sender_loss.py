@@ -5,42 +5,87 @@ lost but no fresh message will be discarded by the receiver if no message
 reorder occurs. ... the total number of lost sequence number is bounded by
 2Kp."
 
-Sweeps ``Kp`` and, for each, takes the worst case over several reset
-positions in the SAVE cycle.  Channel: in-order, lossless (the claim's
-hypothesis).  Expected: ``max lost <= 2Kp`` with the bound nearly tight,
-``fresh_discarded == 0`` and ``replays_accepted == 0`` everywhere.
+Sweeps ``Kp`` and, for each, takes the worst case over several distinct
+reset positions in the SAVE cycle.  Channel: in-order, lossless (the
+claim's hypothesis).  Expected: ``max lost <= 2Kp`` with the bound nearly
+tight, ``fresh_discarded == 0`` and ``replays_accepted == 0`` everywhere.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.bounds import lost_seq_bound
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, costs_for_k, swept_offsets
+from repro.experiments.sweep import ExperimentDriver, SweepPoint, SweepSpec, TaskCall
 from repro.ipsec.costs import CostModel, PAPER_COSTS
-from repro.workloads.scenarios import run_sender_reset_scenario
 
 
-def _costs_for_k(k: int, base: CostModel) -> CostModel:
-    """A cost model under which ``k`` strictly satisfies the sizing rule.
-
-    The paper requires ``K >= T_save / T_send``; sweeping small ``K``
-    under the fixed Pentium-III constants would violate the protocol's
-    operating condition (and the bounds legitimately fail there — that
-    regime is E6's subject, not this experiment's).  Here the save spans
-    ``max(1, k // 2)`` messages for every swept ``k``.
-    """
-    from dataclasses import replace
-
-    return replace(base, t_save=max(1, k // 2) * base.t_send)
-
-
-def run(
+def sweep(
     ks: list[int] | None = None,
     offsets_per_k: int = 6,
     costs: CostModel = PAPER_COSTS,
     seed: int = 0,
-) -> ExperimentResult:
-    """Sweep ``Kp``; report worst-case lost sequence numbers per ``Kp``."""
-    result = ExperimentResult(
+) -> SweepSpec:
+    """Declare the ``Kp`` sweep; each row takes the worst case over offsets."""
+    if ks is None:
+        ks = [5, 10, 25, 50, 100]
+
+    points = []
+    for k in ks:
+        k_costs = costs_for_k(k, costs)
+        points.append(SweepPoint(
+            axis={"k_p": k},
+            calls={
+                f"o{offset}": TaskCall(
+                    scenario="sender_reset",
+                    params=dict(
+                        protected=True,
+                        k=k,
+                        reset_after_sends=2 * k + offset,
+                        messages_after_reset=4 * k,
+                        costs=k_costs,
+                    ),
+                    seed=seed,
+                )
+                for offset in swept_offsets(k, offsets_per_k)
+            },
+        ))
+
+    def reduce_row(axis: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        k = axis["k_p"]
+        max_lost = -1
+        total_discarded = 0
+        total_replays = 0
+        all_converged = True
+        for m in metrics.values():
+            record = m["sender_reset_records"][0]
+            lost = record["lost_seqnums"] if record["lost_seqnums"] is not None else -1
+            max_lost = max(max_lost, lost)
+            total_discarded += m["fresh_discarded"]
+            total_replays += m["replays_accepted"]
+            all_converged = all_converged and m["converged"]
+        bound = lost_seq_bound(k)
+        return dict(
+            k_p=k,
+            max_lost=max_lost,
+            bound_2k=bound,
+            within_bound=max_lost <= bound,
+            bound_tightness=round(max_lost / bound, 3) if bound else 0.0,
+            fresh_discarded=total_discarded,
+            replays_accepted=total_replays,
+            converged=all_converged,
+        )
+
+    def notes(rows: list[dict[str, Any]]) -> list[str]:
+        return [
+            "claim (i) shape: max lost grows linearly in Kp, stays under 2Kp; "
+            "no fresh message discarded on the in-order lossless channel",
+            "each k runs under a cost model with the save spanning k//2 "
+            "messages, keeping the Section 4 sizing rule strictly satisfied",
+        ]
+
+    return SweepSpec(
         experiment_id="E3",
         title="lost sequence numbers after a sender reset vs Kp",
         paper_artifact="Section 5 claim (i): lost <= 2Kp, no fresh discards",
@@ -54,48 +99,20 @@ def run(
             "replays_accepted",
             "converged",
         ],
+        points=points,
+        reduce_row=reduce_row,
+        notes=notes,
     )
-    if ks is None:
-        ks = [5, 10, 25, 50, 100]
-    for k in ks:
-        k_costs = _costs_for_k(k, costs)
-        offsets = [int(i * k / offsets_per_k) for i in range(offsets_per_k)]
-        max_lost = -1
-        total_discarded = 0
-        total_replays = 0
-        all_converged = True
-        for offset in offsets:
-            scenario = run_sender_reset_scenario(
-                protected=True,
-                k=k,
-                reset_after_sends=2 * k + offset,
-                messages_after_reset=4 * k,
-                costs=k_costs,
-                seed=seed,
-            )
-            record = scenario.harness.sender.reset_records[0]
-            lost = record.lost_seqnums if record.lost_seqnums is not None else -1
-            max_lost = max(max_lost, lost)
-            total_discarded += scenario.report.fresh_discarded
-            total_replays += scenario.report.replays_accepted
-            all_converged = all_converged and scenario.report.converged
-        bound = lost_seq_bound(k)
-        result.add_row(
-            k_p=k,
-            max_lost=max_lost,
-            bound_2k=bound,
-            within_bound=max_lost <= bound,
-            bound_tightness=round(max_lost / bound, 3) if bound else 0.0,
-            fresh_discarded=total_discarded,
-            replays_accepted=total_replays,
-            converged=all_converged,
-        )
-    result.note(
-        "claim (i) shape: max lost grows linearly in Kp, stays under 2Kp; "
-        "no fresh message discarded on the in-order lossless channel"
-    )
-    result.note(
-        "each k runs under a cost model with the save spanning k//2 "
-        "messages, keeping the Section 4 sizing rule strictly satisfied"
-    )
-    return result
+
+
+def run(
+    ks: list[int] | None = None,
+    offsets_per_k: int = 6,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    jobs: int = 1,
+    store: Any = None,
+) -> ExperimentResult:
+    """Sweep ``Kp``; report worst-case lost sequence numbers per ``Kp``."""
+    spec = sweep(ks=ks, offsets_per_k=offsets_per_k, costs=costs, seed=seed)
+    return ExperimentDriver(spec, jobs=jobs, store=store).run()

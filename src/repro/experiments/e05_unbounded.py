@@ -18,24 +18,95 @@ itself grows linearly.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.bounds import discarded_fresh_bound, lost_seq_bound
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import ExperimentDriver, SweepPoint, SweepSpec, TaskCall
 from repro.ipsec.costs import CostModel, PAPER_COSTS
-from repro.workloads.scenarios import (
-    run_receiver_reset_scenario,
-    run_sender_reset_scenario,
-)
 
 
-def run(
+def sweep(
     traffic_volumes: list[int] | None = None,
     k: int = 25,
     w: int = 64,
     costs: CostModel = PAPER_COSTS,
     seed: int = 0,
-) -> ExperimentResult:
-    """Sweep pre-reset traffic ``x``; compare unprotected vs SAVE/FETCH."""
-    result = ExperimentResult(
+) -> SweepSpec:
+    """Declare the pre-reset traffic sweep: unprotected vs SAVE/FETCH."""
+    if traffic_volumes is None:
+        traffic_volumes = [100, 250, 500, 1000, 2500]
+
+    def rx_call(protected: bool, x: int) -> TaskCall:
+        return TaskCall(
+            scenario="receiver_reset",
+            params=dict(
+                protected=protected,
+                k=k,
+                w=w,
+                reset_after_receives=x,
+                messages_after_reset=0,
+                costs=costs,
+                replay_history_after=True,
+            ),
+            seed=seed,
+        )
+
+    def tx_call(protected: bool, x: int) -> TaskCall:
+        return TaskCall(
+            scenario="sender_reset",
+            params=dict(
+                protected=protected,
+                k=k,
+                w=w,
+                reset_after_sends=x,
+                messages_after_reset=x,  # give the restarted sender x messages
+                costs=costs,
+            ),
+            seed=seed,
+        )
+
+    points = [
+        SweepPoint(
+            axis={"x_pre_reset": x},
+            calls={
+                "unprot_rx": rx_call(False, x),
+                "sf_rx": rx_call(True, x),
+                "unprot_tx": tx_call(False, x),
+                "sf_tx": tx_call(True, x),
+            },
+        )
+        for x in traffic_volumes
+    ]
+
+    def reduce_row(axis: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        sf_tx_record = metrics["sf_tx"]["sender_reset_records"][0]
+        return dict(
+            x_pre_reset=axis["x_pre_reset"],
+            unprot_replays_accepted=metrics["unprot_rx"]["replays_accepted"],
+            sf_replays_accepted=metrics["sf_rx"]["replays_accepted"],
+            unprot_fresh_discarded=metrics["unprot_tx"]["fresh_discarded"],
+            sf_fresh_discarded=metrics["sf_tx"]["fresh_discarded"],
+            sf_lost_seqnums=sf_tx_record["lost_seqnums"],
+            sf_bounds=f"<= {lost_seq_bound(k)}/{discarded_fresh_bound(k)}",
+        )
+
+    def notes(rows: list[dict[str, Any]]) -> list[str]:
+        built = []
+        replays = [row["unprot_replays_accepted"] for row in rows]
+        if len(replays) >= 2 and replays[0] and replays[-1]:
+            built.append(
+                f"unprotected replay acceptance grows {replays[-1] / replays[0]:.1f}x "
+                f"as traffic grows {traffic_volumes[-1] / traffic_volumes[0]:.1f}x "
+                "(linear, unbounded); SAVE/FETCH flat at 0"
+            )
+        built.append(
+            f"SAVE/FETCH collateral is constant in x: lost <= {lost_seq_bound(k)}, "
+            f"discards <= {discarded_fresh_bound(k)}, independent of history length"
+        )
+        return built
+
+    return SweepSpec(
         experiment_id="E5",
         title="failure growth vs pre-reset traffic: unprotected vs SAVE/FETCH",
         paper_artifact="Section 3 failure modes vs Section 5 guarantees",
@@ -48,69 +119,21 @@ def run(
             "sf_lost_seqnums",
             "sf_bounds",
         ],
+        points=points,
+        reduce_row=reduce_row,
+        notes=notes,
     )
-    if traffic_volumes is None:
-        traffic_volumes = [100, 250, 500, 1000, 2500]
-    for x in traffic_volumes:
-        # -- receiver reset + full-history replay --------------------------
-        unprot_rx = run_receiver_reset_scenario(
-            protected=False,
-            k=k,
-            w=w,
-            reset_after_receives=x,
-            messages_after_reset=0,
-            costs=costs,
-            seed=seed,
-            replay_history_after=True,
-        )
-        sf_rx = run_receiver_reset_scenario(
-            protected=True,
-            k=k,
-            w=w,
-            reset_after_receives=x,
-            messages_after_reset=0,
-            costs=costs,
-            seed=seed,
-            replay_history_after=True,
-        )
-        # -- sender reset, traffic continues -------------------------------
-        unprot_tx = run_sender_reset_scenario(
-            protected=False,
-            k=k,
-            w=w,
-            reset_after_sends=x,
-            messages_after_reset=x,  # give the restarted sender x messages
-            costs=costs,
-            seed=seed,
-        )
-        sf_tx = run_sender_reset_scenario(
-            protected=True,
-            k=k,
-            w=w,
-            reset_after_sends=x,
-            messages_after_reset=x,
-            costs=costs,
-            seed=seed,
-        )
-        sf_tx_record = sf_tx.harness.sender.reset_records[0]
-        result.add_row(
-            x_pre_reset=x,
-            unprot_replays_accepted=unprot_rx.report.replays_accepted,
-            sf_replays_accepted=sf_rx.report.replays_accepted,
-            unprot_fresh_discarded=unprot_tx.report.fresh_discarded,
-            sf_fresh_discarded=sf_tx.report.fresh_discarded,
-            sf_lost_seqnums=sf_tx_record.lost_seqnums,
-            sf_bounds=f"<= {lost_seq_bound(k)}/{discarded_fresh_bound(k)}",
-        )
-    replays = result.column("unprot_replays_accepted")
-    if len(replays) >= 2 and replays[0] and replays[-1]:
-        result.note(
-            f"unprotected replay acceptance grows {replays[-1] / replays[0]:.1f}x "
-            f"as traffic grows {traffic_volumes[-1] / traffic_volumes[0]:.1f}x "
-            "(linear, unbounded); SAVE/FETCH flat at 0"
-        )
-    result.note(
-        f"SAVE/FETCH collateral is constant in x: lost <= {lost_seq_bound(k)}, "
-        f"discards <= {discarded_fresh_bound(k)}, independent of history length"
-    )
-    return result
+
+
+def run(
+    traffic_volumes: list[int] | None = None,
+    k: int = 25,
+    w: int = 64,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    jobs: int = 1,
+    store: Any = None,
+) -> ExperimentResult:
+    """Sweep pre-reset traffic ``x``; compare unprotected vs SAVE/FETCH."""
+    spec = sweep(traffic_volumes=traffic_volumes, k=k, w=w, costs=costs, seed=seed)
+    return ExperimentDriver(spec, jobs=jobs, store=store).run()

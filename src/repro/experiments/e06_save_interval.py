@@ -12,34 +12,92 @@ Two questions from the paper's design discussion:
 
 2. **Messages or seconds?**  "measuring the interval in terms of time
    leads to wasteful SAVEs because when the interval to the next SAVE
-   expires, the sequence number has not advanced much."  A second table
-   drives the same sender with bursty on/off traffic under (a) the
-   paper's count-based policy and (b) a timer-based policy of equivalent
-   steady-state cadence, and counts *wasteful* saves (advance < K since
-   the previous save).
+   expires, the sequence number has not advanced much."  A second sweep
+   (:func:`policy_sweep`) drives the same sender with bursty on/off
+   traffic under (a) the paper's count-based policy and (b) a timer-based
+   policy of equivalent steady-state cadence, and counts *wasteful* saves
+   (advance < K since the previous save) — see
+   :func:`repro.workloads.scenarios.run_save_policy_scenario`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Any
 
 from repro.core.bounds import save_overhead_fraction
-from repro.core.sender import SaveFetchSender
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import ExperimentDriver, SweepPoint, SweepSpec, TaskCall
 from repro.ipsec.costs import CostModel, PAPER_COSTS
-from repro.sim.engine import Engine
-from repro.sim.process import Timer
-from repro.workloads.scenarios import run_sender_reset_scenario
-from repro.workloads.traffic import BurstyTraffic
+
+# Re-exported for direct use (tests pin individual policy comparisons).
+from repro.workloads.scenarios import PolicyComparison, compare_policies
+
+__all__ = [
+    "PolicyComparison",
+    "compare_policies",
+    "policy_sweep",
+    "run",
+    "run_policy_table",
+    "sweep",
+]
 
 
-def run(
+def sweep(
     ks: list[int] | None = None,
     costs: CostModel = PAPER_COSTS,
     seed: int = 0,
-) -> ExperimentResult:
-    """Sweep ``K`` under the paper's fixed cost constants."""
-    result = ExperimentResult(
+) -> SweepSpec:
+    """Declare the ``K`` sweep under the paper's fixed cost constants."""
+    if ks is None:
+        ks = [5, 10, 15, 20, 25, 50, 100, 200]
+    rule = costs.min_save_interval()
+
+    points = [
+        SweepPoint(
+            axis={"k": k},
+            calls={"run": TaskCall(
+                scenario="sender_reset",
+                params=dict(
+                    protected=True,
+                    k=k,
+                    # Reset at the most adversarial spot we can cheaply
+                    # target: right as a steady-state save begins.
+                    reset_after_sends=4 * k,
+                    messages_after_reset=4 * k,
+                    costs=costs,
+                ),
+                seed=seed,
+            )},
+        )
+        for k in ks
+    ]
+
+    def reduce_row(axis: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        k = axis["k"]
+        m = metrics["run"]
+        record = m["sender_reset_records"][0]
+        gap = record["gap"] if record["gap"] is not None else -1
+        return dict(
+            k=k,
+            rule_satisfied=k >= rule,
+            overhead_fraction=round(save_overhead_fraction(k, costs), 4),
+            max_concurrent_saves=m["max_concurrent_saves"],
+            worst_case_loss_2k=2 * k,
+            measured_lost=record["lost_seqnums"],
+            measured_gap=gap,
+            gap_bound_ok=gap <= 2 * k,
+        )
+
+    def notes(rows: list[dict[str, Any]]) -> list[str]:
+        return [
+            f"sizing rule: K >= T_save/T_send = {rule}; below it saves overlap "
+            "(max_concurrent_saves > 1) and the 2K guarantee is no longer "
+            "covered by the paper's analysis; above it worst-case loss 2K "
+            "grows linearly while overhead falls as 1/K — the knee is at "
+            f"K = {rule}"
+        ]
+
+    return SweepSpec(
         experiment_id="E6",
         title="SAVE interval sizing under the Pentium-III cost model",
         paper_artifact="Section 4 sizing rule: K >= T_save/T_send = 25",
@@ -53,150 +111,65 @@ def run(
             "measured_gap",
             "gap_bound_ok",
         ],
+        points=points,
+        reduce_row=reduce_row,
+        notes=notes,
     )
-    if ks is None:
-        ks = [5, 10, 15, 20, 25, 50, 100, 200]
-    rule = costs.min_save_interval()
-    for k in ks:
-        # Reset at the most adversarial spot we can cheaply target: right
-        # as a steady-state save begins.
-        scenario = run_sender_reset_scenario(
-            protected=True,
-            k=k,
-            reset_after_sends=4 * k,
-            messages_after_reset=4 * k,
-            costs=costs,
-            seed=seed,
-        )
-        store = scenario.harness.sender.store
-        record = scenario.harness.sender.reset_records[0]
-        gap = record.gap if record.gap is not None else -1
-        result.add_row(
-            k=k,
-            rule_satisfied=k >= rule,
-            overhead_fraction=round(save_overhead_fraction(k, costs), 4),
-            max_concurrent_saves=store.max_concurrent_saves,
-            worst_case_loss_2k=2 * k,
-            measured_lost=record.lost_seqnums,
-            measured_gap=gap,
-            gap_bound_ok=gap <= 2 * k,
-        )
-    result.note(
-        f"sizing rule: K >= T_save/T_send = {rule}; below it saves overlap "
-        "(max_concurrent_saves > 1) and the 2K guarantee is no longer "
-        "covered by the paper's analysis; above it worst-case loss 2K "
-        "grows linearly while overhead falls as 1/K — the knee is at "
-        f"K = {rule}"
-    )
-    return result
+
+
+def run(
+    ks: list[int] | None = None,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    jobs: int = 1,
+    store: Any = None,
+) -> ExperimentResult:
+    """Sweep ``K`` under the paper's fixed cost constants."""
+    spec = sweep(ks=ks, costs=costs, seed=seed)
+    return ExperimentDriver(spec, jobs=jobs, store=store).run()
 
 
 # ----------------------------------------------------------------------
 # Count-based vs time-based SAVE policy under bursty traffic
 # ----------------------------------------------------------------------
-class _TimerSaveSender(SaveFetchSender):
-    """Ablation sender: SAVEs on a wall-clock timer, not a message count.
-
-    The timer period equals ``k * t_send`` — the cadence the count-based
-    policy exhibits at full line rate — so the two policies are identical
-    under CBR and differ exactly where the paper predicts: idle periods.
-    """
-
-    def __init__(self, *args: object, **kwargs: object) -> None:
-        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
-        self.wasteful_saves = 0
-        self._last_saved_value = self.lst
-        period = self.k * self.costs.t_send
-        self._save_timer = Timer(self.engine, period, self._timer_save)
-        self._save_timer.start()
-
-    def _after_send(self) -> None:  # disable the count-based trigger
-        return
-
-    def _timer_save(self) -> None:
-        if not self.is_up:
-            return
-        advance = self.s - self._last_saved_value
-        if advance < self.k:
-            self.wasteful_saves += 1
-        self._last_saved_value = self.s
-        self.lst = self.s
-        self.store.begin_save(self.s)
-
-
-@dataclass
-class PolicyComparison:
-    """Outcome of the count-vs-time policy comparison."""
-
-    k: int
-    messages_sent: int
-    count_based_saves: int
-    time_based_saves: int
-    time_based_wasteful: int
-
-    @property
-    def waste_fraction(self) -> float:
-        """Share of timer-policy saves that were wasteful."""
-        if not self.time_based_saves:
-            return 0.0
-        return self.time_based_wasteful / self.time_based_saves
-
-
-def compare_policies(
-    k: int = 25,
-    bursts: int = 40,
-    burst_len: int = 50,
-    idle_time: float | None = None,
-    costs: CostModel = PAPER_COSTS,
-) -> PolicyComparison:
-    """Drive both policies with identical bursty traffic; count saves."""
-    if idle_time is None:
-        idle_time = 20 * k * costs.t_send  # idle dwarfs the burst
-    total = bursts * burst_len
-
-    def run_one(use_timer: bool) -> SaveFetchSender:
-        engine = Engine()
-        sink_count = [0]
-        from repro.net.link import Link
-
-        link = Link(engine, "link", sink=lambda packet: sink_count.__setitem__(0, sink_count[0] + 1))
-        cls = _TimerSaveSender if use_timer else SaveFetchSender
-        sender = cls(engine, "p", link, k=k, costs=costs)
-        traffic = BurstyTraffic(
-            engine,
-            sender,
-            burst_len=burst_len,
-            burst_interval=costs.t_send,
-            idle_time=idle_time,
-        )
-        traffic.start(count=total)
-        # Horizon covers exactly the traffic window (plus a short drain)
-        # so the timer policy is not additionally penalised for a long
-        # quiet tail after the workload ends.
-        horizon = bursts * (burst_len * costs.t_send + idle_time) + 50 * costs.t_save
-        engine.run(until=horizon)
-        if use_timer:
-            sender._save_timer.stop()  # let later engine use drain cleanly
-        return sender
-
-    count_sender = run_one(use_timer=False)
-    timer_sender = run_one(use_timer=True)
-    assert isinstance(timer_sender, _TimerSaveSender)
-    return PolicyComparison(
-        k=k,
-        messages_sent=count_sender.sent_total,
-        count_based_saves=count_sender.store.saves_started,
-        time_based_saves=timer_sender.store.saves_started,
-        time_based_wasteful=timer_sender.wasteful_saves,
-    )
-
-
-def run_policy_table(
+def policy_sweep(
     ks: list[int] | None = None,
     costs: CostModel = PAPER_COSTS,
-) -> ExperimentResult:
-    """The count-vs-time policy comparison as a result table."""
-    result = ExperimentResult(
+) -> SweepSpec:
+    """Declare the count-vs-time policy comparison sweep."""
+    if ks is None:
+        ks = [25, 50, 100]
+
+    points = [
+        SweepPoint(
+            axis={"k": k},
+            calls={"run": TaskCall(
+                scenario="save_policy",
+                params=dict(k=k, costs=costs),
+            )},
+        )
+        for k in ks
+    ]
+
+    def reduce_row(axis: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        m = metrics["run"]
+        return dict(
+            k=m["k"],
+            messages=m["messages_sent"],
+            count_saves=m["count_based_saves"],
+            time_saves=m["time_based_saves"],
+            time_wasteful=m["time_based_wasteful"],
+            waste_fraction=round(m["waste_fraction"], 3),
+        )
+
+    def notes(rows: list[dict[str, Any]]) -> list[str]:
+        return [
+            "under on/off traffic the timer policy keeps saving through idle "
+            "periods (advance < K per save), the waste the paper's "
+            "message-count policy avoids by construction"
+        ]
+
+    return SweepSpec(
         experiment_id="E6b",
         title="count-based vs time-based SAVE policy under bursty traffic",
         paper_artifact="Section 4: why the interval is measured in messages",
@@ -208,22 +181,18 @@ def run_policy_table(
             "time_wasteful",
             "waste_fraction",
         ],
+        points=points,
+        reduce_row=reduce_row,
+        notes=notes,
     )
-    if ks is None:
-        ks = [25, 50, 100]
-    for k in ks:
-        comparison = compare_policies(k=k, costs=costs)
-        result.add_row(
-            k=comparison.k,
-            messages=comparison.messages_sent,
-            count_saves=comparison.count_based_saves,
-            time_saves=comparison.time_based_saves,
-            time_wasteful=comparison.time_based_wasteful,
-            waste_fraction=round(comparison.waste_fraction, 3),
-        )
-    result.note(
-        "under on/off traffic the timer policy keeps saving through idle "
-        "periods (advance < K per save), the waste the paper's "
-        "message-count policy avoids by construction"
-    )
-    return result
+
+
+def run_policy_table(
+    ks: list[int] | None = None,
+    costs: CostModel = PAPER_COSTS,
+    jobs: int = 1,
+    store: Any = None,
+) -> ExperimentResult:
+    """The count-vs-time policy comparison as a result table."""
+    spec = policy_sweep(ks=ks, costs=costs)
+    return ExperimentDriver(spec, jobs=jobs, store=store).run()

@@ -20,20 +20,68 @@ orders of magnitude and grows with both sweep axes.
 
 from __future__ import annotations
 
-from repro.core.baselines import RekeySimulation, savefetch_recovery_outcome
+from typing import Any
+
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import ExperimentDriver, SweepPoint, SweepSpec, TaskCall
 from repro.ipsec.costs import CostModel, PAPER_COSTS
 
 
-def run(
+def sweep(
     sa_counts: list[int] | None = None,
     rtts: list[float] | None = None,
     detection_delay: float = 0.0,
     costs: CostModel = PAPER_COSTS,
     seed: int = 0,
-) -> ExperimentResult:
-    """Sweep SA count x RTT; measure both recovery paths."""
-    result = ExperimentResult(
+) -> SweepSpec:
+    """Declare the SA count x RTT sweep over both recovery paths."""
+    if sa_counts is None:
+        sa_counts = [1, 4, 16, 64]
+    if rtts is None:
+        rtts = [0.001, 0.010, 0.050]
+
+    points = [
+        SweepPoint(
+            axis={"n_sas": n_sas, "rtt": rtt},
+            calls={"run": TaskCall(
+                scenario="rekey",
+                params=dict(
+                    n_sas=n_sas,
+                    rtt=rtt,
+                    detection_delay=detection_delay,
+                    costs=costs,
+                ),
+                seed=seed,
+            )},
+        )
+        for n_sas in sa_counts
+        for rtt in rtts
+    ]
+
+    def reduce_row(axis: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        m = metrics["run"]
+        speedup = (
+            m["rekey_time_s"] / m["savefetch_time_s"]
+            if m["savefetch_time_s"] > 0
+            else float("inf")
+        )
+        return dict(
+            n_sas=axis["n_sas"],
+            rtt_ms=axis["rtt"] * 1000,
+            rekey_time_s=m["rekey_time_s"],
+            rekey_messages=m["rekey_messages"],
+            savefetch_time_s=m["savefetch_time_s"],
+            speedup=round(speedup),
+        )
+
+    def notes(rows: list[dict[str, Any]]) -> list[str]:
+        return [
+            "rekey cost scales with n_sas (sequential renegotiations) and rtt "
+            "(4.5 round trips per SA); SAVE/FETCH is local disk IO only, "
+            "independent of rtt — the win grows with both axes"
+        ]
+
+    return SweepSpec(
         experiment_id="E7",
         title="reset recovery cost: IETF full rekey vs SAVE/FETCH",
         paper_artifact="Section 3's motivation for keeping the SA alive",
@@ -45,37 +93,27 @@ def run(
             "savefetch_time_s",
             "speedup",
         ],
+        points=points,
+        reduce_row=reduce_row,
+        notes=notes,
     )
-    if sa_counts is None:
-        sa_counts = [1, 4, 16, 64]
-    if rtts is None:
-        rtts = [0.001, 0.010, 0.050]
-    for n_sas in sa_counts:
-        for rtt in rtts:
-            rekey = RekeySimulation(
-                n_sas=n_sas,
-                rtt=rtt,
-                detection_delay=detection_delay,
-                costs=costs,
-                seed=seed,
-            ).run()
-            savefetch = savefetch_recovery_outcome(n_sas=n_sas, costs=costs)
-            speedup = (
-                rekey.total_recovery_time / savefetch.recovery_time
-                if savefetch.recovery_time > 0
-                else float("inf")
-            )
-            result.add_row(
-                n_sas=n_sas,
-                rtt_ms=rtt * 1000,
-                rekey_time_s=rekey.total_recovery_time,
-                rekey_messages=rekey.messages_exchanged,
-                savefetch_time_s=savefetch.recovery_time,
-                speedup=round(speedup),
-            )
-    result.note(
-        "rekey cost scales with n_sas (sequential renegotiations) and rtt "
-        "(4.5 round trips per SA); SAVE/FETCH is local disk IO only, "
-        "independent of rtt — the win grows with both axes"
+
+
+def run(
+    sa_counts: list[int] | None = None,
+    rtts: list[float] | None = None,
+    detection_delay: float = 0.0,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    jobs: int = 1,
+    store: Any = None,
+) -> ExperimentResult:
+    """Sweep SA count x RTT; measure both recovery paths."""
+    spec = sweep(
+        sa_counts=sa_counts,
+        rtts=rtts,
+        detection_delay=detection_delay,
+        costs=costs,
+        seed=seed,
     )
-    return result
+    return ExperimentDriver(spec, jobs=jobs, store=store).run()

@@ -14,99 +14,88 @@ Three stories:
    p resets and leaps by ``2Kp``; the first post-leap message jumps q's
    right edge by more than ``Kq``; if q is then reset while checkpointing
    that jump, FETCH under-reads and a replay of the jump message is
-   accepted.  Requires ``Kp > Kq``; the experiment targets the reset
-   inside the vulnerable save with
-   :func:`~repro.core.reset.reset_during_save` and confirms the ceiling
-   variant of the receiver closes the hole.
+   accepted.  Requires ``Kp > Kq``; the sweep targets the reset inside
+   the vulnerable save (see
+   :func:`repro.workloads.scenarios.run_staggered_reset_scenario`) and
+   confirms the ceiling variant of the receiver closes the hole.
 """
 
 from __future__ import annotations
 
-from repro.core.protocol import build_protocol
-from repro.core.reset import reset_during_save
+from typing import Any
+
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import ExperimentDriver, SweepPoint, SweepSpec, TaskCall
 from repro.ipsec.costs import CostModel, PAPER_COSTS
-from repro.workloads.scenarios import run_dual_reset_scenario
 
 
-def _staggered_case(
-    variant: str,
-    k_p: int,
-    k_q: int,
-    costs: CostModel,
-    seed: int,
-) -> dict[str, object]:
-    """The vulnerable-window staggered scenario for one receiver variant."""
-    harness = build_protocol(
-        variant=variant,
-        k_p=k_p,
-        k_q=k_q,
-        costs=costs,
-        seed=seed,
-        with_adversary=True,
-    )
-    down = 5 * costs.t_save
-
-    # Reset p right after it has sent 2 * k_p messages.
-    def on_send(sent_total: int, packet: object) -> None:
-        if sent_total == 2 * k_p:
-            harness.sender.reset(down_for=down)
-
-    harness.sender.add_send_listener(on_send)
-
-    # q checkpoints every k_q receives; the (2*k_p/k_q + 1)-th save is the
-    # one triggered by the first post-leap jump message.  Strike q halfway
-    # through it.
-    store = getattr(harness.receiver, "store", None)
-    jump_save_index = (2 * k_p) // k_q + 1
-    if store is not None:
-        reset_during_save(
-            harness.engine,
-            harness.receiver,
-            store,
-            nth_save=jump_save_index,
-            fraction=0.5,
-            down_for=down,
-        )
-
-    # The winning adversary strategy: the instant q is back up, replay the
-    # *most recently* recorded messages (a plain replay-newest-first
-    # policy) so they land before fresh traffic re-advances the window.
-    # Messages delivered above q's resumed right edge are the prize.
-    def on_q_resume() -> None:
-        assert harness.adversary is not None
-        record = harness.receiver.reset_records[-1]
-        lo = (record.resumed_right_edge or 0) + 1
-        hi = record.right_edge_at_reset
-        harness.adversary.replay_range(lo, hi, rate=1e9)
-
-    harness.receiver.add_resume_listener(on_q_resume)
-
-    # Low-rate traffic (inter-send gap well above the outage + recovery
-    # time): at line rate, fresh messages buffered during q's post-wake
-    # SAVE drain first and push the window past the vulnerable range
-    # before any replay can land — the hole only opens when the channel
-    # is quiet at wake-up, as it is on a lightly loaded SA.
-    interval = 4 * down
-    attempts = 2 * k_p + k_p // 2
-    harness.sender.start_traffic(count=attempts, interval=interval)
-    horizon = (attempts + 5) * interval + 4 * down
-    harness.run(until=horizon)
-    report = harness.score(check_bounds=False)
-    return {
-        "replays_accepted": report.replays_accepted,
-        "fresh_discarded": report.fresh_discarded,
-        "q_resets": len(harness.receiver.reset_records),
-    }
-
-
-def run(
+def sweep(
     k: int = 25,
     costs: CostModel = PAPER_COSTS,
     seed: int = 0,
-) -> ExperimentResult:
-    """Run all dual-reset cases; see module docstring."""
-    result = ExperimentResult(
+) -> SweepSpec:
+    """Declare all dual-reset cases; see the module docstring."""
+    points = [
+        SweepPoint(
+            axis={"case": "simultaneous", "protocol": label},
+            calls={"run": TaskCall(
+                scenario="dual_reset",
+                params=dict(
+                    protected=protected,
+                    k=k,
+                    reset_after_sends=20 * k,
+                    messages_after_reset=20 * k,
+                    costs=costs,
+                    window_jump_attack=True,
+                ),
+                seed=seed,
+            )},
+        )
+        for protected, label in [(True, "save/fetch"), (False, "unprotected")]
+    ] + [
+        SweepPoint(
+            axis={"case": "staggered-vulnerable", "protocol": variant},
+            calls={"run": TaskCall(
+                scenario="staggered_reset",
+                params=dict(variant=variant, k_p=4 * k, k_q=k, costs=costs),
+                seed=seed,
+            )},
+        )
+        for variant in ("savefetch", "ceiling")
+    ]
+
+    def reduce_row(axis: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        m = metrics["run"]
+        if axis["case"] == "simultaneous":
+            # Converged means: no replay slipped in and the collateral is
+            # within the Section 5 budget (the unprotected pair fails the
+            # second clause by orders of magnitude).
+            converged = (
+                m["replays_accepted"] == 0 and m["fresh_discarded"] <= 2 * k
+            )
+        else:
+            converged = m["replays_accepted"] == 0
+        return dict(
+            case=axis["case"],
+            protocol=axis["protocol"],
+            replays_accepted=m["replays_accepted"],
+            fresh_discarded=m["fresh_discarded"],
+            converged=converged,
+        )
+
+    def notes(rows: list[dict[str, Any]]) -> list[str]:
+        return [
+            "simultaneous dual reset: SAVE/FETCH rejects the window-jump "
+            "replay; unprotected is desynchronised by it (fresh messages "
+            "discarded en masse)",
+            "staggered-vulnerable: SAVE/FETCH accepts a replay when the "
+            "receiver reset lands inside the checkpoint of the post-leap "
+            "jump (the boundary found by exhaustive model checking; outside "
+            "the paper's Fig. 2 hypothesis of dense arrival); the write-ahead "
+            "ceiling variant accepts none",
+        ]
+
+    return SweepSpec(
         experiment_id="E8",
         title="dual resets: simultaneous, attacked, and staggered",
         paper_artifact="Section 5 third case + Section 3 window-jump attack",
@@ -117,55 +106,19 @@ def run(
             "fresh_discarded",
             "converged",
         ],
+        points=points,
+        reduce_row=reduce_row,
+        notes=notes,
     )
 
-    # Case 1 & 2: simultaneous dual reset with the window-jump adversary.
-    for protected, label in [(True, "save/fetch"), (False, "unprotected")]:
-        scenario = run_dual_reset_scenario(
-            protected=protected,
-            k=k,
-            reset_after_sends=20 * k,
-            messages_after_reset=20 * k,
-            costs=costs,
-            seed=seed,
-            window_jump_attack=True,
-        )
-        report = scenario.report
-        result.add_row(
-            case="simultaneous",
-            protocol=label,
-            replays_accepted=report.replays_accepted,
-            fresh_discarded=report.fresh_discarded,
-            # Converged means: no replay slipped in and the collateral is
-            # within the Section 5 budget (the unprotected pair fails the
-            # second clause by orders of magnitude).
-            converged=report.replays_accepted == 0
-            and report.fresh_discarded <= 2 * k,
-        )
 
-    # Case 3: the staggered vulnerable window (model-checker finding).
-    for variant in ("savefetch", "ceiling"):
-        staggered = _staggered_case(
-            variant=variant, k_p=4 * k, k_q=k, costs=costs, seed=seed
-        )
-        result.add_row(
-            case="staggered-vulnerable",
-            protocol=variant,
-            replays_accepted=staggered["replays_accepted"],
-            fresh_discarded=staggered["fresh_discarded"],
-            converged=staggered["replays_accepted"] == 0,
-        )
-
-    result.note(
-        "simultaneous dual reset: SAVE/FETCH rejects the window-jump "
-        "replay; unprotected is desynchronised by it (fresh messages "
-        "discarded en masse)"
-    )
-    result.note(
-        "staggered-vulnerable: SAVE/FETCH accepts a replay when the "
-        "receiver reset lands inside the checkpoint of the post-leap "
-        "jump (the boundary found by exhaustive model checking; outside "
-        "the paper's Fig. 2 hypothesis of dense arrival); the write-ahead "
-        "ceiling variant accepts none"
-    )
-    return result
+def run(
+    k: int = 25,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    jobs: int = 1,
+    store: Any = None,
+) -> ExperimentResult:
+    """Run all dual-reset cases; see the module docstring."""
+    spec = sweep(k=k, costs=costs, seed=seed)
+    return ExperimentDriver(spec, jobs=jobs, store=store).run()

@@ -17,20 +17,66 @@ to full rekey measured by E7).
 
 from __future__ import annotations
 
-from repro.core.recovery import ProlongedResetSession
+from typing import Any
+
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import ExperimentDriver, SweepPoint, SweepSpec, TaskCall
 from repro.ipsec.costs import CostModel, PAPER_COSTS
 
 
-def run(
+def sweep(
     outages: list[float] | None = None,
     keep_alive_timeout: float = 1.0,
     k: int = 25,
     costs: CostModel = PAPER_COSTS,
     seed: int = 0,
-) -> ExperimentResult:
-    """Sweep outage duration vs a fixed keep-alive budget."""
-    result = ExperimentResult(
+) -> SweepSpec:
+    """Declare the outage-duration sweep vs a fixed keep-alive budget."""
+    if outages is None:
+        outages = [0.05, 0.2, 0.5, 2.0]
+
+    points = [
+        SweepPoint(
+            axis={"outage_s": outage},
+            calls={"run": TaskCall(
+                scenario="prolonged_reset",
+                params=dict(
+                    outage=outage,
+                    keep_alive_timeout=keep_alive_timeout,
+                    k=k,
+                    costs=costs,
+                ),
+                seed=seed,
+            )},
+        )
+        for outage in outages
+    ]
+
+    def reduce_row(axis: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        m = metrics["run"]
+        return dict(
+            outage_s=axis["outage_s"],
+            detected=m["detected"],
+            keepalive_expired=m["keepalive_expired"],
+            resync_accepted=m["resync_accepted"],
+            resync_seq=m["resync_seq"],
+            recovery_s=round(m["recovery_s"], 4),
+            replays_injected=m["replays_injected"],
+            replays_accepted=m["replays_accepted"],
+        )
+
+    def notes(rows: list[dict[str, Any]]) -> list[str]:
+        return [
+            f"keep-alive budget {keep_alive_timeout}s: outages below it recover "
+            "via the secured resync message (recovery time ~ outage); the one "
+            "above it reports expiry — the fall-back to full rekey whose cost "
+            "E7 measures",
+            "replayed b->a traffic injected during the outage is never "
+            "accepted by the live host (sequence numbers at or below its "
+            "right edge)",
+        ]
+
+    return SweepSpec(
         experiment_id="E9",
         title="prolonged-reset recovery over a bidirectional SA pair",
         paper_artifact="Section 6 concluding remarks (keep-alive + resync)",
@@ -44,60 +90,27 @@ def run(
             "replays_injected",
             "replays_accepted",
         ],
+        points=points,
+        reduce_row=reduce_row,
+        notes=notes,
     )
-    if outages is None:
-        outages = [0.05, 0.2, 0.5, 2.0]
-    for outage in outages:
-        session = ProlongedResetSession(
-            k=k,
-            costs=costs,
-            keep_alive_timeout=keep_alive_timeout,
-            seed=seed,
-            with_adversary=True,
-        )
-        session.start_traffic()
-        warmup = 0.02
-        reset_at = warmup
-        session.engine.call_at(reset_at, session.host_b.reset_host, outage)
 
-        # The adversary replays recorded b->a traffic into the live host
-        # midway through the outage (b cannot answer for itself then).
-        def replay_midway() -> None:
-            assert session.adversary is not None
-            session.adversary.replay_history(rate=1000.0)
 
-        session.engine.call_at(reset_at + outage / 2, replay_midway)
-
-        session.run(until=reset_at + outage + keep_alive_timeout + 0.5)
-        session.stop_traffic()
-        session.run(until=reset_at + outage + keep_alive_timeout + 1.0)
-
-        report = session.report()
-        a = report.host_a
-        detected = a.peer_down_detected_at is not None
-        resumed = a.peer_back_up_at is not None
-        recovery = (
-            a.peer_back_up_at - reset_at if a.peer_back_up_at is not None else -1.0
-        )
-        result.add_row(
-            outage_s=outage,
-            detected=detected,
-            keepalive_expired=a.keepalive_expired,
-            resync_accepted=resumed,
-            resync_seq=a.resync_seq,
-            recovery_s=round(recovery, 4),
-            replays_injected=report.replayed_into_live_host,
-            replays_accepted=report.replays_accepted_total,
-        )
-    result.note(
-        f"keep-alive budget {keep_alive_timeout}s: outages below it recover "
-        "via the secured resync message (recovery time ~ outage); the one "
-        "above it reports expiry — the fall-back to full rekey whose cost "
-        "E7 measures"
+def run(
+    outages: list[float] | None = None,
+    keep_alive_timeout: float = 1.0,
+    k: int = 25,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    jobs: int = 1,
+    store: Any = None,
+) -> ExperimentResult:
+    """Sweep outage duration vs a fixed keep-alive budget."""
+    spec = sweep(
+        outages=outages,
+        keep_alive_timeout=keep_alive_timeout,
+        k=k,
+        costs=costs,
+        seed=seed,
     )
-    result.note(
-        "replayed b->a traffic injected during the outage is never "
-        "accepted by the live host (sequence numbers at or below its "
-        "right edge)"
-    )
-    return result
+    return ExperimentDriver(spec, jobs=jobs, store=store).run()

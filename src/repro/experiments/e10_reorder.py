@@ -16,21 +16,71 @@ zero fresh discards for ``d < w``, every held-back message discarded for
 
 from __future__ import annotations
 
-from repro.core.protocol import build_protocol
+from typing import Any
+
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import ExperimentDriver, SweepPoint, SweepSpec, TaskCall
 from repro.ipsec.costs import CostModel, PAPER_COSTS
 
 
-def run(
+def sweep(
     window_sizes: list[int] | None = None,
     degrees: list[int] | None = None,
     messages: int = 2000,
     probability: float = 0.05,
     costs: CostModel = PAPER_COSTS,
     seed: int = 0,
-) -> ExperimentResult:
-    """Sweep reorder degree x window size; measure fresh discards."""
-    result = ExperimentResult(
+) -> SweepSpec:
+    """Declare the reorder degree x window size sweep."""
+    if window_sizes is None:
+        window_sizes = [32, 64]
+    if degrees is None:
+        degrees = [1, 8, 31, 32, 33, 63, 64, 65, 128]
+
+    points = [
+        SweepPoint(
+            axis={"w": w, "degree": degree},
+            calls={"run": TaskCall(
+                scenario="reorder",
+                params=dict(
+                    protected=True,
+                    w=w,
+                    degree=degree,
+                    messages=messages,
+                    probability=probability,
+                    costs=costs,
+                ),
+                seed=seed,
+            )},
+        )
+        for w in window_sizes
+        for degree in degrees
+    ]
+
+    def reduce_row(axis: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        w, degree = axis["w"], axis["degree"]
+        m = metrics["run"]
+        reordered = m["reordered"]
+        discard_rate = m["fresh_discarded"] / reordered if reordered else 0.0
+        return dict(
+            w=w,
+            degree=degree,
+            reordered=reordered,
+            fresh_discarded=m["fresh_discarded"],
+            discard_rate=round(discard_rate, 3),
+            w_delivery_holds=(degree >= w) or m["fresh_discarded"] == 0,
+            duplicates_delivered=m["replays_accepted"],
+        )
+
+    def notes(rows: list[dict[str, Any]]) -> list[str]:
+        return [
+            "the cliff sits exactly at degree = w: every reordered message "
+            "with degree < w is delivered, every one with degree >= w is "
+            "discarded despite being fresh — the [2] observation",
+            "Discrimination holds throughout (duplicates_delivered = 0)",
+        ]
+
+    return SweepSpec(
         experiment_id="E10",
         title="fresh-message discards vs reorder degree and window size",
         paper_artifact="Section 2 w-Delivery / Discrimination; motivates [2]",
@@ -43,45 +93,29 @@ def run(
             "w_delivery_holds",
             "duplicates_delivered",
         ],
+        points=points,
+        reduce_row=reduce_row,
+        notes=notes,
     )
-    if window_sizes is None:
-        window_sizes = [32, 64]
-    if degrees is None:
-        degrees = [1, 8, 31, 32, 33, 63, 64, 65, 128]
-    for w in window_sizes:
-        for degree in degrees:
-            harness = build_protocol(
-                protected=True,
-                w=w,
-                costs=costs,
-                seed=seed,
-                reorder_degree=degree,
-                reorder_probability=probability,
-            )
-            harness.sender.start_traffic(count=messages)
-            horizon = (messages + 10) * costs.t_send + 1.0
-            harness.run(until=horizon)
-            assert harness.reorder_stage is not None
-            harness.reorder_stage.flush()
-            harness.run(until=horizon + 1.0)
-            report = harness.score(check_bounds=False)
-            reordered = harness.reorder_stage.held_total
-            discard_rate = (
-                report.fresh_discarded / reordered if reordered else 0.0
-            )
-            result.add_row(
-                w=w,
-                degree=degree,
-                reordered=reordered,
-                fresh_discarded=report.fresh_discarded,
-                discard_rate=round(discard_rate, 3),
-                w_delivery_holds=(degree >= w) or report.fresh_discarded == 0,
-                duplicates_delivered=report.replays_accepted,
-            )
-    result.note(
-        "the cliff sits exactly at degree = w: every reordered message "
-        "with degree < w is delivered, every one with degree >= w is "
-        "discarded despite being fresh — the [2] observation"
+
+
+def run(
+    window_sizes: list[int] | None = None,
+    degrees: list[int] | None = None,
+    messages: int = 2000,
+    probability: float = 0.05,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    jobs: int = 1,
+    store: Any = None,
+) -> ExperimentResult:
+    """Sweep reorder degree x window size; measure fresh discards."""
+    spec = sweep(
+        window_sizes=window_sizes,
+        degrees=degrees,
+        messages=messages,
+        probability=probability,
+        costs=costs,
+        seed=seed,
     )
-    result.note("Discrimination holds throughout (duplicates_delivered = 0)")
-    return result
+    return ExperimentDriver(spec, jobs=jobs, store=store).run()

@@ -11,7 +11,8 @@ The paper motivates two wake-up design points:
   have been used before the second reset occurs will be reused").
 
 This experiment ablates both, under a double-reset fault: the second
-reset strikes while the sender is already recovering from the first.
+reset strikes while the sender is already recovering from the first (see
+:func:`repro.workloads.scenarios.run_recovery_ablation_scenario`).
 Expected: the paper's configuration survives (no reuse, no replay
 accepted); ``leap 1K`` reuses numbers when the first reset lands during
 an in-flight save; ``leap 0`` reuses massively; ``skip wake save``
@@ -21,106 +22,66 @@ hazard the synchronous SAVE exists to close.
 
 from __future__ import annotations
 
-from repro.core.protocol import build_protocol
-from repro.core.reset import reset_during_save
+from typing import Any
+
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import ExperimentDriver, SweepPoint, SweepSpec, TaskCall
 from repro.ipsec.costs import CostModel, PAPER_COSTS
 
-
-def _run_variant(
-    leap_factor: int,
-    skip_wake_save: bool,
-    double_reset: bool,
-    k: int,
-    costs: CostModel,
-    seed: int,
-) -> dict[str, object]:
-    harness = build_protocol(
-        protected=True,
-        k_p=2 * k,  # save spans half the interval: both Fig. 1 cases live
-        k_q=2 * k,
-        costs=costs,
-        seed=seed,
-        leap_factor=leap_factor,
-        skip_wake_save=skip_wake_save,
-    )
-    down = costs.t_save  # wake quickly so recovery overlaps traffic
-
-    # First reset: strike inside the second background save.
-    reset_during_save(
-        harness.engine,
-        harness.sender,
-        harness.sender.store,  # type: ignore[attr-defined]
-        nth_save=2,
-        fraction=0.5,
-        down_for=down,
-    )
-    if double_reset:
-        # Second reset: strike inside the *synchronous wake save* of the
-        # first recovery (or, when that save is skipped, immediately
-        # after the first messages of the resumed stream).
-        fired = {"done": False}
-
-        def second_strike() -> None:
-            if fired["done"]:
-                return
-            fired["done"] = True
-            harness.sender.reset(down_for=down)
-
-        if skip_wake_save:
-            def on_resume() -> None:
-                if not fired["done"]:
-                    # Let a handful of post-recovery messages out first so
-                    # there is something to reuse.
-                    harness.engine.call_later(
-                        5 * costs.t_send, second_strike
-                    )
-
-            harness.sender.add_resume_listener(on_resume)
-        else:
-            reset_during_save(
-                harness.engine,
-                harness.sender,
-                harness.sender.store,  # type: ignore[attr-defined]
-                nth_save=3,  # the wake save is the 3rd start
-                fraction=0.5,
-                down_for=down,
-                include_synchronous=True,
-            )
-
-    messages = 20 * k
-    harness.sender.start_traffic(count=messages)
-    harness.run(until=(messages + 10) * costs.t_send + 10 * (down + costs.t_save))
-    report = harness.score(check_bounds=False)
-    reuse = sum(
-        1
-        for record in harness.sender.reset_records
-        if record.lost_seqnums is not None and record.lost_seqnums < 0
-    )
-    min_lost = min(
-        (
-            record.lost_seqnums
-            for record in harness.sender.reset_records
-            if record.lost_seqnums is not None
-        ),
-        default=0,
-    )
-    return {
-        "resets": len(harness.sender.reset_records),
-        "reuse_events": reuse,
-        "min_lost": min_lost,
-        "replays_accepted": report.replays_accepted,
-        "safe": reuse == 0 and report.replays_accepted == 0,
-    }
+#: The ablated configurations: (label, leap_factor, skip_wake_save).
+VARIANTS: list[tuple[str, int, bool]] = [
+    ("paper (leap 2K, wake save)", 2, False),
+    ("leap 1K", 1, False),
+    ("leap 0", 0, False),
+    ("skip wake save", 2, True),
+]
 
 
-def run(
+def sweep(
     k: int = 25,
     costs: CostModel = PAPER_COSTS,
     seed: int = 0,
-) -> ExperimentResult:
-    """Ablate the leap factor and the synchronous wake save."""
-    result = ExperimentResult(
+) -> SweepSpec:
+    """Declare the leap-factor / wake-save ablation sweep."""
+    points = [
+        SweepPoint(
+            axis={"variant": label, "double_reset": double_reset},
+            calls={"run": TaskCall(
+                scenario="recovery_ablation",
+                params=dict(
+                    leap_factor=leap,
+                    skip_wake_save=skip,
+                    double_reset=double_reset,
+                    k=k,
+                    costs=costs,
+                ),
+                seed=seed,
+            )},
+        )
+        for label, leap, skip in VARIANTS
+        for double_reset in (False, True)
+    ]
+
+    def reduce_row(axis: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        m = metrics["run"]
+        return dict(
+            variant=axis["variant"],
+            double_reset=axis["double_reset"],
+            resets=m["resets"],
+            reuse_events=m["reuse_events"],
+            min_lost=m["min_lost"],
+            replays_accepted=m["replays_accepted"],
+            safe=m["safe"],
+        )
+
+    def notes(rows: list[dict[str, Any]]) -> list[str]:
+        return [
+            "negative min_lost = sequence numbers reused after a reset (the "
+            "failure both design points exist to prevent); the paper's "
+            "configuration is the only one safe under both fault patterns"
+        ]
+
+    return SweepSpec(
         experiment_id="E11",
         title="recovery-design ablation under single and double resets",
         paper_artifact="Section 4: the 2K leap and the synchronous wake SAVE",
@@ -133,31 +94,19 @@ def run(
             "replays_accepted",
             "safe",
         ],
+        points=points,
+        reduce_row=reduce_row,
+        notes=notes,
     )
-    variants: list[tuple[str, int, bool]] = [
-        ("paper (leap 2K, wake save)", 2, False),
-        ("leap 1K", 1, False),
-        ("leap 0", 0, False),
-        ("skip wake save", 2, True),
-    ]
-    for label, leap, skip in variants:
-        for double_reset in (False, True):
-            outcome = _run_variant(
-                leap_factor=leap,
-                skip_wake_save=skip,
-                double_reset=double_reset,
-                k=k,
-                costs=costs,
-                seed=seed,
-            )
-            result.add_row(
-                variant=label,
-                double_reset=double_reset,
-                **outcome,
-            )
-    result.note(
-        "negative min_lost = sequence numbers reused after a reset (the "
-        "failure both design points exist to prevent); the paper's "
-        "configuration is the only one safe under both fault patterns"
-    )
-    return result
+
+
+def run(
+    k: int = 25,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    jobs: int = 1,
+    store: Any = None,
+) -> ExperimentResult:
+    """Ablate the leap factor and the synchronous wake save."""
+    spec = sweep(k=k, costs=costs, seed=seed)
+    return ExperimentDriver(spec, jobs=jobs, store=store).run()

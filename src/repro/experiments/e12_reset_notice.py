@@ -7,16 +7,11 @@ that the special message can be replayed by an attacker at any time to
 induce the receiver of this special message to reset its sequence
 number."
 
-The experiment implements the strawman (an unprotected pair where the
-sender announces resets with a :class:`~repro.core.recovery.ResetNotice`
-that the receiver honours) and runs the paper's attack script:
-
-1. traffic flows; the adversary records everything, including the notice
-   emitted after a genuine sender reset (phase one *appears* to work —
-   fresh traffic resumes);
-2. later, the adversary replays the recorded notice — the receiver
-   obediently reopens its window — and then replays the recorded
-   history, which is accepted wholesale.
+The experiment runs the strawman through the paper's attack script (see
+:func:`repro.workloads.scenarios.run_reset_notice_scenario`): phase one
+*appears* to work — the genuine notice is honoured and fresh traffic
+resumes; phase two replays the recorded notice, the receiver obediently
+reopens its window, and the recorded history is accepted wholesale.
 
 The SAVE/FETCH comparison row shows why the paper concludes persistent
 memory is the only way: there *is* no trusted-on-receipt control message
@@ -25,77 +20,78 @@ to replay, and the same replay barrage is rejected entirely.
 
 from __future__ import annotations
 
-from repro.core.audit import DeliveryAuditor
-from repro.core.recovery import ResetNoticeReceiver, send_reset_notice
-from repro.core.sender import UnprotectedSender
+from typing import Any
+
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import ExperimentDriver, SweepPoint, SweepSpec, TaskCall
 from repro.ipsec.costs import CostModel, PAPER_COSTS
-from repro.net.adversary import ReplayAdversary
-from repro.net.link import Link
-from repro.sim.engine import Engine
-from repro.workloads.scenarios import run_receiver_reset_scenario
 
 
-def _run_strawman(
-    pre_reset_messages: int,
-    post_reset_messages: int,
-    costs: CostModel,
-    seed: int,
-) -> dict[str, object]:
-    engine = Engine()
-    auditor = DeliveryAuditor()
-    receiver = ResetNoticeReceiver(engine, "q", auditor=auditor, costs=costs)
-    link = Link(engine, "link:p->q", sink=receiver.on_receive, fifo=True, seed=seed)
-    sender = UnprotectedSender(engine, "p", link, costs=costs, auditor=auditor)
-    adversary = ReplayAdversary(engine, link, seed=seed + 1)
-
-    # Phase 1: traffic, then a genuine sender reset announced by notice.
-    sender.start_traffic(count=pre_reset_messages)
-    engine.run(until=(pre_reset_messages + 5) * costs.t_send)
-
-    sender.reset(down_for=costs.t_save)
-
-    def announce() -> None:
-        send_reset_notice("p", link, engine.now)
-
-    sender.add_resume_listener(announce)
-    engine.run(until=engine.now + 10 * costs.t_save)
-
-    # Post-recovery traffic works: the receiver honoured the real notice.
-    sender.start_traffic(count=post_reset_messages)
-    engine.run(until=engine.now + (post_reset_messages + 5) * costs.t_send)
-    delivered_after_recovery = receiver.delivered_total
-    notices_after_phase1 = receiver.notices_honoured
-
-    # Phase 2: the attack.  Replay the notice, then the whole history.
-    notice_packets = [
-        packet
-        for _, packet in adversary.recorded
-        if type(packet).__name__ == "ResetNotice"
-    ]
-    for notice in notice_packets:
-        adversary.inject_now(notice)
-    engine.run(until=engine.now + 10 * costs.t_recv)
-    adversary.replay_history(rate=1.0 / costs.t_recv)
-    engine.run(until=engine.now + 4 * (pre_reset_messages + post_reset_messages) * costs.t_recv)
-
-    report = auditor.report()
-    return {
-        "notices_honoured": receiver.notices_honoured,
-        "genuine_notice_worked": delivered_after_recovery > pre_reset_messages
-        and notices_after_phase1 == 1,
-        "replays_accepted": report.duplicate_deliveries,
-    }
-
-
-def run(
+def sweep(
     pre_reset_messages: int = 500,
     post_reset_messages: int = 200,
     costs: CostModel = PAPER_COSTS,
     seed: int = 0,
-) -> ExperimentResult:
-    """Run the strawman attack and the SAVE/FETCH comparison."""
-    result = ExperimentResult(
+) -> SweepSpec:
+    """Declare the strawman attack plus the SAVE/FETCH comparison."""
+    points = [
+        SweepPoint(
+            axis={"protocol": "reset-notice strawman"},
+            calls={"run": TaskCall(
+                scenario="reset_notice",
+                params=dict(
+                    pre_reset_messages=pre_reset_messages,
+                    post_reset_messages=post_reset_messages,
+                    costs=costs,
+                ),
+                seed=seed,
+            )},
+        ),
+        # SAVE/FETCH under the same replay barrage (receiver at its most
+        # vulnerable moment): nothing to honour, nothing accepted.
+        SweepPoint(
+            axis={"protocol": "save/fetch"},
+            calls={"run": TaskCall(
+                scenario="receiver_reset",
+                params=dict(
+                    protected=True,
+                    reset_after_receives=pre_reset_messages,
+                    messages_after_reset=0,
+                    costs=costs,
+                    replay_history_after=True,
+                ),
+                seed=seed,
+            )},
+        ),
+    ]
+
+    def reduce_row(axis: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        m = metrics["run"]
+        if axis["protocol"] == "reset-notice strawman":
+            return dict(
+                protocol=axis["protocol"],
+                notices_honoured=m["notices_honoured"],
+                genuine_recovery_ok=m["genuine_notice_worked"],
+                replays_accepted=m["replays_accepted"],
+                broken_by_replay=bool(m["replays_accepted"]),
+            )
+        return dict(
+            protocol=axis["protocol"],
+            notices_honoured=0,
+            genuine_recovery_ok=m["converged"],
+            replays_accepted=m["replays_accepted"],
+            broken_by_replay=m["replays_accepted"] > 0,
+        )
+
+    def notes(rows: list[dict[str, Any]]) -> list[str]:
+        return [
+            "the strawman recovers from the genuine reset (its one notice is "
+            "honoured) but any replay of that notice reopens the window and "
+            "the recorded history pours in; SAVE/FETCH has no such message "
+            "to replay — the paper's argument for persistent memory"
+        ]
+
+    return SweepSpec(
         experiment_id="E12",
         title='the "I was reset" notice: replayable by construction',
         paper_artifact="Section 6 concluding remarks (the rejected strawman)",
@@ -106,37 +102,25 @@ def run(
             "replays_accepted",
             "broken_by_replay",
         ],
-    )
-    strawman = _run_strawman(pre_reset_messages, post_reset_messages, costs, seed)
-    result.add_row(
-        protocol="reset-notice strawman",
-        notices_honoured=strawman["notices_honoured"],
-        genuine_recovery_ok=strawman["genuine_notice_worked"],
-        replays_accepted=strawman["replays_accepted"],
-        broken_by_replay=bool(strawman["replays_accepted"]),
+        points=points,
+        reduce_row=reduce_row,
+        notes=notes,
     )
 
-    # SAVE/FETCH under the same replay barrage (receiver at its most
-    # vulnerable moment): nothing to honour, nothing accepted.
-    savefetch = run_receiver_reset_scenario(
-        protected=True,
-        reset_after_receives=pre_reset_messages,
-        messages_after_reset=0,
+
+def run(
+    pre_reset_messages: int = 500,
+    post_reset_messages: int = 200,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    jobs: int = 1,
+    store: Any = None,
+) -> ExperimentResult:
+    """Run the strawman attack and the SAVE/FETCH comparison."""
+    spec = sweep(
+        pre_reset_messages=pre_reset_messages,
+        post_reset_messages=post_reset_messages,
         costs=costs,
         seed=seed,
-        replay_history_after=True,
     )
-    result.add_row(
-        protocol="save/fetch",
-        notices_honoured=0,
-        genuine_recovery_ok=savefetch.report.converged,
-        replays_accepted=savefetch.report.replays_accepted,
-        broken_by_replay=savefetch.report.replays_accepted > 0,
-    )
-    result.note(
-        "the strawman recovers from the genuine reset (its one notice is "
-        "honoured) but any replay of that notice reopens the window and "
-        "the recorded history pours in; SAVE/FETCH has no such message "
-        "to replay — the paper's argument for persistent memory"
-    )
-    return result
+    return ExperimentDriver(spec, jobs=jobs, store=store).run()

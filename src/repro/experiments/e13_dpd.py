@@ -5,7 +5,8 @@ the IETF remedy fires "once the reset is detected" (its total cost in E7
 includes the detection delay) and the Section 6 recovery starts its
 keep-alive clock at detection.  This experiment measures detection time
 for the two cited IETF mechanisms — heartbeat probing and traffic-based
-probing — over simulated links, sweeping the probe cadence.
+probing — over simulated links, sweeping the probe cadence (see
+:func:`repro.workloads.scenarios.run_dpd_scenario`).
 
 Expected shape: detection time ~ interval + max_misses * interval (plus a
 timeout), linear in the probe cadence for both mechanisms; traffic-based
@@ -14,81 +15,58 @@ probing sends zero probes while the conversation is healthy.
 
 from __future__ import annotations
 
-from repro.core.dpd import HeartbeatDpd, TrafficDpd
+from typing import Any
+
 from repro.experiments.common import ExperimentResult
-from repro.sim.engine import Engine
-from repro.sim.process import Timer
+from repro.experiments.sweep import ExperimentDriver, SweepPoint, SweepSpec, TaskCall
 
 
-class _Peer:
-    """Answers probes (after half an RTT) until reset."""
-
-    def __init__(self, engine: Engine, rtt: float) -> None:
-        self.engine = engine
-        self.rtt = rtt
-        self.up = True
-        self.reply_to = None
-
-    def on_probe(self, token: int) -> None:
-        if self.up and self.reply_to is not None:
-            self.engine.call_later(self.rtt / 2, self.reply_to, token)
-
-
-def _measure(mechanism: str, cadence: float, rtt: float, reset_at: float) -> tuple[float, int]:
-    """Returns (detection time, probes sent before the reset)."""
-    engine = Engine()
-    peer = _Peer(engine, rtt)
-    dead_at: list[float] = []
-
-    def send_probe(token: int) -> None:
-        engine.call_later(rtt / 2, peer.on_probe, token)
-
-    if mechanism == "heartbeat":
-        dpd = HeartbeatDpd(
-            engine, "dpd", send_probe, lambda: dead_at.append(engine.now),
-            interval=cadence, timeout=4 * rtt, max_misses=3,
-        )
-        peer.reply_to = dpd.on_probe_ack
-        dpd.start()
-        chatter = None
-    else:
-        dpd = TrafficDpd(
-            engine, "dpd", send_probe, lambda: dead_at.append(engine.now),
-            idle_threshold=cadence, timeout=4 * rtt, max_misses=3,
-        )
-        peer.reply_to = dpd.on_probe_ack
-
-        def chat() -> None:
-            dpd.note_sent()
-            if peer.up:
-                engine.call_later(rtt / 2, dpd.note_received)
-
-        chatter = Timer(engine, cadence / 4, chat)
-        chatter.start()
-        dpd.start()
-
-    probes_before = {"n": 0}
-
-    def mark_reset() -> None:
-        peer.up = False
-        probes_before["n"] = dpd.probes_sent
-
-    engine.call_at(reset_at, mark_reset)
-    engine.run(until=reset_at + 80 * cadence)
-    dpd.stop()
-    if chatter is not None:
-        chatter.stop()
-    detection = dead_at[0] - reset_at if dead_at else float("inf")
-    return detection, probes_before["n"]
-
-
-def run(
+def sweep(
     cadences: list[float] | None = None,
     rtt: float = 0.01,
     reset_at: float = 1.0,
-) -> ExperimentResult:
-    """Sweep the probe cadence for both DPD mechanisms."""
-    result = ExperimentResult(
+) -> SweepSpec:
+    """Declare the probe-cadence sweep for both DPD mechanisms."""
+    if cadences is None:
+        cadences = [0.1, 0.5, 2.0]
+
+    points = [
+        SweepPoint(
+            axis={"mechanism": mechanism, "cadence_s": cadence},
+            calls={"run": TaskCall(
+                scenario="dpd",
+                params=dict(
+                    mechanism=mechanism,
+                    cadence=cadence,
+                    rtt=rtt,
+                    reset_at=reset_at,
+                ),
+            )},
+        )
+        for mechanism in ("heartbeat", "traffic")
+        for cadence in cadences
+    ]
+
+    def reduce_row(axis: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        m = metrics["run"]
+        detection = m["detection_s"] if m["detection_s"] is not None else float("inf")
+        return dict(
+            mechanism=axis["mechanism"],
+            cadence_s=axis["cadence_s"],
+            detection_s=round(detection, 3),
+            probes_while_healthy=m["probes_while_healthy"],
+            detected=m["detected"],
+        )
+
+    def notes(rows: list[dict[str, Any]]) -> list[str]:
+        return [
+            "detection ~ cadence x (1 + max_misses): tighter probing detects "
+            "faster at the cost of probe traffic; the traffic-based mechanism "
+            "sends no probes while the conversation is healthy (its "
+            "probes_while_healthy counts only post-silence probing)"
+        ]
+
+    return SweepSpec(
         experiment_id="E13",
         title="dead-peer detection time vs probe cadence",
         paper_artifact="the detection-delay term of Sections 3 and 6 "
@@ -100,23 +78,19 @@ def run(
             "probes_while_healthy",
             "detected",
         ],
+        points=points,
+        reduce_row=reduce_row,
+        notes=notes,
     )
-    if cadences is None:
-        cadences = [0.1, 0.5, 2.0]
-    for mechanism in ("heartbeat", "traffic"):
-        for cadence in cadences:
-            detection, probes = _measure(mechanism, cadence, rtt, reset_at)
-            result.add_row(
-                mechanism=mechanism,
-                cadence_s=cadence,
-                detection_s=round(detection, 3),
-                probes_while_healthy=probes,
-                detected=detection != float("inf"),
-            )
-    result.note(
-        "detection ~ cadence x (1 + max_misses): tighter probing detects "
-        "faster at the cost of probe traffic; the traffic-based mechanism "
-        "sends no probes while the conversation is healthy (its "
-        "probes_while_healthy counts only post-silence probing)"
-    )
-    return result
+
+
+def run(
+    cadences: list[float] | None = None,
+    rtt: float = 0.01,
+    reset_at: float = 1.0,
+    jobs: int = 1,
+    store: Any = None,
+) -> ExperimentResult:
+    """Sweep the probe cadence for both DPD mechanisms."""
+    spec = sweep(cadences=cadences, rtt=rtt, reset_at=reset_at)
+    return ExperimentDriver(spec, jobs=jobs, store=store).run()

@@ -7,7 +7,8 @@ past the committed checkpoint, and a reset landing inside that
 checkpoint's save leaves the wake-up leap short.
 
 This experiment quantifies the exposure under Gilbert-Elliott bursty
-loss of increasing severity:
+loss of increasing severity (see
+:func:`repro.workloads.scenarios.run_loss_hole_scenario`):
 
 * a **vulnerable window** exists whenever a background SAVE starts whose
   value exceeds the committed checkpoint by more than ``2Kq`` (the leap
@@ -24,76 +25,63 @@ variant, under the identical trigger and attack, admits none.
 
 from __future__ import annotations
 
-from repro.core.protocol import build_protocol
+from typing import Any
+
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import ExperimentDriver, SweepPoint, SweepSpec, TaskCall
 from repro.ipsec.costs import CostModel, PAPER_COSTS
-from repro.net.loss import GilbertElliottLoss, NoLoss
 
 
-def _one_run(
-    variant: str, burst_g2b: float, seed: int, k: int, costs: CostModel
-) -> tuple[bool, int]:
-    """Returns (vulnerable window found, replay acceptances)."""
-    loss = (
-        NoLoss()
-        if burst_g2b == 0.0
-        else GilbertElliottLoss(
-            p_good_to_bad=burst_g2b, p_bad_to_good=0.015, loss_bad=1.0
-        )
-    )
-    harness = build_protocol(
-        variant=variant,
-        k_p=k,
-        k_q=k,
-        costs=costs,
-        seed=seed,
-        loss=loss,
-        with_adversary=True,
-    )
-    down = 5 * costs.t_save
-    store = harness.receiver.store  # both variants have one
-    state = {"armed": True, "fired": False}
-
-    def on_save(record) -> None:
-        # React to *starts* of background saves whose value leapt more
-        # than 2Kq past the committed checkpoint: the vulnerable window.
-        if record.committed or record.aborted or record.synchronous:
-            return
-        if state["armed"] and record.value - store.committed_value > 2 * k:
-            state["armed"] = False
-            state["fired"] = True
-            harness.engine.call_later(
-                0.5 * store.t_save, harness.receiver.reset, down
-            )
-
-    store.add_listener(on_save)
-
-    def on_q_resume() -> None:
-        assert harness.adversary is not None
-        record = harness.receiver.reset_records[-1]
-        lo = (record.resumed_right_edge or 0) + 1
-        hi = record.right_edge_at_reset
-        if hi >= lo:
-            harness.adversary.replay_range(lo, hi, rate=1e9)
-        harness.adversary.replay_max()
-
-    harness.receiver.add_resume_listener(on_q_resume)
-
-    interval = 4 * down  # low-rate traffic: the vulnerable regime (E8)
-    attempts = 16 * k
-    harness.sender.start_traffic(count=attempts, interval=interval)
-    harness.run(until=(attempts + 5) * interval + 4 * down)
-    return state["fired"], harness.score(check_bounds=False).replays_accepted
-
-
-def run(
+def sweep(
     burst_levels: list[float] | None = None,
     seeds: int = 8,
     k: int = 25,
     costs: CostModel = PAPER_COSTS,
-) -> ExperimentResult:
-    """Sweep loss-burst severity x seeds for both protocol variants."""
-    result = ExperimentResult(
+) -> SweepSpec:
+    """Declare the loss-burst severity x seeds sweep for both variants."""
+    if burst_levels is None:
+        burst_levels = [0.0, 0.005, 0.02, 0.05]
+
+    points = []
+    for burst in burst_levels:
+        calls: dict[str, TaskCall] = {}
+        for seed in range(seeds):
+            for role_prefix, variant in (("sf", "savefetch"), ("ceil", "ceiling")):
+                calls[f"{role_prefix}{seed}"] = TaskCall(
+                    scenario="loss_hole",
+                    params=dict(variant=variant, burst_g2b=burst, k=k, costs=costs),
+                    seed=seed,
+                )
+        points.append(SweepPoint(axis={"burst_g2b": burst}, calls=calls))
+
+    def reduce_row(axis: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        windows = sf_hits = sf_total = ceil_hits = 0
+        for role, m in metrics.items():
+            if role.startswith("sf"):
+                windows += 1 if m["vulnerable_window"] else 0
+                sf_hits += 1 if m["replays_accepted"] else 0
+                sf_total += m["replays_accepted"]
+            else:
+                ceil_hits += 1 if m["replays_accepted"] else 0
+        return dict(
+            burst_g2b=axis["burst_g2b"],
+            vulnerable_windows=windows,
+            sf_runs_with_replays=sf_hits,
+            sf_replays_total=sf_total,
+            ceiling_runs_with_replays=ceil_hits,
+            runs=seeds,
+        )
+
+    def notes(rows: list[dict[str, Any]]) -> list[str]:
+        return [
+            "a vulnerable window = a checkpoint save starting more than 2Kq "
+            "ahead of the committed value (mean loss-burst length ~ 67 "
+            "messages vs 2Kq = 50 here); when one exists and the reset lands "
+            "inside it, SAVE/FETCH admits the replayed range — the ceiling "
+            "variant admits none under the identical trigger and attack"
+        ]
+
+    return SweepSpec(
         experiment_id="E14",
         title="replay exposure under bursty loss: SAVE/FETCH vs ceiling",
         paper_artifact="extension: empirical exposure of the loss-hole "
@@ -106,31 +94,20 @@ def run(
             "ceiling_runs_with_replays",
             "runs",
         ],
+        points=points,
+        reduce_row=reduce_row,
+        notes=notes,
     )
-    if burst_levels is None:
-        burst_levels = [0.0, 0.005, 0.02, 0.05]
-    for burst in burst_levels:
-        windows = sf_hits = sf_total = ceil_hits = 0
-        for seed in range(seeds):
-            fired, sf = _one_run("savefetch", burst, seed, k, costs)
-            windows += 1 if fired else 0
-            sf_hits += 1 if sf else 0
-            sf_total += sf
-            _fired_c, ceiling = _one_run("ceiling", burst, seed, k, costs)
-            ceil_hits += 1 if ceiling else 0
-        result.add_row(
-            burst_g2b=burst,
-            vulnerable_windows=windows,
-            sf_runs_with_replays=sf_hits,
-            sf_replays_total=sf_total,
-            ceiling_runs_with_replays=ceil_hits,
-            runs=seeds,
-        )
-    result.note(
-        "a vulnerable window = a checkpoint save starting more than 2Kq "
-        "ahead of the committed value (mean loss-burst length ~ 67 "
-        "messages vs 2Kq = 50 here); when one exists and the reset lands "
-        "inside it, SAVE/FETCH admits the replayed range — the ceiling "
-        "variant admits none under the identical trigger and attack"
-    )
-    return result
+
+
+def run(
+    burst_levels: list[float] | None = None,
+    seeds: int = 8,
+    k: int = 25,
+    costs: CostModel = PAPER_COSTS,
+    jobs: int = 1,
+    store: Any = None,
+) -> ExperimentResult:
+    """Sweep loss-burst severity x seeds for both protocol variants."""
+    spec = sweep(burst_levels=burst_levels, seeds=seeds, k=k, costs=costs)
+    return ExperimentDriver(spec, jobs=jobs, store=store).run()

@@ -32,14 +32,28 @@ or from the command line::
 """
 
 from repro.fleet.aggregate import FleetSummary, Outlier, percentile, summarize
-from repro.fleet.results import ResultStore, TaskRecord, report_metrics
-from repro.fleet.runner import FleetOutcome, FleetRunner, execute_task, run_campaign
+from repro.fleet.results import (
+    MemoryResultStore,
+    ResultStore,
+    TaskRecord,
+    report_metrics,
+)
+from repro.fleet.runner import (
+    FleetOutcome,
+    FleetRunner,
+    execute_task,
+    run_campaign,
+    scenario_metrics,
+)
 from repro.fleet.spec import (
     DEFAULT_MAX_EVENTS,
     CampaignSpec,
     FleetTask,
     ScenarioGrid,
+    decode_params,
+    encode_params,
     example_spec,
+    validate_scenario_params,
 )
 
 __all__ = [
@@ -49,14 +63,19 @@ __all__ = [
     "FleetRunner",
     "FleetSummary",
     "FleetTask",
+    "MemoryResultStore",
     "Outlier",
     "ResultStore",
     "ScenarioGrid",
     "TaskRecord",
+    "decode_params",
+    "encode_params",
     "example_spec",
     "execute_task",
     "percentile",
     "report_metrics",
     "run_campaign",
+    "scenario_metrics",
     "summarize",
+    "validate_scenario_params",
 ]

@@ -166,3 +166,35 @@ class ResultStore:
             for record in self.records()
             if record.status == STATUS_OK
         }
+
+
+class MemoryResultStore:
+    """In-memory drop-in for :class:`ResultStore` (no file, no resume).
+
+    Used by drivers that do not need durability — e.g. a one-shot
+    experiment run without ``--resume``.  Records still round-trip
+    through the canonical JSON encoding on the way in and out, so a
+    memory-backed run reduces to exactly the same values as a
+    file-backed one (floats, tuples-to-lists, and all).
+    """
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self.corrupt_lines = 0
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def append(self, record: TaskRecord) -> None:
+        self._lines.append(record.to_json())
+
+    def records(self) -> Iterator[TaskRecord]:
+        for line in self._lines:
+            yield TaskRecord.from_dict(json.loads(line))
+
+    def completed_ids(self) -> set[str]:
+        return {
+            record.task_id
+            for record in self.records()
+            if record.status == STATUS_OK
+        }

@@ -23,7 +23,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.fleet.results import (
     STATUS_ERROR,
@@ -32,17 +32,41 @@ from repro.fleet.results import (
     TaskRecord,
     report_metrics,
 )
-from repro.fleet.spec import CampaignSpec, FleetTask
+from repro.fleet.spec import CampaignSpec, FleetTask, decode_params
 from repro.sim.engine import Engine
-from repro.workloads.scenarios import get_scenario
+from repro.workloads.scenarios import ScenarioResult, get_scenario
 
 #: Progress callback signature: (completed_in_this_run, remaining_total,
 #: record).  Called once per finished task, in completion order.
 ProgressFn = Callable[[int, int, TaskRecord], None]
 
 
+def scenario_metrics(result: Any) -> dict[str, Any]:
+    """Flatten a scenario's return value into JSON-safe task metrics.
+
+    Harness-backed scenarios return a :class:`ScenarioResult`, scored via
+    :func:`report_metrics` plus any scenario-specific ``extra`` fields;
+    simulation scenarios without a protocol harness (rekey, DPD, save
+    policy, ...) return a plain metrics mapping, recorded as-is.
+    """
+    if isinstance(result, ScenarioResult):
+        metrics = report_metrics(result.report)
+        metrics.update(result.extra)
+        return metrics
+    if isinstance(result, Mapping):
+        return dict(result)
+    raise TypeError(
+        f"scenario returned {type(result).__name__}; expected a "
+        "ScenarioResult or a metrics mapping"
+    )
+
+
 def execute_task(task: FleetTask, max_events: int | None = None) -> TaskRecord:
     """Run one task to completion and score it; never raises.
+
+    Task params are JSON-encoded (see :func:`repro.fleet.spec.decode_params`
+    for the tagged-value scheme: ``CostModel`` overrides round-trip through
+    plain dicts) and decoded here, in the worker, right before the call.
 
     The engine's class-wide default hard event limit is set for the
     duration of the call so the guard reaches the engine built deep
@@ -56,14 +80,14 @@ def execute_task(task: FleetTask, max_events: int | None = None) -> TaskRecord:
     Engine.default_hard_event_limit = max_events
     try:
         scenario = get_scenario(task.scenario)
-        result = scenario(seed=task.seed, **dict(task.params))
+        result = scenario(seed=task.seed, **decode_params(task.params))
         return TaskRecord(
             task_id=task.task_id,
             scenario=task.scenario,
             params=dict(task.params),
             seed=task.seed,
             status=STATUS_OK,
-            metrics=report_metrics(result.report),
+            metrics=scenario_metrics(result),
             wall_time=time.perf_counter() - started,
         )
     except Exception as exc:  # noqa: BLE001 - one bad task must not kill the fleet
@@ -114,19 +138,22 @@ class FleetRunner:
     """Executes a campaign spec against a result store.
 
     Args:
-        spec: the campaign to run.
-        store: durable record sink; pre-existing ``ok`` records are
-            treated as finished work and skipped.
+        spec: the campaign to run — a :class:`CampaignSpec`, or any plan
+            exposing ``tasks() -> list[FleetTask]`` and ``max_events``
+            (the experiment sweeps in :mod:`repro.experiments.sweep` do).
+        store: durable record sink (:class:`ResultStore`, or the
+            in-memory variant); pre-existing ``ok`` records are treated
+            as finished work and skipped.
         jobs: worker processes; ``1`` runs in-process (no pool overhead).
         max_events: per-task engine event budget; defaults to
-            ``spec.max_events``.
+            ``spec.max_events`` (``None`` disables the guard).
         progress: optional per-record callback (see :data:`ProgressFn`).
     """
 
     def __init__(
         self,
-        spec: CampaignSpec,
-        store: ResultStore,
+        spec: CampaignSpec | Any,
+        store: ResultStore | Any,
         jobs: int = 1,
         max_events: int | None = None,
         progress: ProgressFn | None = None,

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Sequence
 
+from repro.ipsec.costs import CostModel
 from repro.util.rng import derive_seed, make_rng
 from repro.util.validation import check_positive
 from repro.workloads.scenarios import SCENARIOS
@@ -30,6 +31,77 @@ from repro.workloads.scenarios import SCENARIOS
 #: above any sane scenario (~10 events per message, thousands of
 #: messages), low enough to kill a self-rescheduling loop in seconds.
 DEFAULT_MAX_EVENTS = 5_000_000
+
+#: Tag key marking a JSON-encoded :class:`~repro.ipsec.costs.CostModel`
+#: inside task params (see :func:`encode_params` / :func:`decode_params`).
+COSTMODEL_TAG = "__costmodel__"
+
+
+def encode_param_value(value: Any) -> Any:
+    """JSON-safe encoding of one scenario kwarg.
+
+    :class:`CostModel` instances become a tagged dict so per-task cost
+    overrides survive the JSONL result store and hand-written campaign
+    spec files; tuples become lists (what JSON would do anyway), keeping
+    in-memory and from-disk expansions identical.
+    """
+    if isinstance(value, CostModel):
+        return {COSTMODEL_TAG: {k: v for k, v in vars(value).items()}}
+    if isinstance(value, (tuple, list)):
+        return [encode_param_value(item) for item in value]
+    if isinstance(value, Mapping):
+        return {k: encode_param_value(v) for k, v in value.items()}
+    return value
+
+
+def decode_param_value(value: Any) -> Any:
+    """Inverse of :func:`encode_param_value` (tagged dict -> CostModel)."""
+    if isinstance(value, Mapping):
+        if set(value) == {COSTMODEL_TAG}:
+            return CostModel(**value[COSTMODEL_TAG])
+        return {k: decode_param_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_param_value(item) for item in value]
+    return value
+
+
+def encode_params(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Encode a scenario kwargs mapping for JSON-safe task transport."""
+    return {key: encode_param_value(value) for key, value in params.items()}
+
+
+def decode_params(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Decode task params back into scenario-ready kwargs."""
+    return {key: decode_param_value(value) for key, value in params.items()}
+
+
+def validate_scenario_params(
+    scenario: str, params: Mapping[str, Any], context: str
+) -> None:
+    """Check that ``scenario`` is registered and ``params`` name real kwargs.
+
+    Catching a misspelled scenario or parameter axis here costs one
+    signature inspection; catching it later costs the whole campaign, one
+    per-task ``TypeError`` error record at a time.
+    """
+    if scenario not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(
+            f"{context}: unknown scenario {scenario!r}; known scenarios: {known}"
+        )
+    signature = inspect.signature(SCENARIOS[scenario])
+    allowed = set(signature.parameters) - {"seed"}
+    unknown = sorted(set(params) - allowed)
+    if unknown:
+        detail = (
+            "'seed' is derived per task and cannot be a parameter axis"
+            if unknown == ["seed"]
+            else f"valid parameters: {', '.join(sorted(allowed))}"
+        )
+        raise ValueError(
+            f"{context}: scenario {scenario!r} has no parameter(s) "
+            f"{unknown}; {detail}"
+        )
 
 
 @dataclass(frozen=True)
@@ -120,8 +192,7 @@ class ScenarioGrid:
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {
             "scenario": self.scenario,
-            "params": {k: list(v) if isinstance(v, tuple) else v
-                       for k, v in self.params.items()},
+            "params": {k: encode_param_value(v) for k, v in self.params.items()},
         }
         if self.sessions is not None:
             data["sessions"] = self.sessions
@@ -164,7 +235,7 @@ class ScenarioGrid:
                     yield FleetTask(
                         task_id=f"g{grid_index}/{self.scenario}/{suffix}",
                         scenario=self.scenario,
-                        params=dict(zip(axes, combo)),
+                        params=encode_params(dict(zip(axes, combo))),
                         seed=derive_seed(
                             base_seed, grid_index, self.scenario, combo_index, rep
                         ),
@@ -181,7 +252,7 @@ class ScenarioGrid:
                 yield FleetTask(
                     task_id=f"g{grid_index}/{self.scenario}/s{session:05d}",
                     scenario=self.scenario,
-                    params=params,
+                    params=encode_params(params),
                     seed=derive_seed(base_seed, grid_index, self.scenario, session),
                 )
 
@@ -260,32 +331,11 @@ class CampaignSpec:
     # Expansion
     # ------------------------------------------------------------------
     def validate_scenarios(self) -> None:
-        """Check every grid names a registered scenario and real params.
-
-        Catching a misspelled parameter axis here costs one signature
-        inspection; catching it later costs the whole campaign, one
-        per-task ``TypeError`` error record at a time.
-        """
+        """Check every grid names a registered scenario and real params."""
         for grid in self.grids:
-            if grid.scenario not in SCENARIOS:
-                known = ", ".join(sorted(SCENARIOS))
-                raise ValueError(
-                    f"campaign {self.name!r}: unknown scenario "
-                    f"{grid.scenario!r}; known scenarios: {known}"
-                )
-            signature = inspect.signature(SCENARIOS[grid.scenario])
-            allowed = set(signature.parameters) - {"seed"}
-            unknown = sorted(set(grid.params) - allowed)
-            if unknown:
-                detail = (
-                    "'seed' is derived per task and cannot be a parameter axis"
-                    if unknown == ["seed"]
-                    else f"valid parameters: {', '.join(sorted(allowed))}"
-                )
-                raise ValueError(
-                    f"campaign {self.name!r}: scenario {grid.scenario!r} "
-                    f"has no parameter(s) {unknown}; {detail}"
-                )
+            validate_scenario_params(
+                grid.scenario, grid.params, f"campaign {self.name!r}"
+            )
 
     def session_count(self) -> int:
         """Total number of tasks the spec expands to."""

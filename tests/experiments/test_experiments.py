@@ -33,6 +33,33 @@ class TestCommon:
         assert len(lines) == 4
         assert lines[0].startswith("a")
 
+    def test_render_table_zero_rows(self):
+        text = render_table(["alpha", "b"], [])
+        lines = text.splitlines()
+        assert lines == ["alpha  b", "--------"]
+
+    def test_render_table_zero_rows_and_zero_columns(self):
+        # Degenerate but legal: an empty header and an empty rule line.
+        assert render_table([], []) == "\n"
+
+    def test_format_cell_stable_at_1000_boundary(self):
+        from repro.experiments.common import _format_cell
+
+        # Values that *round* to 1000 under %.4g must render in the same
+        # notation as 1000 itself, not flip to fixed-point.
+        assert _format_cell(1000.0) == "1.000e+03"
+        assert _format_cell(999.99996) == "1.000e+03"
+        assert _format_cell(-1000.0) == "-1.000e+03"
+        assert _format_cell(999.9) == "999.9"
+
+    def test_format_cell_stable_at_small_boundary(self):
+        from repro.experiments.common import _format_cell
+
+        assert _format_cell(0.001) == "0.001"
+        # Rounds up to 0.001 under %.4g: stays fixed-point like 0.001.
+        assert _format_cell(0.00099999999) == "0.001"
+        assert _format_cell(0.0009) == "9.000e-04"
+
     def test_result_container(self):
         result = ExperimentResult("EX", "t", "p", columns=["x"])
         result.add_row(x=1)

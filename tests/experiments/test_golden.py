@@ -1,0 +1,90 @@
+"""Golden comparison: the sweep-based experiments must reproduce the
+pre-refactor rows bit-for-bit.
+
+``golden/golden_rows.json`` was captured by running the original
+(serial-loop) e01–e14 implementations at the parameterisations below.
+Every experiment now expands to fleet tasks, executes through
+``FleetRunner``, and reduces task records back to rows — and the rows,
+columns, and notes must all be exactly what the loops produced at the
+same seeds.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    e01_sender_gap,
+    e02_receiver_gap,
+    e03_sender_loss,
+    e04_receiver_discard,
+    e05_unbounded,
+    e06_save_interval,
+    e07_rekey_cost,
+    e08_dual_reset,
+    e09_prolonged_reset,
+    e10_reorder,
+    e11_double_reset,
+    e12_reset_notice,
+    e13_dpd,
+    e14_loss_robustness,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_rows.json"
+
+#: The exact parameterisations the goldens were captured at.
+CASES = {
+    "e01": lambda **kw: e01_sender_gap.run(k=50, offsets=[0, 10, 24, 30, 45], **kw),
+    "e02": lambda **kw: e02_receiver_gap.run(k=50, offsets=[0, 20, 30, 45], **kw),
+    "e03": lambda **kw: e03_sender_loss.run(ks=[10, 40], offsets_per_k=3, **kw),
+    "e04": lambda **kw: e04_receiver_discard.run(ks=[10, 40], offsets_per_k=3, **kw),
+    "e05": lambda **kw: e05_unbounded.run(traffic_volumes=[100, 400], **kw),
+    "e06": lambda **kw: e06_save_interval.run(ks=[10, 50], **kw),
+    "e06b": lambda **kw: e06_save_interval.run_policy_table(ks=[25], **kw),
+    "e07": lambda **kw: e07_rekey_cost.run(sa_counts=[1, 4], rtts=[0.001], **kw),
+    "e08": lambda **kw: e08_dual_reset.run(k=25, **kw),
+    "e09": lambda **kw: e09_prolonged_reset.run(
+        outages=[0.05, 2.0], keep_alive_timeout=1.0, **kw
+    ),
+    "e10": lambda **kw: e10_reorder.run(
+        window_sizes=[32], degrees=[1, 31, 32, 64], messages=800, **kw
+    ),
+    "e11": lambda **kw: e11_double_reset.run(k=25, **kw),
+    "e12": lambda **kw: e12_reset_notice.run(
+        pre_reset_messages=200, post_reset_messages=80, **kw
+    ),
+    "e13": lambda **kw: e13_dpd.run(cadences=[0.1, 1.0], **kw),
+    "e14": lambda **kw: e14_loss_robustness.run(burst_levels=[0.0, 0.03], seeds=3, **kw),
+}
+
+
+def _golden():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def _canonical(result):
+    """JSON round-trip, so tuples/ints normalise exactly like the store."""
+    return json.loads(json.dumps({
+        "columns": result.columns,
+        "rows": result.rows,
+        "notes": result.notes,
+    }))
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_rows_match_pre_refactor_output(name):
+    golden = _golden()[name]
+    result = CASES[name]()
+    actual = _canonical(result)
+    assert actual["columns"] == golden["columns"]
+    assert actual["rows"] == golden["rows"]
+    assert actual["notes"] == golden["notes"]
+
+
+def test_parallel_execution_matches_golden_rows():
+    """jobs=2 runs through the multiprocessing pool yet reduces to the
+    exact same rows (ordered imap + explicit per-task seeds)."""
+    golden = _golden()["e13"]
+    result = CASES["e13"](jobs=2)
+    assert _canonical(result)["rows"] == golden["rows"]

@@ -1,0 +1,186 @@
+"""Unit tests for the declarative sweep layer (SweepSpec / ExperimentDriver)."""
+
+import json
+
+import pytest
+
+from repro.experiments import e01_sender_gap, e03_sender_loss, e04_receiver_discard, e13_dpd
+from repro.experiments.common import swept_offsets
+from repro.experiments.sweep import (
+    ExperimentDriver,
+    ExperimentTaskError,
+    SweepPoint,
+    SweepSpec,
+    TaskCall,
+)
+from repro.fleet.results import MemoryResultStore, ResultStore
+from repro.fleet.spec import COSTMODEL_TAG
+from repro.ipsec.costs import CostModel
+
+
+def _tiny_spec(scenario="dpd", params=None, points=2):
+    params = params if params is not None else dict(
+        mechanism="heartbeat", cadence=0.1, rtt=0.01, reset_at=0.5
+    )
+    return SweepSpec(
+        experiment_id="ET",
+        title="test sweep",
+        paper_artifact="none",
+        columns=["i", "detected"],
+        points=[
+            SweepPoint(
+                axis={"i": i},
+                calls={"run": TaskCall(scenario=scenario, params=params)},
+            )
+            for i in range(points)
+        ],
+        reduce_row=lambda axis, metrics: dict(
+            i=axis["i"], detected=metrics["run"]["detected"]
+        ),
+    )
+
+
+class TestSweepSpec:
+    def test_tasks_expand_with_stable_ids(self):
+        tasks = _tiny_spec(points=3).tasks()
+        assert [task.task_id for task in tasks] == [
+            "ET/0000/run", "ET/0001/run", "ET/0002/run",
+        ]
+        assert all(task.scenario == "dpd" for task in tasks)
+
+    def test_session_count(self):
+        assert _tiny_spec(points=3).session_count() == 3
+
+    def test_unknown_scenario_rejected_at_expansion(self):
+        spec = _tiny_spec(scenario="bogus", params={})
+        with pytest.raises(ValueError, match="unknown scenario 'bogus'"):
+            spec.tasks()
+
+    def test_unknown_param_rejected_at_expansion(self):
+        spec = _tiny_spec(params={"not_a_param": 1})
+        with pytest.raises(ValueError, match="no parameter"):
+            spec.tasks()
+
+    def test_costmodel_params_are_json_encoded(self):
+        costs = CostModel(t_save=1e-3)
+        spec = _tiny_spec(
+            scenario="sender_reset",
+            params=dict(k=25, reset_after_sends=30,
+                        messages_after_reset=10, costs=costs),
+            points=1,
+        )
+        [task] = spec.tasks()
+        encoded = task.params["costs"]
+        assert set(encoded) == {COSTMODEL_TAG}
+        json.dumps(task.params)  # must be JSON-serialisable as-is
+
+    def test_duplicate_roles_within_point_impossible_but_guarded(self):
+        # Two points at the same index cannot exist; the guard covers a
+        # future id-scheme regression by construction of task_id.
+        spec = _tiny_spec(points=1)
+        ids = [task.task_id for task in spec.tasks()]
+        assert len(set(ids)) == len(ids)
+
+
+class TestSweptOffsets:
+    def test_duplicate_offsets_deduped(self):
+        # k=5, offsets_per_k=6: int(i * 5 / 6) hits 0 twice.
+        assert swept_offsets(5, 6) == [0, 1, 2, 3, 4]
+        assert swept_offsets(10, 3) == [0, 3, 6]
+
+    def test_e03_small_k_expands_distinct_sessions_only(self):
+        spec = e03_sender_loss.sweep(ks=[5], offsets_per_k=6)
+        assert len(spec.tasks()) == 5  # not 6: the duplicate offset is gone
+
+    def test_e04_small_k_expands_distinct_sessions_only(self):
+        spec = e04_receiver_discard.sweep(ks=[5], offsets_per_k=6)
+        assert len(spec.tasks()) == 10  # clean + attacked per distinct offset
+
+
+class TestExperimentDriver:
+    def test_reduces_rows_in_point_order(self):
+        result = ExperimentDriver(_tiny_spec(points=3)).run()
+        assert [row["i"] for row in result.rows] == [0, 1, 2]
+        assert all(row["detected"] for row in result.rows)
+
+    def test_outcome_reports_session_counts(self):
+        driver = ExperimentDriver(_tiny_spec(points=2))
+        driver.run()
+        assert driver.outcome is not None
+        assert driver.outcome.total == 2
+        assert driver.outcome.skipped == 0
+
+    def test_memory_and_file_store_rows_identical(self, tmp_path):
+        spec = e01_sender_gap.sweep(k=50, offsets=[0, 30])
+        memory_rows = ExperimentDriver(
+            spec, store=MemoryResultStore()
+        ).run().rows
+        file_rows = ExperimentDriver(
+            spec, store=ResultStore(tmp_path / "e01.jsonl")
+        ).run().rows
+        assert json.dumps(memory_rows) == json.dumps(file_rows)
+
+    def test_task_error_raises_loudly(self):
+        spec = _tiny_spec(
+            scenario="sender_reset",
+            # k=-1 passes name validation but fails inside the scenario,
+            # producing an error record the reducer must refuse to skip.
+            params=dict(k=-1, reset_after_sends=10, messages_after_reset=5),
+            points=1,
+        )
+        with pytest.raises(ExperimentTaskError, match="ET/0000/run"):
+            ExperimentDriver(spec).run()
+
+    def test_reduce_fails_on_missing_record(self):
+        driver = ExperimentDriver(_tiny_spec(points=1))
+        with pytest.raises(ExperimentTaskError, match="no record in store"):
+            driver.reduce()  # nothing executed yet
+
+
+class TestResumeAfterInterrupt:
+    """Satellite: kill a sweep after N tasks, rerun, rows byte-identical."""
+
+    def test_interrupted_then_resumed_rows_byte_identical(self, tmp_path):
+        spec = e01_sender_gap.sweep(k=50, offsets=[0, 10, 30, 45])
+
+        # Reference: one uninterrupted run.
+        full = ExperimentDriver(spec, store=ResultStore(tmp_path / "a.jsonl")).run()
+
+        # Interrupted run: kill after 2 completed tasks.
+        store = ResultStore(tmp_path / "b.jsonl")
+
+        def kill_after_two(done, pending, record):
+            if done == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            ExperimentDriver(spec, store=store, progress=kill_after_two).run()
+        assert len(store.completed_ids()) == 2
+
+        # Resume: only the remaining tasks execute; rows byte-identical.
+        driver = ExperimentDriver(spec, store=store)
+        resumed = driver.run()
+        assert driver.outcome.skipped == 2
+        assert len(driver.outcome.executed) == 2
+        assert json.dumps(resumed.rows) == json.dumps(full.rows)
+        assert resumed.notes == full.notes
+
+    def test_stale_store_with_changed_params_refused(self, tmp_path):
+        store = ResultStore(tmp_path / "e13.jsonl")
+        ExperimentDriver(e13_dpd.sweep(cadences=[0.1]), store=store).run()
+        # Same task ids, different parameters: the old records must not be
+        # silently attributed to the new sweep's rows.
+        changed = e13_dpd.sweep(cadences=[0.2])
+        with pytest.raises(ExperimentTaskError, match="does not match"):
+            ExperimentDriver(changed, store=store).run()
+
+    def test_reduce_alone_rerenders_a_finished_store(self, tmp_path):
+        spec = e13_dpd.sweep(cadences=[0.1])
+        store = ResultStore(tmp_path / "e13.jsonl")
+        first = ExperimentDriver(spec, store=store).run()
+        # A fresh driver over the same store reduces without executing.
+        driver = ExperimentDriver(spec, store=store)
+        again = driver.run()
+        assert driver.outcome.skipped == driver.outcome.total
+        assert driver.outcome.executed == []
+        assert json.dumps(again.rows) == json.dumps(first.rows)

@@ -30,6 +30,32 @@ class TestCli:
         with pytest.raises(SystemExit, match="unknown experiment"):
             main(["experiments", "e99"])
 
+    def test_experiments_only_flag(self, capsys):
+        assert main(["experiments", "--only", "e13"]) == 0
+        out = capsys.readouterr().out
+        assert "E13" in out and "completed in" in out
+
+    def test_experiments_jobs_flag_parallel(self, capsys):
+        assert main(["experiments", "--only", "e13", "--jobs", "2"]) == 0
+        assert "E13" in capsys.readouterr().out
+
+    def test_experiments_jobs_must_be_positive(self, capsys):
+        assert main(["experiments", "--only", "e13", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_experiments_resume_persists_store(self, tmp_path, capsys):
+        args = ["experiments", "--only", "e13", "--resume", "--out", str(tmp_path)]
+        assert main(args) == 0
+        store = tmp_path / "e13.jsonl"
+        assert store.exists()
+        size_after_first = store.stat().st_size
+        capsys.readouterr()
+        # Re-run: everything resumes from the store, nothing re-executes,
+        # and the rendered table is identical.
+        assert main(args) == 0
+        assert store.stat().st_size == size_after_first
+        assert "E13" in capsys.readouterr().out
+
     def test_check_small_budget(self, capsys):
         assert main(["check", "--budget", "3000"]) == 0
         out = capsys.readouterr().out

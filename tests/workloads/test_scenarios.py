@@ -127,11 +127,25 @@ class TestScenarioRegistry:
     def test_registry_names_are_stable(self):
         assert set(SCENARIOS) == {
             "sender_reset", "receiver_reset", "dual_reset", "loss_reset",
+            "reorder", "rekey", "staggered_reset", "prolonged_reset",
+            "recovery_ablation", "reset_notice", "dpd", "save_policy",
+            "loss_hole",
         }
+
+    def test_every_run_callable_is_registered(self):
+        # Acceptance invariant: every run_* scenario in the module is
+        # reachable by name through the registry.
+        import repro.workloads.scenarios as scenarios_module
+
+        run_callables = {
+            obj for name, obj in vars(scenarios_module).items()
+            if name.startswith("run_") and name.endswith("_scenario")
+        }
+        assert run_callables == set(SCENARIOS.values())
 
     def test_get_scenario_returns_the_callable(self):
         assert get_scenario("sender_reset") is run_sender_reset_scenario
 
     def test_unknown_name_lists_known_scenarios(self):
-        with pytest.raises(KeyError, match="known scenarios: dual_reset"):
+        with pytest.raises(KeyError, match="known scenarios: dpd, dual_reset"):
             get_scenario("bogus")
