@@ -47,18 +47,21 @@ def replay_heavy_workload(window, count: int = 20_000) -> int:
 
 
 @pytest.mark.parametrize("impl", IMPLS, ids=IDS)
-def bench_window_in_order(benchmark, impl):
+def bench_window_in_order(benchmark, impl, report_rate):
     result = benchmark(lambda: in_order_workload(impl(64)))
     assert result == 20_000
+    report_rate("updates/s", 20_000)
 
 
 @pytest.mark.parametrize("impl", IMPLS, ids=IDS)
-def bench_window_jittered(benchmark, impl):
+def bench_window_jittered(benchmark, impl, report_rate):
     result = benchmark(lambda: jittered_workload(impl(64)))
     assert result > 0
+    report_rate("updates/s", 20_000)
 
 
 @pytest.mark.parametrize("impl", IMPLS, ids=IDS)
-def bench_window_replay_heavy(benchmark, impl):
+def bench_window_replay_heavy(benchmark, impl, report_rate):
     result = benchmark(lambda: replay_heavy_workload(impl(64)))
     assert result == 20_000
+    report_rate("updates/s", 40_000)

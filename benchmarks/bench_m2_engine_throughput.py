@@ -1,15 +1,29 @@
 """Bench M2 — microbenchmarks of the substrates: DES engine event rate,
-ESP seal/open throughput, end-to-end simulated messages per second, and
-model-checker state rate.
+cancellation-heavy and timer-churn schedules, ESP seal/open throughput,
+end-to-end simulated messages per second, and model-checker state rate.
+
+``bench_engine_event_rate`` is the pinned reference workload for the CI
+perf gate: 50k self-rescheduling events through an otherwise idle engine,
+nothing but the scheduler hot path.  The cancel-heavy and timer-churn
+benches exercise the lazy-cancellation paths (live-entry accounting, heap
+compaction, pop-skip) that long reset schedules with many cancelled
+timers hit in the fleet.
+
+Every engine bench reports the shared machine-normalized events/s line
+from :mod:`repro.perf`; ``benchmarks/baselines/engine_events.json`` holds
+the checked-in normalized floors the CI gate enforces (see DESIGN.md
+"Performance" for how to refresh them).
 """
 
 from repro.core.protocol import build_protocol
 from repro.ipsec.esp import esp_open, esp_seal
 from repro.ipsec.sa import make_sa
 from repro.sim.engine import Engine
+from repro.sim.process import Timer
+from repro.sim.trace import NULL_TRACE
 
 
-def bench_engine_event_rate(benchmark):
+def bench_engine_event_rate(benchmark, report_rate):
     def run_events(count: int = 50_000) -> int:
         engine = Engine()
         engine.trace.enabled = False
@@ -25,6 +39,64 @@ def bench_engine_event_rate(benchmark):
         return fired[0]
 
     assert benchmark(run_events) == 50_000
+    report_rate("events/s", 50_000)
+
+
+def bench_engine_cancel_heavy(benchmark, report_rate):
+    """Schedule 50k timers, cancel 80% before any fire.
+
+    This is the shape of a long reset schedule full of re-armed
+    inactivity timers: the queue must absorb the cancellations (live
+    counter, compaction) without the survivors paying pop-skip costs for
+    the dead weight.
+    """
+
+    def run_cancels(count: int = 50_000) -> int:
+        engine = Engine(trace=NULL_TRACE)
+        fired = [0]
+
+        def bump() -> None:
+            fired[0] += 1
+
+        events = [
+            engine.call_later(1e-3 + i * 1e-6, bump) for i in range(count)
+        ]
+        for i, event in enumerate(events):
+            if i % 5:
+                event.cancel()
+        engine.run()
+        return fired[0]
+
+    assert benchmark(run_cancels) == 10_000
+    report_rate("events/s", 50_000)
+
+
+def bench_engine_timer_churn(benchmark, report_rate):
+    """DPD-style inactivity timer under steady traffic.
+
+    Every simulated packet resets the timer, so each tick is scheduled,
+    cancelled and re-armed — the worst case for lazy cancellation, where
+    the heap continuously accumulates dead entries interleaved with live
+    ones.  The timer only expires once, after the stream ends.
+    """
+
+    def run_churn(packets: int = 20_000) -> int:
+        engine = Engine(trace=NULL_TRACE)
+        expirations = [0]
+
+        def on_expire() -> None:
+            expirations[0] += 1
+            timer.stop()
+
+        timer = Timer(engine, interval=1.0, callback=on_expire)
+        timer.start()
+        for i in range(1, packets + 1):
+            engine.call_later(i * 0.5, timer.reset)
+        engine.run()
+        return expirations[0]
+
+    assert benchmark(run_churn) == 1
+    report_rate("events/s", 20_000)
 
 
 def bench_esp_seal_open(benchmark):
@@ -42,15 +114,15 @@ def bench_esp_seal_open(benchmark):
     assert benchmark(seal_open) == 2_000
 
 
-def bench_end_to_end_message_rate(benchmark):
+def bench_end_to_end_message_rate(benchmark, report_rate):
     def run_protocol(count: int = 10_000) -> int:
-        harness = build_protocol()
-        harness.engine.trace.enabled = False
+        harness = build_protocol(trace=NULL_TRACE)
         harness.sender.start_traffic(count=count)
         harness.run(until=1.0)
         return harness.receiver.delivered_total
 
     assert benchmark(run_protocol) == 10_000
+    report_rate("messages/s", 10_000)
 
 
 def bench_model_checker_state_rate(benchmark):

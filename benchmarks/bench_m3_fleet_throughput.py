@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import multiprocessing
 import tempfile
-import time
 from pathlib import Path
 
+from repro import perf
 from repro.fleet import (
     CampaignSpec,
     FleetOutcome,
@@ -70,22 +70,24 @@ def _run_campaign(jobs: int, workdir: str) -> FleetOutcome:
     return outcome
 
 
-def bench_fleet_serial(benchmark):
+def bench_fleet_serial(benchmark, report_rate):
     with tempfile.TemporaryDirectory() as workdir:
         outcome = benchmark.pedantic(
             lambda: _run_campaign(1, tempfile.mkdtemp(dir=workdir)),
             rounds=3, iterations=1, warmup_rounds=1,
         )
-    print(f"\nserial: {outcome.sessions_per_second:.1f} sessions/s")
+    assert outcome is not None
+    report_rate("sessions/s", SESSIONS)
 
 
-def bench_fleet_pool(benchmark):
+def bench_fleet_pool(benchmark, report_rate):
     with tempfile.TemporaryDirectory() as workdir:
         outcome = benchmark.pedantic(
             lambda: _run_campaign(POOL_JOBS, tempfile.mkdtemp(dir=workdir)),
             rounds=3, iterations=1, warmup_rounds=1,
         )
-    print(f"\njobs={POOL_JOBS}: {outcome.sessions_per_second:.1f} sessions/s")
+    assert outcome is not None
+    report_rate("sessions/s", SESSIONS)
 
 
 def main() -> None:
@@ -94,12 +96,13 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as workdir:
         results: dict[int, float] = {}
         for jobs in (1, POOL_JOBS):
-            started = time.perf_counter()
-            outcome = _run_campaign(jobs, workdir)
-            elapsed = time.perf_counter() - started
-            results[jobs] = outcome.sessions_per_second
-            print(f"  jobs={jobs:<3d} {elapsed:6.2f}s  "
-                  f"{outcome.sessions_per_second:8.1f} sessions/s")
+            with perf.Stopwatch() as clock:
+                _run_campaign(jobs, workdir)
+            report = perf.measure_rate(
+                f"fleet jobs={jobs}", "sessions/s", SESSIONS, clock.elapsed
+            )
+            results[jobs] = report.rate
+            print(f"  {report.format()}")
         speedup = results[POOL_JOBS] / results[1]
         print(f"  pool speedup over serial: {speedup:.2f}x")
 

@@ -16,8 +16,8 @@ Also runnable standalone, printing the comparison directly::
 from __future__ import annotations
 
 import multiprocessing
-import time
 
+from repro import perf
 from repro.experiments import e01_sender_gap, e03_sender_loss, e10_reorder
 from repro.experiments.sweep import ExperimentDriver, SweepSpec
 
@@ -39,27 +39,27 @@ def _bench_specs() -> list[SweepSpec]:
 def _run_suite(jobs: int) -> tuple[int, float]:
     """Run the benchmark slice; returns (sessions, wall_seconds)."""
     sessions = 0
-    started = time.perf_counter()
-    for spec in _bench_specs():
-        driver = ExperimentDriver(spec, jobs=jobs)
-        driver.run()
-        assert driver.outcome is not None
-        sessions += len(driver.outcome.executed)
-    return sessions, time.perf_counter() - started
+    with perf.Stopwatch() as clock:
+        for spec in _bench_specs():
+            driver = ExperimentDriver(spec, jobs=jobs)
+            driver.run()
+            assert driver.outcome is not None
+            sessions += len(driver.outcome.executed)
+    return sessions, clock.elapsed
 
 
-def bench_experiments_serial(benchmark):
+def bench_experiments_serial(benchmark, report_rate):
     sessions, _ = benchmark.pedantic(
         lambda: _run_suite(1), rounds=3, iterations=1, warmup_rounds=1
     )
-    print(f"\nserial: {sessions} sessions")
+    report_rate("sessions/s", sessions)
 
 
-def bench_experiments_pool(benchmark):
+def bench_experiments_pool(benchmark, report_rate):
     sessions, _ = benchmark.pedantic(
         lambda: _run_suite(POOL_JOBS), rounds=3, iterations=1, warmup_rounds=1
     )
-    print(f"\njobs={POOL_JOBS}: {sessions} sessions")
+    report_rate("sessions/s", sessions)
 
 
 def main() -> None:
@@ -68,9 +68,11 @@ def main() -> None:
     rates: dict[int, float] = {}
     for jobs in (1, POOL_JOBS):
         sessions, elapsed = _run_suite(jobs)
-        rates[jobs] = sessions / elapsed
-        print(f"  jobs={jobs:<3d} {elapsed:6.2f}s  "
-              f"{rates[jobs]:8.1f} sessions/s  ({sessions} sessions)")
+        report = perf.measure_rate(
+            f"experiments jobs={jobs}", "sessions/s", sessions, elapsed
+        )
+        rates[jobs] = report.rate
+        print(f"  {report.format()}  ({sessions} sessions)")
     print(f"  pool speedup over serial: {rates[POOL_JOBS] / rates[1]:.2f}x")
 
 

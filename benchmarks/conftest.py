@@ -13,7 +13,9 @@ from typing import Any, Callable
 
 import pytest
 
+from repro import perf
 from repro.experiments.common import ExperimentResult
+from repro.perf import RateReport
 
 
 @pytest.fixture
@@ -30,3 +32,24 @@ def run_experiment(benchmark) -> Callable[..., ExperimentResult]:
         return result
 
     return runner
+
+
+@pytest.fixture
+def report_rate(benchmark) -> Callable[[str, int], RateReport]:
+    """Print the shared machine-normalized rate line for a finished bench.
+
+    Call *after* ``benchmark(...)``: reads the best round's time, reports
+    ``count`` items at that pace via :mod:`repro.perf` (the same numbers
+    the CI gate recomputes from the saved JSON), and attaches them to the
+    benchmark's ``extra_info`` so they land in ``--benchmark-json`` output.
+    """
+
+    def reporter(metric: str, count: int) -> RateReport:
+        stats = benchmark.stats
+        report = perf.measure_rate(stats.name, metric, count, stats.stats.min)
+        benchmark.extra_info.update(report.as_dict())
+        print()
+        print(report.format())
+        return report
+
+    return reporter

@@ -33,6 +33,7 @@ from repro.net.loss import LossModel, NoLoss
 from repro.net.reorder import DegreeReorderStage
 from repro.sim.engine import Engine
 from repro.sim.metrics import MetricSet
+from repro.sim.trace import TraceRecorder
 
 
 @dataclass
@@ -128,6 +129,7 @@ def build_protocol(
     sender_name: str = "p",
     receiver_name: str = "q",
     variant: str | None = None,
+    trace: TraceRecorder | None = None,
 ) -> ProtocolHarness:
     """Build a ready-to-run p -> q anti-replay simulation.
 
@@ -155,11 +157,15 @@ def build_protocol(
             :class:`DegreeReorderStage` in front of the link.
         leap_factor / skip_wake_save: ablation switches (paper: 2 / False).
         sender_name / receiver_name: trace names.
+        trace: the engine's trace recorder (default: a fresh recording
+            :class:`TraceRecorder`).  Batch drivers that never read the
+            trace pass :data:`repro.sim.trace.NULL_TRACE` so hot paths
+            skip record construction entirely.
 
     Returns:
         A :class:`ProtocolHarness` with every component exposed.
     """
-    engine = Engine()
+    engine = Engine(trace=trace)
     auditor = DeliveryAuditor()
 
     if variant is None:

@@ -176,14 +176,16 @@ class BaseReceiver(SimProcess):
             # The host is off; the packet is lost like any other arriving
             # at a dead interface.
             self.dropped_while_down += 1
-            self.trace("drop_down", packet=repr(packet))
+            if self.traced:
+                self.trace("drop_down", packet=repr(packet))
             return
         if self.wait:
             # Section 4: buffer until the post-wake SAVE commits.
             self._wake_buffer.append(packet)
             if self.reset_records:
                 self.reset_records[-1].buffered_during_wake += 1
-            self.trace("buffer", packet=repr(packet))
+            if self.traced:
+                self.trace("buffer", packet=repr(packet))
             return
         self._process(packet)
 
@@ -192,7 +194,8 @@ class BaseReceiver(SimProcess):
             seq, payload = open_packet(self.encap, self.sa, packet)
         except IntegrityError:
             self.integrity_failures += 1
-            self.trace("integrity_fail", packet=repr(packet))
+            if self.traced:
+                self.trace("integrity_fail", packet=repr(packet))
             if self.auditor is not None:
                 self.auditor.note_processed(packet, DeliveryAuditor.INTEGRITY_FAIL)
             return
@@ -203,11 +206,13 @@ class BaseReceiver(SimProcess):
         if verdict.accepted:
             self.delivered_total += 1
             self.delivered_log.append((self.now, seq))
-            self.trace("deliver", seq=seq, verdict=verdict.value)
+            if self.traced:
+                self.trace("deliver", seq=seq, verdict=verdict.value)
             if self.on_deliver is not None:
                 self.on_deliver(seq, payload)
         else:
-            self.trace("discard", seq=seq, verdict=verdict.value)
+            if self.traced:
+                self.trace("discard", seq=seq, verdict=verdict.value)
         self._after_process(verdict)
         for listener in self._process_listeners:
             listener(packet, verdict)

@@ -47,6 +47,7 @@ from repro.net.message import Message
 from repro.sim.engine import Engine
 from repro.sim.events import Event
 from repro.sim.process import SimProcess
+from repro.sim.trace import TraceRecorder
 from repro.util.validation import check_positive
 
 
@@ -209,9 +210,10 @@ class ProlongedResetSession:
         send_interval: float | None = None,
         seed: int = 0,
         with_adversary: bool = False,
+        trace: TraceRecorder | None = None,
     ) -> None:
         check_positive("keep_alive_timeout", keep_alive_timeout)
-        self.engine = Engine()
+        self.engine = Engine(trace=trace)
         self.costs = costs
         self.send_interval = (
             send_interval if send_interval is not None else costs.t_send * 10

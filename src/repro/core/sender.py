@@ -177,7 +177,8 @@ class BaseSender(SimProcess):
         packet = seal(self.encap, self.sa, self.s, self.payload, self.now, uid)
         if self.auditor is not None:
             self.auditor.register_send(packet, uid)
-        self.trace("send", seq=self.s)
+        if self.traced:
+            self.trace("send", seq=self.s)
         self.last_sent_seq = self.s
         self.sent_total += 1
         self.pipe.send(packet)

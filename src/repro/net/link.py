@@ -121,7 +121,8 @@ class Link(SimProcess):
             tap(self.now, packet, injected)
         if self.loss.should_drop(self._rng):
             self.dropped += 1
-            self.trace("drop", packet=repr(packet), injected=injected)
+            if self.traced:
+                self.trace("drop", packet=repr(packet), injected=injected)
             return
         delay = self.delay.sample(self._rng)
         delivery_time = self.now + delay
@@ -133,7 +134,8 @@ class Link(SimProcess):
     def _deliver(self, packet: Any, injected: bool) -> None:
         if self.availability is not None and not self.availability():
             self.undeliverable += 1
-            self.trace("unreachable", packet=repr(packet), injected=injected)
+            if self.traced:
+                self.trace("unreachable", packet=repr(packet), injected=injected)
             if self.icmp_sink is not None:
                 self.icmp_sink(
                     IcmpMessage(
@@ -144,5 +146,6 @@ class Link(SimProcess):
                 )
             return
         self.delivered += 1
-        self.trace("deliver", packet=repr(packet), injected=injected)
+        if self.traced:
+            self.trace("deliver", packet=repr(packet), injected=injected)
         self.sink(packet)

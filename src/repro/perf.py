@@ -1,0 +1,351 @@
+"""Shared benchmark timing and machine-normalized rate reporting.
+
+Every ``benchmarks/bench_m*`` file reports throughput through this module
+so the numbers are comparable across files *and* across machines:
+
+* :class:`Stopwatch` — a ``with``-block wall-clock timer.
+* :func:`machine_score` — a quick calibration of the host: millions of
+  heap-push/pop operations per second on the same kind of
+  ``(int, int)``-tuple heap the simulation engine runs on.  Dividing a
+  raw rate by the score yields a *normalized* rate that is stable across
+  hosts of different speeds (the workload and the calibration scale
+  together), which is what the CI regression gate compares.
+* :class:`RateReport` / :func:`measure_rate` — one stable reporting line
+  per benchmark: raw events/s or sessions/s plus the normalized rate.
+* :func:`check_report` / :func:`main` — the CI gate:
+  ``python -m repro.perf check BENCH.json --baseline baseline.json``
+  reads pytest-benchmark JSON output, recomputes normalized rates on the
+  current host, and fails (exit 1) if any gated benchmark dropped more
+  than the baseline's tolerance below its checked-in normalized rate.
+  ``python -m repro.perf update`` refreshes the baseline in place after
+  an intentional perf change.
+
+The baseline file (checked in under ``benchmarks/baselines/``) maps each
+gated benchmark name to the per-round workload size (``count``) and the
+``normalized_rate`` captured when the baseline was seeded::
+
+    {
+      "metric": "events/s",
+      "tolerance": 0.20,
+      "benchmarks": {
+        "bench_engine_event_rate": {"count": 50000, "normalized_rate": 123.4}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from pathlib import Path
+from typing import Any
+
+
+class Stopwatch:
+    """Wall-clock context-manager timer.
+
+    ``elapsed`` reads the running total mid-block and the final duration
+    after the block exits::
+
+        with Stopwatch() as clock:
+            work()
+        rate = jobs / clock.elapsed
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._elapsed = None
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        assert self._start is not None
+        self._elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed (running total while the block is active)."""
+        if self._elapsed is not None:
+            return self._elapsed
+        if self._start is None:
+            raise RuntimeError("Stopwatch has not been started")
+        return time.perf_counter() - self._start
+
+
+# ----------------------------------------------------------------------
+# Machine calibration
+# ----------------------------------------------------------------------
+_CALIBRATION_OPS = 100_000
+_CALIBRATION_ROUNDS = 3
+_machine_score: float | None = None
+
+
+def _calibration_workload(ops: int) -> int:
+    """Heap churn shaped like the engine hot path: push ``(key, seq)``
+    tuples, pop half along the way, drain at the end."""
+    heap: list[tuple[int, int]] = []
+    total = 0
+    for i in range(ops):
+        heappush(heap, ((i * 2654435761) & 0xFFFFF, i))
+        if i & 1:
+            total += heappop(heap)[0]
+    while heap:
+        total += heappop(heap)[0]
+    return total
+
+
+def machine_score(recalibrate: bool = False) -> float:
+    """Millions of calibration heap-ops per second on this host.
+
+    Best of :data:`_CALIBRATION_ROUNDS` timed rounds (the minimum is the
+    least noisy estimator of what the machine can do), cached for the
+    process lifetime.
+    """
+    global _machine_score
+    if _machine_score is None or recalibrate:
+        best = min(
+            _timed_calibration_round() for _ in range(_CALIBRATION_ROUNDS)
+        )
+        _machine_score = _CALIBRATION_OPS / best / 1e6
+    return _machine_score
+
+
+def _timed_calibration_round() -> float:
+    started = time.perf_counter()
+    _calibration_workload(_CALIBRATION_OPS)
+    return time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Rate reporting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RateReport:
+    """One benchmark's throughput, raw and machine-normalized.
+
+    Attributes:
+        name: benchmark identifier (the ``bench_*`` function name).
+        metric: unit of ``count`` per second (``"events/s"``, ...).
+        count: work items completed in ``seconds``.
+        seconds: wall time for ``count`` items.
+        score: the :func:`machine_score` used for normalization.
+    """
+
+    name: str
+    metric: str
+    count: int
+    seconds: float
+    score: float
+
+    @property
+    def rate(self) -> float:
+        """Raw items per second."""
+        return self.count / self.seconds
+
+    @property
+    def normalized(self) -> float:
+        """Machine-normalized rate (items per million calibration ops)."""
+        return self.rate / self.score
+
+    def format(self) -> str:
+        """The stable one-line report all bench files print."""
+        return (
+            f"{self.name}: {self.rate:,.0f} {self.metric} "
+            f"(normalized {self.normalized:,.1f} @ machine score "
+            f"{self.score:.2f})"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "count": self.count,
+            "seconds": self.seconds,
+            "rate": self.rate,
+            "machine_score": self.score,
+            "normalized_rate": self.normalized,
+        }
+
+
+def measure_rate(
+    name: str, metric: str, count: int, seconds: float
+) -> RateReport:
+    """Build a :class:`RateReport` using the cached machine score."""
+    return RateReport(
+        name=name, metric=metric, count=count, seconds=seconds,
+        score=machine_score(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Baselines and the CI gate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GateResult:
+    """Verdict for one gated benchmark."""
+
+    name: str
+    current_normalized: float
+    baseline_normalized: float
+    floor: float
+
+    @property
+    def ok(self) -> bool:
+        return self.current_normalized >= self.floor
+
+    @property
+    def ratio(self) -> float:
+        return self.current_normalized / self.baseline_normalized
+
+    def format(self) -> str:
+        verdict = "ok" if self.ok else "REGRESSION"
+        return (
+            f"  {self.name}: normalized {self.current_normalized:,.1f} "
+            f"vs baseline {self.baseline_normalized:,.1f} "
+            f"({self.ratio:.2f}x, floor {self.floor:,.1f}) {verdict}"
+        )
+
+
+def load_benchmark_json(path: Path) -> dict[str, float]:
+    """Map benchmark name -> best-round seconds from pytest-benchmark JSON.
+
+    The per-round minimum is used: it is the least noisy estimator on a
+    shared CI runner (the mean absorbs scheduler hiccups).
+    """
+    data = json.loads(path.read_text())
+    times: dict[str, float] = {}
+    for entry in data.get("benchmarks", []):
+        times[entry["name"]] = entry["stats"]["min"]
+    return times
+
+
+def check_report(
+    bench_times: dict[str, float],
+    baseline: dict[str, Any],
+    tolerance: float | None = None,
+    score: float | None = None,
+) -> tuple[list[GateResult], list[str]]:
+    """Compare measured benchmark times against a baseline.
+
+    Args:
+        bench_times: name -> seconds per round (see
+            :func:`load_benchmark_json`).
+        baseline: parsed baseline file (``benchmarks`` maps gated names to
+            ``{"count": N, "normalized_rate": R}``).
+        tolerance: allowed fractional drop; defaults to the baseline's
+            ``tolerance`` (and to 0.20 if the file has none).
+        score: machine score override (tests); defaults to calibrating the
+            current host.
+
+    Returns:
+        ``(results, missing)`` — verdicts for every gated benchmark found,
+        and the names of gated benchmarks absent from ``bench_times``.
+    """
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", 0.20))
+    if score is None:
+        score = machine_score()
+    results: list[GateResult] = []
+    missing: list[str] = []
+    for name, spec in baseline["benchmarks"].items():
+        if name not in bench_times:
+            missing.append(name)
+            continue
+        normalized = spec["count"] / bench_times[name] / score
+        base = float(spec["normalized_rate"])
+        results.append(
+            GateResult(
+                name=name,
+                current_normalized=normalized,
+                baseline_normalized=base,
+                floor=base * (1.0 - tolerance),
+            )
+        )
+    return results, missing
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    baseline = json.loads(Path(args.baseline).read_text())
+    bench_times = load_benchmark_json(Path(args.bench_json))
+    score = machine_score()
+    results, missing = check_report(
+        bench_times, baseline, tolerance=args.tolerance, score=score
+    )
+    metric = baseline.get("metric", "items/s")
+    print(f"perf gate: {args.bench_json} vs {args.baseline} "
+          f"({metric}, machine score {score:.2f})")
+    for result in results:
+        print(result.format())
+    if missing:
+        print(f"error: gated benchmarks missing from {args.bench_json}: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 2
+    failed = [result for result in results if not result.ok]
+    if failed:
+        print(f"FAILED: {len(failed)} benchmark(s) regressed more than "
+              f"{float(baseline.get('tolerance', 0.20)):.0%} below baseline",
+              file=sys.stderr)
+        return 1
+    print("all gated benchmarks within tolerance")
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    baseline_path = Path(args.baseline)
+    baseline = json.loads(baseline_path.read_text())
+    bench_times = load_benchmark_json(Path(args.bench_json))
+    score = machine_score()
+    missing = [n for n in baseline["benchmarks"] if n not in bench_times]
+    if missing:
+        print(f"error: gated benchmarks missing from {args.bench_json}: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 2
+    for name, spec in baseline["benchmarks"].items():
+        rate = spec["count"] / bench_times[name]
+        spec["normalized_rate"] = round(rate / score, 3)
+        spec["raw_rate_at_capture"] = round(rate, 1)
+    baseline["machine_score_at_capture"] = round(score, 3)
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"baseline {baseline_path} refreshed "
+          f"(machine score {score:.2f})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="benchmark baseline gate (see module docstring)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser(
+        "check", help="fail if gated benchmarks regressed below baseline"
+    )
+    check.add_argument("bench_json", help="pytest-benchmark JSON output")
+    check.add_argument("--baseline", required=True,
+                       help="checked-in baseline JSON")
+    check.add_argument("--tolerance", type=float, default=None,
+                       help="override the baseline's allowed drop fraction")
+    check.set_defaults(func=_cmd_check)
+
+    update = sub.add_parser(
+        "update", help="rewrite the baseline's rates from a bench run"
+    )
+    update.add_argument("bench_json", help="pytest-benchmark JSON output")
+    update.add_argument("--baseline", required=True,
+                        help="baseline JSON to refresh in place")
+    update.set_defaults(func=_cmd_update)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

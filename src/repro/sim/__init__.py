@@ -29,7 +29,7 @@ from repro.sim.engine import Engine, EngineEventLimitError
 from repro.sim.events import Event, EventQueue
 from repro.sim.metrics import Counter, MetricSet, SummaryStat, TimeSeries
 from repro.sim.process import SimProcess, Timer
-from repro.sim.trace import TraceRecord, TraceRecorder
+from repro.sim.trace import NULL_TRACE, NullTraceRecorder, TraceRecord, TraceRecorder
 
 __all__ = [
     "Counter",
@@ -38,6 +38,8 @@ __all__ = [
     "Event",
     "EventQueue",
     "MetricSet",
+    "NULL_TRACE",
+    "NullTraceRecorder",
     "SimProcess",
     "SummaryStat",
     "TimeSeries",

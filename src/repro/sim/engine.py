@@ -16,6 +16,7 @@ completions are events, ...).
 
 from __future__ import annotations
 
+from heapq import heappop
 from typing import Any, Callable, ClassVar
 
 from repro.sim.events import PRIORITY_NORMAL, Event, EventQueue
@@ -101,8 +102,14 @@ class Engine:
         priority: int = PRIORITY_NORMAL,
     ) -> Event:
         """Schedule ``callback(*args)`` after a non-negative ``delay``."""
-        check_non_negative("delay", delay)
-        return self.call_at(self.now + delay, callback, *args, priority=priority)
+        # Hot path: most schedules come through here (timers re-arming,
+        # links delivering).  The comparison doubles as the validity check
+        # — only on failure do we pay for the descriptive error — and a
+        # non-negative delay makes call_at's past-check redundant, so push
+        # directly.
+        if not delay >= 0:
+            check_non_negative("delay", delay)
+        return self._queue.push(self.now + delay, callback, args, priority=priority)
 
     # ------------------------------------------------------------------
     # Execution
@@ -137,34 +144,74 @@ class Engine:
 
         Returns:
             The number of events fired by this call.
+
+        ``max_events`` and :attr:`hard_event_limit` are sampled once at
+        entry; mutating the limit from inside a callback does not affect
+        the run already in progress.
         """
         if self._running:
             raise RuntimeError("Engine.run() is not reentrant")
         self._running = True
         self._stop_requested = False
         fired = 0
+        # The inner loop is the hottest code in the library.  It reaches
+        # into the queue's heap directly, fusing the peek_time()/pop() pair
+        # into one traversal with no per-event method calls, and the limit
+        # checks are hoisted: when neither max_events nor the hard event
+        # budget applies (the overwhelmingly common case) the loop body is
+        # pop, clock advance, fire — nothing else.  The queue invariants
+        # maintained here (live counter decrement, detaching the event so a
+        # late cancel() can't corrupt the counter) mirror
+        # EventQueue.pop_next.
+        queue = self._queue
+        hard_limit = self.hard_event_limit
         try:
-            while not self._stop_requested:
-                if max_events is not None and fired >= max_events:
-                    break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-                fired += 1
-                if (
-                    self.hard_event_limit is not None
-                    and self._events_processed > self.hard_event_limit
-                ):
-                    raise EngineEventLimitError(
-                        f"engine exceeded hard_event_limit={self.hard_event_limit} "
-                        f"(events_processed={self._events_processed}, "
-                        f"t={self.now:.9f}, pending={self.pending_events}): "
-                        "likely a self-rescheduling event loop; raise the limit "
-                        "or fix the schedule"
-                    )
+            if max_events is None and hard_limit is None:
+                heap = queue._heap
+                pop = heappop
+                while not self._stop_requested:
+                    if not heap:
+                        break
+                    entry = heap[0]
+                    event = entry[3]
+                    if event.cancelled:
+                        pop(heap)
+                        continue
+                    time = entry[0]
+                    if until is not None and time > until:
+                        break
+                    pop(heap)
+                    queue._live -= 1
+                    event._queue = None
+                    assert time >= self.now, "event heap returned a past event"
+                    self.now = time
+                    self._events_processed += 1
+                    event.callback(*event.args)
+                    fired += 1
+            else:
+                pop_next = queue.pop_next
+                while not self._stop_requested:
+                    if max_events is not None and fired >= max_events:
+                        break
+                    event = pop_next(until)
+                    if event is None:
+                        break
+                    assert event.time >= self.now, "event heap returned a past event"
+                    self.now = event.time
+                    self._events_processed += 1
+                    event.fire()
+                    fired += 1
+                    if (
+                        hard_limit is not None
+                        and self._events_processed > hard_limit
+                    ):
+                        raise EngineEventLimitError(
+                            f"engine exceeded hard_event_limit={hard_limit} "
+                            f"(events_processed={self._events_processed}, "
+                            f"t={self.now:.9f}, pending={self.pending_events}): "
+                            "likely a self-rescheduling event loop; raise the "
+                            "limit or fix the schedule"
+                        )
         finally:
             self._running = False
         if until is not None and until > self.now and self._stop_requested is False:

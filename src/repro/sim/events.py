@@ -6,15 +6,26 @@ ties between events scheduled for the same instant (lower runs first), and
 order among equal-priority simultaneous events — the property that makes
 simulation runs reproducible.
 
-Cancellation is lazy: :meth:`Event.cancel` marks the event and the queue
-skips cancelled entries on pop, which keeps cancellation O(1).
+The heap stores plain ``(time, priority, sequence, event)`` tuples rather
+than the :class:`Event` objects themselves: tuple comparison is a single C
+call that short-circuits on ``time`` and can never reach the ``event``
+slot because ``sequence`` is unique.  :class:`Event` itself is a
+``__slots__`` class with no ordering protocol — it exists only to carry
+the callback and support cancellation.
+
+Cancellation is lazy: :meth:`Event.cancel` marks the event, decrements the
+queue's live-entry counter (so ``len()`` stays O(1)), and the queue skips
+dead entries on pop.  When more than :attr:`EventQueue.COMPACT_FRACTION`
+of a large heap is dead, the queue compacts — rebuilding the heap from the
+live entries — so long schedules with many cancelled timers stop paying
+the pop-skip cost.  Compaction only removes entries whose ordering keys
+are already immutable, so it can never reorder live events.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable
 
 #: Default priority for ordinary events.
@@ -25,7 +36,6 @@ PRIORITY_EARLY = -10
 PRIORITY_LATE = 10
 
 
-@dataclass(order=True)
 class Event:
     """A cancellable callback scheduled at a simulated time.
 
@@ -34,16 +44,32 @@ class Event:
     them around to call :meth:`cancel`.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "sequence", "callback", "args",
+                 "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._queue: EventQueue | None = None
 
     def cancel(self) -> None:
         """Prevent this event from firing (no-op if already fired)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._note_cancel()
 
     def fire(self) -> None:
         """Invoke the callback (the engine calls this; not user code)."""
@@ -56,17 +82,28 @@ class Event:
 
 
 class EventQueue:
-    """A priority queue of :class:`Event` objects with lazy cancellation."""
+    """A priority queue of :class:`Event` objects with lazy cancellation.
+
+    ``len()`` / ``bool()`` are O(1): the queue tracks a live-entry counter
+    that :meth:`push` increments and :meth:`Event.cancel` / the pop paths
+    decrement.
+    """
+
+    #: Heaps smaller than this are never compacted (the skip cost is noise).
+    COMPACT_MIN = 64
+    #: Compact when the dead fraction of the heap exceeds this.
+    COMPACT_FRACTION = 0.5
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return any(not event.cancelled for event in self._heap)
+        return self._live > 0
 
     def push(
         self,
@@ -76,15 +113,33 @@ class EventQueue:
         priority: int = PRIORITY_NORMAL,
     ) -> Event:
         """Schedule ``callback(*args)`` at ``time`` and return the event."""
-        event = Event(
-            time=time,
-            priority=priority,
-            sequence=next(self._counter),
-            callback=callback,
-            args=args,
-        )
-        heapq.heappush(self._heap, event)
+        sequence = next(self._counter)
+        event = Event(time, priority, sequence, callback, args)
+        event._queue = self
+        heappush(self._heap, (time, priority, sequence, event))
+        self._live += 1
         return event
+
+    def _note_cancel(self) -> None:
+        """A queued event was cancelled: fix the counter, maybe compact."""
+        self._live -= 1
+        heap_size = len(self._heap)
+        if (
+            heap_size >= self.COMPACT_MIN
+            and heap_size - self._live > heap_size * self.COMPACT_FRACTION
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live entries only.
+
+        Ordering keys are immutable, so heapify restores exactly the same
+        ``(time, priority, sequence)`` pop order minus the dead entries.
+        The list is mutated in place — never rebound — because the
+        engine's run loop holds a direct reference to it.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry[3].cancelled]
+        heapify(self._heap)
 
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
@@ -92,20 +147,49 @@ class EventQueue:
         Raises:
             IndexError: if the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
-        raise IndexError("pop from empty EventQueue")
+        event = self.pop_next()
+        if event is None:
+            raise IndexError("pop from empty EventQueue")
+        return event
+
+    def pop_next(self, until: float | None = None) -> Event | None:
+        """Single-pass pop: the earliest live event, or ``None``.
+
+        Skips (and discards) dead entries along the way.  When ``until``
+        is given and the earliest live event is strictly after it, the
+        event is left queued and ``None`` is returned — this fuses the
+        ``peek_time()``-then-``pop()`` sequence the engine's run loop
+        used to make into one heap traversal.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event.cancelled:
+                heappop(heap)
+                continue
+            if until is not None and entry[0] > until:
+                return None
+            heappop(heap)
+            self._live -= 1
+            event._queue = None
+            return event
+        return None
 
     def peek_time(self) -> float | None:
         """Return the time of the earliest live event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                heappop(heap)
+                continue
+            return entry[0]
+        return None
 
     def clear(self) -> None:
         """Drop all pending events."""
+        for entry in self._heap:
+            entry[3]._queue = None
         self._heap.clear()
+        self._live = 0

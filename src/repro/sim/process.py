@@ -32,9 +32,21 @@ class SimProcess:
         """Current simulated time."""
         return self.engine.now
 
+    @property
+    def traced(self) -> bool:
+        """Whether trace records are being kept.
+
+        Hot paths that build expensive detail for a trace call — ``repr``
+        of a packet on every delivery, say — should check this first so an
+        untraced session skips the work entirely.
+        """
+        return self.engine.trace.enabled
+
     def trace(self, kind: str, **detail: Any) -> None:
         """Record a trace event attributed to this process."""
-        self.engine.trace.record(self.engine.now, self.name, kind, **detail)
+        recorder = self.engine.trace
+        if recorder.enabled:
+            recorder.record(self.engine.now, self.name, kind, **detail)
 
     def call_later(
         self, delay: float, callback: Callable[..., None], *args: Any

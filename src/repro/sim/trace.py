@@ -106,3 +106,41 @@ class TraceRecorder:
         """Render the trace (optionally only the last ``limit`` records)."""
         records = self._records if limit is None else self._records[-limit:]
         return "\n".join(str(record) for record in records)
+
+
+class NullTraceRecorder(TraceRecorder):
+    """A recorder that drops everything — the untraced-session fast path.
+
+    Fleet campaigns and experiment sweeps never read the trace (they score
+    runs from component counters), yet a default recorder would still pay
+    for a :class:`TraceRecord` per send/deliver/discard.  Passing
+    :data:`NULL_TRACE` to the engine instead makes :meth:`record` a bare
+    no-op, and hot call sites that precompute expensive detail (``repr`` of
+    packets) check :attr:`enabled` first and skip the work entirely.
+
+    ``enabled`` is pinned ``False``: flipping it on would silently lose
+    records, so it refuses.  All query helpers behave as an empty trace.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return False
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        if value:
+            raise ValueError(
+                "NullTraceRecorder cannot be enabled; build the simulation "
+                "with a real TraceRecorder instead"
+            )
+
+    def record(self, time: float, source: str, kind: str, **detail: Any) -> None:
+        """Drop the record."""
+
+
+#: Shared no-op recorder for untraced sessions (it holds no state, so one
+#: instance serves every engine, including across fleet worker processes).
+NULL_TRACE = NullTraceRecorder()

@@ -39,6 +39,7 @@ from repro.net.link import Link
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss, NoLoss
 from repro.sim.engine import Engine
 from repro.sim.process import Timer
+from repro.sim.trace import NULL_TRACE
 from repro.workloads.traffic import BurstyTraffic
 
 
@@ -122,6 +123,7 @@ def run_sender_reset_scenario(
     it moves the reset across the SAVE cycle.
     """
     harness = build_protocol(
+        trace=NULL_TRACE,
         protected=protected,
         k_p=k,
         k_q=k,
@@ -167,6 +169,7 @@ def run_receiver_reset_scenario(
     SAVE/FETCH one.
     """
     harness = build_protocol(
+        trace=NULL_TRACE,
         protected=protected,
         k_p=k,
         k_q=k,
@@ -226,6 +229,7 @@ def run_dual_reset_scenario(
     shifting q's right edge above p's restarted counter.
     """
     harness = build_protocol(
+        trace=NULL_TRACE,
         protected=protected,
         k_p=k,
         k_q=k,
@@ -283,6 +287,7 @@ def run_loss_reset_scenario(
     counts, which is what loss-robustness campaigns aggregate.
     """
     harness = build_protocol(
+        trace=NULL_TRACE,
         protected=protected,
         k_p=k,
         k_q=k,
@@ -323,6 +328,7 @@ def run_reorder_scenario(
     despite being fresh (the reference-[2] observation E10 sweeps).
     """
     harness = build_protocol(
+        trace=NULL_TRACE,
         protected=protected,
         w=w,
         costs=costs,
@@ -393,6 +399,7 @@ def run_staggered_reset_scenario(
     the ``ceiling`` variant closes it.
     """
     harness = build_protocol(
+        trace=NULL_TRACE,
         variant=variant,
         k_p=k_p,
         k_q=k_q,
@@ -478,6 +485,7 @@ def run_prolonged_reset_scenario(
         keep_alive_timeout=keep_alive_timeout,
         seed=seed,
         with_adversary=True,
+        trace=NULL_TRACE,
     )
     session.start_traffic()
     warmup = 0.02
@@ -533,6 +541,7 @@ def run_recovery_ablation_scenario(
     after the first messages of the resumed stream).
     """
     harness = build_protocol(
+        trace=NULL_TRACE,
         protected=True,
         k_p=2 * k,  # save spans half the interval: both Fig. 1 cases live
         k_q=2 * k,
@@ -628,7 +637,7 @@ def run_reset_notice_scenario(
     obediently reopens its window — then replays the recorded history,
     accepted wholesale.
     """
-    engine = Engine()
+    engine = Engine(trace=NULL_TRACE)
     auditor = DeliveryAuditor()
     receiver = ResetNoticeReceiver(engine, "q", auditor=auditor, costs=costs)
     link = Link(engine, "link:p->q", sink=receiver.on_receive, fifo=True, seed=seed)
@@ -712,7 +721,7 @@ def run_dpd_scenario(
             f"unknown DPD mechanism {mechanism!r}; "
             "expected 'heartbeat' or 'traffic'"
         )
-    engine = Engine()
+    engine = Engine(trace=NULL_TRACE)
     peer = _DpdPeer(engine, rtt)
     dead_at: list[float] = []
 
@@ -825,7 +834,7 @@ def compare_policies(
     total = bursts * burst_len
 
     def run_one(use_timer: bool) -> SaveFetchSender:
-        engine = Engine()
+        engine = Engine(trace=NULL_TRACE)
         sink_count = [0]
 
         link = Link(engine, "link", sink=lambda packet: sink_count.__setitem__(0, sink_count[0] + 1))
@@ -911,6 +920,7 @@ def run_loss_hole_scenario(
         )
     )
     harness = build_protocol(
+        trace=NULL_TRACE,
         variant=variant,
         k_p=k,
         k_q=k,

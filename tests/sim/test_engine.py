@@ -95,6 +95,33 @@ class TestRunLimits:
         assert engine.run() == 0
 
 
+class TestPendingEventsAccounting:
+    def test_cancel_then_run_accounting(self, engine):
+        keep = []
+        event = engine.call_later(1.0, keep.append, "cancelled")
+        engine.call_later(2.0, keep.append, "kept")
+        assert engine.pending_events == 2
+        event.cancel()
+        assert engine.pending_events == 1
+        engine.run()
+        assert keep == ["kept"]
+        assert engine.pending_events == 0
+        assert engine.events_processed == 1
+
+    def test_cancel_inside_callback_updates_pending(self, engine):
+        later = engine.call_later(5.0, lambda: None)
+        engine.call_later(1.0, later.cancel)
+        assert engine.pending_events == 2
+        assert engine.run() == 1
+        assert engine.pending_events == 0
+
+    def test_until_keeps_future_events_pending(self, engine):
+        engine.call_later(1.0, lambda: None)
+        engine.call_later(5.0, lambda: None)
+        engine.run(until=2.0)
+        assert engine.pending_events == 1
+
+
 class TestDeterminism:
     def test_identical_runs_identical_order(self):
         def run_once() -> list[int]:

@@ -1,8 +1,15 @@
 """Tests for repro.sim.events."""
 
+import random
+
 import pytest
 
-from repro.sim.events import PRIORITY_EARLY, PRIORITY_LATE, EventQueue
+from repro.sim.events import (
+    PRIORITY_EARLY,
+    PRIORITY_LATE,
+    PRIORITY_NORMAL,
+    EventQueue,
+)
 
 
 class TestEventQueueOrdering:
@@ -75,3 +82,148 @@ class TestCancellation:
         queue.push(1.0, lambda: None)
         queue.clear()
         assert not queue
+
+    def test_cancel_after_clear_is_harmless(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.clear()
+        event.cancel()
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 1
+
+
+class TestLiveCounterAccounting:
+    """len()/bool() are backed by a live counter, not a heap scan — these
+    pin the accounting through every cancel/pop interleaving."""
+
+    def test_cancel_then_pop_accounting(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        assert len(queue) == 3
+        first.cancel()
+        assert len(queue) == 2
+        assert queue.pop().time == 2.0
+        assert len(queue) == 1
+        assert queue.pop().time == 3.0
+        assert len(queue) == 0
+        assert not queue
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_double_cancel_decrements_once(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_is_a_no_op(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is event
+        event.cancel()  # already fired/removed: must not corrupt the counter
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0
+        assert len(queue) == 0
+
+    def test_pop_next_until_leaves_event_queued(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        assert queue.pop_next(until=1.0) is None
+        assert len(queue) == 1
+        event = queue.pop_next(until=5.0)
+        assert event is not None and event.time == 5.0
+        assert len(queue) == 0
+
+    def test_pop_next_skips_cancelled_prefix(self):
+        queue = EventQueue()
+        dead = [queue.push(float(i), lambda: None) for i in range(3)]
+        queue.push(10.0, lambda: None)
+        for event in dead:
+            event.cancel()
+        survivor = queue.pop_next()
+        assert survivor is not None and survivor.time == 10.0
+        assert queue.pop_next() is None
+
+
+class TestCompaction:
+    def test_compaction_drops_dead_entries(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        # The heap crossed the dead-fraction threshold mid-way through the
+        # cancels, so it must have compacted: the invariant is that dead
+        # entries never exceed the compaction fraction of a large heap.
+        assert len(queue) == 50
+        heap_size = len(queue._heap)
+        assert heap_size < 200
+        assert heap_size - 50 <= heap_size * EventQueue.COMPACT_FRACTION
+
+    def test_small_heaps_are_not_compacted(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        assert len(queue._heap) == 10  # below COMPACT_MIN: lazy removal only
+        assert len(queue) == 1
+
+    def test_compaction_preserves_pop_order(self):
+        queue = EventQueue()
+        events = [queue.push(float(i % 7), lambda: None) for i in range(300)]
+        survivors = [e for i, e in enumerate(events) if i % 4 == 0]
+        for i, event in enumerate(events):
+            if i % 4:
+                event.cancel()
+        popped = []
+        while queue:
+            popped.append(queue.pop())
+        expected = sorted(
+            survivors, key=lambda e: (e.time, e.priority, e.sequence)
+        )
+        assert popped == expected
+
+
+class TestRandomizedOrderingContract:
+    """Fuzz the documented ordering contract: events fire in
+    ``(time, priority, sequence)`` order — FIFO among equal-priority
+    simultaneous events — with cancelled events silently absent."""
+
+    PRIORITIES = (PRIORITY_EARLY, PRIORITY_NORMAL, PRIORITY_LATE)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_firing_order_matches_contract(self, seed):
+        rng = random.Random(seed)
+        queue = EventQueue()
+        fired: list[int] = []
+        scheduled = []
+        for tag in range(300):
+            event = queue.push(
+                time=float(rng.randrange(5)),  # heavy same-time collisions
+                callback=fired.append,
+                args=(tag,),
+                priority=rng.choice(self.PRIORITIES),
+            )
+            scheduled.append((event, tag))
+            # Cancel a random earlier survivor now and then, so dead
+            # entries interleave with live ones throughout the heap.
+            if rng.random() < 0.3:
+                victim, _ = rng.choice(scheduled)
+                victim.cancel()
+        while queue:
+            queue.pop().fire()
+        expected = [
+            tag
+            for event, tag in sorted(
+                scheduled,
+                key=lambda pair: (
+                    pair[0].time, pair[0].priority, pair[0].sequence
+                ),
+            )
+            if not event.cancelled
+        ]
+        assert fired == expected

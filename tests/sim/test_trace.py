@@ -1,6 +1,8 @@
 """Tests for repro.sim.trace."""
 
-from repro.sim.trace import TraceRecorder
+import pytest
+
+from repro.sim.trace import NULL_TRACE, NullTraceRecorder, TraceRecorder
 
 
 def make_recorder() -> TraceRecorder:
@@ -63,3 +65,34 @@ class TestQueries:
     def test_str_format(self):
         record = make_recorder().records[0]
         assert str(record).startswith("[0.000000000] p send")
+
+
+class TestNullTraceRecorder:
+    def test_record_is_dropped(self):
+        recorder = NullTraceRecorder()
+        recorder.record(0.0, "p", "send", seq=1)
+        assert len(recorder) == 0
+        assert recorder.filter() == []
+        assert recorder.last() is None
+
+    def test_enabled_is_pinned_false(self):
+        recorder = NullTraceRecorder()
+        assert recorder.enabled is False
+        recorder.enabled = False  # harmless no-op
+        with pytest.raises(ValueError, match="cannot be enabled"):
+            recorder.enabled = True
+        assert recorder.enabled is False
+
+    def test_shared_singleton_is_null(self):
+        NULL_TRACE.record(1.0, "x", "y")
+        assert len(NULL_TRACE) == 0
+        assert isinstance(NULL_TRACE, TraceRecorder)
+
+    def test_untraced_simulation_records_nothing(self):
+        from repro.core.protocol import build_protocol
+
+        harness = build_protocol(trace=NULL_TRACE)
+        harness.sender.start_traffic(count=5)
+        harness.run(until=1.0)
+        assert harness.receiver.delivered_total == 5
+        assert len(harness.engine.trace) == 0

@@ -1,0 +1,206 @@
+"""Tests for repro.perf (timers, normalization, and the baseline gate)."""
+
+import json
+
+import pytest
+
+from repro import perf
+from repro.perf import (
+    GateResult,
+    RateReport,
+    Stopwatch,
+    check_report,
+    load_benchmark_json,
+    machine_score,
+    measure_rate,
+)
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        with Stopwatch() as clock:
+            pass
+        assert clock.elapsed >= 0
+
+    def test_running_read_is_monotonic(self):
+        with Stopwatch() as clock:
+            first = clock.elapsed
+            second = clock.elapsed
+            assert second >= first
+
+    def test_unstarted_read_raises(self):
+        with pytest.raises(RuntimeError, match="not been started"):
+            Stopwatch().elapsed
+
+    def test_reusable(self):
+        clock = Stopwatch()
+        with clock:
+            pass
+        first = clock.elapsed
+        with clock:
+            pass
+        assert clock.elapsed is not None
+        assert first is not None
+
+
+class TestMachineScore:
+    def test_positive_and_cached(self):
+        first = machine_score()
+        assert first > 0
+        assert machine_score() == first  # cached, not re-measured
+
+    def test_recalibrate_returns_positive(self):
+        assert machine_score(recalibrate=True) > 0
+
+
+class TestRateReport:
+    def test_rate_math(self):
+        report = RateReport(
+            name="bench_x", metric="events/s", count=1000, seconds=0.5,
+            score=2.0,
+        )
+        assert report.rate == 2000.0
+        assert report.normalized == 1000.0
+
+    def test_format_is_one_line_with_name_and_metric(self):
+        report = measure_rate("bench_y", "sessions/s", 10, 2.0)
+        line = report.format()
+        assert "\n" not in line
+        assert "bench_y" in line
+        assert "sessions/s" in line
+
+    def test_as_dict_round_trips_through_json(self):
+        report = measure_rate("bench_z", "events/s", 100, 1.0)
+        data = json.loads(json.dumps(report.as_dict()))
+        assert data["name"] == "bench_z"
+        assert data["rate"] == pytest.approx(100.0)
+        assert data["normalized_rate"] == pytest.approx(
+            100.0 / report.score
+        )
+
+
+def make_baseline(**benchmarks):
+    return {
+        "metric": "events/s",
+        "tolerance": 0.20,
+        "benchmarks": dict(benchmarks),
+    }
+
+
+class TestCheckReport:
+    def test_passes_at_baseline_rate(self):
+        baseline = make_baseline(
+            bench_a={"count": 1000, "normalized_rate": 100.0}
+        )
+        # 1000 items in 10s at score 1.0 -> normalized 100, exactly baseline.
+        results, missing = check_report({"bench_a": 10.0}, baseline, score=1.0)
+        assert missing == []
+        assert len(results) == 1
+        assert results[0].ok
+        assert results[0].ratio == pytest.approx(1.0)
+
+    def test_fails_below_tolerance_floor(self):
+        baseline = make_baseline(
+            bench_a={"count": 1000, "normalized_rate": 100.0}
+        )
+        # 21% slower than baseline: floor is 80, current is 79.
+        results, _ = check_report({"bench_a": 1000 / 79.0}, baseline, score=1.0)
+        assert not results[0].ok
+
+    def test_passes_just_above_floor(self):
+        baseline = make_baseline(
+            bench_a={"count": 1000, "normalized_rate": 100.0}
+        )
+        results, _ = check_report({"bench_a": 1000 / 81.0}, baseline, score=1.0)
+        assert results[0].ok
+
+    def test_tolerance_override(self):
+        baseline = make_baseline(
+            bench_a={"count": 1000, "normalized_rate": 100.0}
+        )
+        results, _ = check_report(
+            {"bench_a": 1000 / 95.0}, baseline, tolerance=0.01, score=1.0
+        )
+        assert not results[0].ok
+
+    def test_missing_benchmark_reported(self):
+        baseline = make_baseline(
+            bench_a={"count": 1000, "normalized_rate": 100.0},
+            bench_b={"count": 500, "normalized_rate": 50.0},
+        )
+        results, missing = check_report({"bench_a": 10.0}, baseline, score=1.0)
+        assert missing == ["bench_b"]
+        assert len(results) == 1
+
+    def test_normalization_cancels_machine_speed(self):
+        baseline = make_baseline(
+            bench_a={"count": 1000, "normalized_rate": 100.0}
+        )
+        # A machine 4x faster runs the bench 4x faster but also scores 4x
+        # higher, so the normalized verdict is unchanged.
+        slow, _ = check_report({"bench_a": 10.0}, baseline, score=1.0)
+        fast, _ = check_report({"bench_a": 2.5}, baseline, score=4.0)
+        assert slow[0].current_normalized == pytest.approx(
+            fast[0].current_normalized
+        )
+
+    def test_gate_result_format_names_verdict(self):
+        ok = GateResult("bench_a", 100.0, 100.0, 80.0)
+        bad = GateResult("bench_a", 10.0, 100.0, 80.0)
+        assert "ok" in ok.format()
+        assert "REGRESSION" in bad.format()
+
+
+def write_bench_json(path, **mins):
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": {"min": value, "mean": value * 1.1}}
+            for name, value in mins.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCli:
+    def test_load_benchmark_json_uses_min(self, tmp_path):
+        path = write_bench_json(tmp_path / "bench.json", bench_a=0.25)
+        assert load_benchmark_json(path) == {"bench_a": 0.25}
+
+    def _files(self, tmp_path, seconds):
+        bench = write_bench_json(tmp_path / "bench.json", bench_a=seconds)
+        baseline = tmp_path / "baseline.json"
+        score = machine_score()
+        baseline.write_text(json.dumps(make_baseline(
+            bench_a={"count": 1000, "normalized_rate": 1000 / 10.0 / score}
+        )))
+        return str(bench), str(baseline)
+
+    def test_check_passes(self, tmp_path, capsys):
+        bench, baseline = self._files(tmp_path, seconds=10.0)
+        assert perf.main(["check", bench, "--baseline", baseline]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        bench, baseline = self._files(tmp_path, seconds=100.0)
+        assert perf.main(["check", bench, "--baseline", baseline]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_check_errors_on_missing_bench(self, tmp_path):
+        bench = write_bench_json(tmp_path / "bench.json", bench_other=1.0)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(make_baseline(
+            bench_a={"count": 1000, "normalized_rate": 1.0}
+        )))
+        assert perf.main(["check", str(bench),
+                          "--baseline", str(baseline)]) == 2
+
+    def test_update_rewrites_baseline(self, tmp_path):
+        bench, baseline = self._files(tmp_path, seconds=5.0)
+        assert perf.main(["update", bench, "--baseline", baseline]) == 0
+        refreshed = json.loads(open(baseline).read())
+        spec = refreshed["benchmarks"]["bench_a"]
+        assert spec["raw_rate_at_capture"] == pytest.approx(200.0)
+        assert "machine_score_at_capture" in refreshed
+        # A check against the freshly updated baseline passes.
+        assert perf.main(["check", bench, "--baseline", baseline]) == 0
