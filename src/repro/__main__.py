@@ -17,6 +17,9 @@ Commands:
 * ``fleet <spec.json>`` — run a multi-session campaign (``--jobs N`` for
   a worker pool, ``--out DIR`` for the durable result store; re-running
   the same spec resumes).  ``fleet --sample`` prints an example spec.
+* ``gateway`` — the multi-SA gateway demo: one correlated crash against
+  N SAs over a shared store, compared across write policies
+  (``--sas N``, ``--side``, ``--policy`` to pin one).
 """
 
 from __future__ import annotations
@@ -168,6 +171,53 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    from repro.gateway import STORE_POLICIES
+    from repro.workloads.scenarios import run_gateway_crash_scenario
+
+    if args.sas < 1:
+        print(f"error: --sas must be >= 1, got {args.sas}", file=sys.stderr)
+        return 2
+    if args.crash_after < 1:
+        print(f"error: --crash-after must be >= 1, got {args.crash_after}",
+              file=sys.stderr)
+        return 2
+    if args.messages < 0:
+        print(f"error: --messages must be >= 0, got {args.messages}",
+              file=sys.stderr)
+        return 2
+    policies = [args.policy] if args.policy else list(STORE_POLICIES)
+    print(f"gateway crash demo: {args.sas} SAs ({args.side} side), "
+          f"crash after {args.crash_after} sends, "
+          f"{args.messages} messages after recovery")
+    header = (f"{'policy':<12} {'K':>5} {'converged':>9} {'replays':>7} "
+              f"{'spread_us':>10} {'fetch_wait_us':>13} {'busy_ms':>8}")
+    print(header)
+    print("-" * len(header))
+    worst = 0
+    for policy in policies:
+        metrics = run_gateway_crash_scenario(
+            n_sas=args.sas,
+            side=args.side,
+            store_policy=policy,
+            crash_after_sends=args.crash_after,
+            messages_after_reset=args.messages,
+        )
+        spread = max(metrics["recovery_spreads"], default=0.0) * 1e6
+        store = metrics["store"]
+        verdict = "yes" if metrics["converged"] else "NO"
+        if not metrics["converged"]:
+            worst = 1
+        print(f"{policy:<12} {metrics['k']:>5} "
+              f"{verdict:>9} {metrics['replays_accepted']:>7} "
+              f"{spread:>10.1f} {store['max_fetch_wait'] * 1e6:>13.1f} "
+              f"{store['busy_time'] * 1e3:>8.3f}")
+    print()
+    print("spread = last SA resumed minus first (the post-crash FETCH-storm "
+          "queueing); K follows the gateway sizing rule per policy")
+    return worst
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -213,6 +263,24 @@ def main(argv: list[str] | None = None) -> int:
     p_fleet.add_argument("--sample", action="store_true",
                          help="print an example campaign spec and exit")
     p_fleet.set_defaults(fn=_cmd_fleet)
+
+    p_gw = subparsers.add_parser(
+        "gateway", help="multi-SA gateway crash demo over a shared store"
+    )
+    p_gw.add_argument("--sas", type=int, default=8,
+                      help="number of SAs the gateway terminates (default: 8)")
+    p_gw.add_argument("--side", choices=["sender", "receiver"],
+                      default="sender",
+                      help="which end of each SA lives on the gateway")
+    p_gw.add_argument("--policy",
+                      choices=["serial", "batched", "write_ahead"],
+                      default=None,
+                      help="pin one store policy (default: compare all three)")
+    p_gw.add_argument("--crash-after", type=int, default=300,
+                      help="crash after SA 0's Nth send (default: 300)")
+    p_gw.add_argument("--messages", type=int, default=300,
+                      help="per-SA messages after recovery (default: 300)")
+    p_gw.set_defaults(fn=_cmd_gateway)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -71,6 +71,30 @@ class ConvergenceReport:
         return "\n".join(lines)
 
 
+def report_metrics(report: ConvergenceReport) -> dict[str, Any]:
+    """Flatten a :class:`ConvergenceReport` into JSON-safe metrics.
+
+    The canonical flat form used by the fleet result store
+    (:mod:`repro.fleet.results` re-exports this) and by gateway reports
+    (one entry per SA in ``sa_reports``).
+    """
+    return {
+        "converged": report.converged,
+        "sender_resets": report.sender_resets,
+        "receiver_resets": report.receiver_resets,
+        "replays_accepted": report.replays_accepted,
+        "fresh_discarded": report.fresh_discarded,
+        "lost_seqnums_per_reset": list(report.lost_seqnums_per_reset),
+        "gaps_sender": list(report.gaps_sender),
+        "gaps_receiver": list(report.gaps_receiver),
+        "time_to_converge": list(report.time_to_converge),
+        "bound_violations": list(report.bound_violations),
+        "fresh_sent": report.audit.fresh_sent,
+        "delivered_uids": report.audit.delivered_uids,
+        "never_arrived": report.audit.never_arrived,
+    }
+
+
 def _first_delivery_after(receiver: BaseReceiver, t: float) -> float | None:
     for time, _seq in receiver.delivered_log:
         if time >= t:

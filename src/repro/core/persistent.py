@@ -133,13 +133,10 @@ class PersistentStore(SimProcess):
         identical — blocking is the *caller's* behaviour — the flag exists
         for traces and statistics).
         """
-        duration = self.t_save
-        if self.duration_model is not None:
-            duration = min(max(0.0, self.duration_model()), self.t_save)
         record = SaveRecord(
             value=value,
             started_at=self.now,
-            commit_due_at=self.now + duration,
+            commit_due_at=self._save_commit_time(),
             synchronous=synchronous,
         )
         self.saves_started += 1
@@ -152,6 +149,18 @@ class PersistentStore(SimProcess):
         self._in_flight.append((record, event))
         self.max_concurrent_saves = max(self.max_concurrent_saves, len(self._in_flight))
         return record
+
+    def _save_commit_time(self) -> float:
+        """When the SAVE starting now will commit (subclass hook).
+
+        The private store charges its own (possibly modelled) duration;
+        a gateway's shared-store client instead reserves a slot on the
+        contended device.
+        """
+        duration = self.t_save
+        if self.duration_model is not None:
+            duration = min(max(0.0, self.duration_model()), self.t_save)
+        return self.now + duration
 
     def _commit(self, record: SaveRecord, on_commit: Callable[[], None] | None) -> None:
         self._in_flight = [(r, e) for r, e in self._in_flight if r is not record]

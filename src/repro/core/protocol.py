@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.core.audit import DeliveryAuditor
 from repro.core.ceiling import CeilingReceiver, CeilingSender
 from repro.core.convergence import ConvergenceReport, score_run
+from repro.core.persistent import PersistentStore
 from repro.core.receiver import BaseReceiver, SaveFetchReceiver, UnprotectedReceiver
 from repro.core.sender import BaseSender, SaveFetchSender, UnprotectedSender
 from repro.ipsec.costs import CostModel, PAPER_COSTS
@@ -130,6 +131,9 @@ def build_protocol(
     receiver_name: str = "q",
     variant: str | None = None,
     trace: TraceRecorder | None = None,
+    engine: Engine | None = None,
+    sender_store: PersistentStore | None = None,
+    receiver_store: PersistentStore | None = None,
 ) -> ProtocolHarness:
     """Build a ready-to-run p -> q anti-replay simulation.
 
@@ -160,12 +164,25 @@ def build_protocol(
         trace: the engine's trace recorder (default: a fresh recording
             :class:`TraceRecorder`).  Batch drivers that never read the
             trace pass :data:`repro.sim.trace.NULL_TRACE` so hot paths
-            skip record construction entirely.
+            skip record construction entirely.  Ignored when ``engine``
+            is given (the engine already owns its recorder).
+        engine: an existing engine to build onto.  The default (None)
+            creates a fresh engine per harness — one simulation, one
+            pair.  Multiplexing drivers (:class:`repro.gateway.Gateway`)
+            pass one shared engine so many pairs run under a single
+            clock and event heap.
+        sender_store / receiver_store: persistent stores for the
+            protected endpoints.  Default (None) builds a private
+            :class:`PersistentStore` per endpoint, as the paper assumes;
+            a gateway passes clients of its
+            :class:`~repro.gateway.SharedStore` so SAVE/FETCH contend
+            for one device.  Ignored by the unprotected variant.
 
     Returns:
         A :class:`ProtocolHarness` with every component exposed.
     """
-    engine = Engine(trace=trace)
+    if engine is None:
+        engine = Engine(trace=trace)
     auditor = DeliveryAuditor()
 
     if variant is None:
@@ -184,6 +201,7 @@ def build_protocol(
             engine,
             receiver_name,
             k=k_q,
+            store=receiver_store,
             leap_factor=leap_factor,
             skip_wake_save=skip_wake_save,
             w=w,
@@ -198,6 +216,7 @@ def build_protocol(
             engine,
             receiver_name,
             k=k_q,
+            store=receiver_store,
             w=w,
             window_impl=window_impl,
             costs=costs,
@@ -244,6 +263,7 @@ def build_protocol(
             sender_name,
             pipe,
             k=k_p,
+            store=sender_store,
             leap_factor=leap_factor,
             skip_wake_save=skip_wake_save,
             costs=costs,
@@ -257,6 +277,7 @@ def build_protocol(
             sender_name,
             pipe,
             k=k_p,
+            store=sender_store,
             costs=costs,
             auditor=auditor,
             sa=sender_sa,

@@ -45,17 +45,18 @@ def reset_at_time(
     engine.call_at(at, target.reset, down_for)
 
 
-def reset_at_count(
+def call_at_count(
     target: Any,
     count: int,
-    down_for: float | None = 0.0,
+    fire: Any,
 ) -> None:
-    """Reset ``target`` immediately after its ``count``-th send/process.
+    """Run ``fire()`` immediately after ``target``'s ``count``-th
+    send/process.
 
     ``target`` must expose ``add_send_listener`` (senders) or
-    ``add_process_listener`` (receivers).  The reset fires synchronously
+    ``add_process_listener`` (receivers).  ``fire`` runs synchronously
     inside the counted operation's aftermath — i.e. the counted message
-    *was* sent/processed, and nothing later was.
+    *was* sent/processed, and nothing later was — and exactly once.
     """
     if count <= 0:
         raise ValueError(f"count must be >= 1, got {count}")
@@ -64,13 +65,13 @@ def reset_at_count(
     def on_send(sent_total: int, packet: Any) -> None:
         if not state["fired"] and sent_total >= count:
             state["fired"] = True
-            target.reset(down_for)
+            fire()
 
     def on_process(packet: Any, verdict: Any) -> None:
         state["seen"] += 1
         if not state["fired"] and state["seen"] >= count:
             state["fired"] = True
-            target.reset(down_for)
+            fire()
 
     if hasattr(target, "add_send_listener"):
         target.add_send_listener(on_send)
@@ -80,6 +81,20 @@ def reset_at_count(
         raise TypeError(
             f"{target!r} has neither add_send_listener nor add_process_listener"
         )
+
+
+def reset_at_count(
+    target: Any,
+    count: int,
+    down_for: float | None = 0.0,
+) -> None:
+    """Reset ``target`` immediately after its ``count``-th send/process.
+
+    The counting/trigger contract is :func:`call_at_count`'s; gateway
+    faults reuse it to strike a whole gateway at the same kind of
+    instant.
+    """
+    call_at_count(target, count, lambda: target.reset(down_for))
 
 
 def reset_during_save(

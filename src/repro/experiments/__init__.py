@@ -30,6 +30,8 @@ e11         Section 4 — second-reset hazard / wake-SAVE + leap ablation
 e12         Section 6 — the replayed "reset notice" strawman attack
 e13         supplementary — dead-peer detection time vs probe cadence
 e14         extension — replay exposure under bursty loss (loss hole)
+e15         extension — gateway-scale convergence: N SAs, one crash,
+            one shared store (SA count x write-policy sweep)
 ==========  ==========================================================
 """
 

@@ -36,6 +36,7 @@ from repro.experiments import (
     e12_reset_notice,
     e13_dpd,
     e14_loss_robustness,
+    e15_gateway_convergence,
 )
 from repro.experiments.common import ExperimentResult
 from repro.experiments.sweep import ExperimentDriver, SweepSpec
@@ -69,6 +70,7 @@ EXPERIMENTS: dict[str, Callable[[], SweepSpec]] = {
     "e14": lambda: e14_loss_robustness.sweep(
         burst_levels=[0.0, 0.005, 0.02, 0.05], seeds=8
     ),
+    "e15": lambda: e15_gateway_convergence.sweep(sa_counts=[1, 4, 16, 50]),
 }
 
 

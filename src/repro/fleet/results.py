@@ -20,30 +20,20 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
-from repro.core.convergence import ConvergenceReport
+from repro.core.convergence import report_metrics
+
+__all__ = [
+    "MemoryResultStore",
+    "ResultStore",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "TaskRecord",
+    "report_metrics",  # canonical home: repro.core.convergence
+]
 
 #: Record status values.
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
-
-
-def report_metrics(report: ConvergenceReport) -> dict[str, Any]:
-    """Flatten a :class:`ConvergenceReport` into JSON-safe metrics."""
-    return {
-        "converged": report.converged,
-        "sender_resets": report.sender_resets,
-        "receiver_resets": report.receiver_resets,
-        "replays_accepted": report.replays_accepted,
-        "fresh_discarded": report.fresh_discarded,
-        "lost_seqnums_per_reset": list(report.lost_seqnums_per_reset),
-        "gaps_sender": list(report.gaps_sender),
-        "gaps_receiver": list(report.gaps_receiver),
-        "time_to_converge": list(report.time_to_converge),
-        "bound_violations": list(report.bound_violations),
-        "fresh_sent": report.audit.fresh_sent,
-        "delivered_uids": report.audit.delivered_uids,
-        "never_arrived": report.audit.never_arrived,
-    }
 
 
 @dataclass

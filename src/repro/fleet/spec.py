@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Sequence
 
+from repro.gateway.faults import GatewayFault, fault_from_dict
 from repro.ipsec.costs import CostModel
 from repro.util.rng import derive_seed, make_rng
 from repro.util.validation import check_positive
@@ -36,17 +37,24 @@ DEFAULT_MAX_EVENTS = 5_000_000
 #: inside task params (see :func:`encode_params` / :func:`decode_params`).
 COSTMODEL_TAG = "__costmodel__"
 
+#: Tag key marking a JSON-encoded gateway fault (``GatewayCrash``,
+#: ``RollingRestart``, ``SAChurn`` — the ``kind`` field dispatches).
+GATEWAYFAULT_TAG = "__gatewayfault__"
+
 
 def encode_param_value(value: Any) -> Any:
     """JSON-safe encoding of one scenario kwarg.
 
-    :class:`CostModel` instances become a tagged dict so per-task cost
-    overrides survive the JSONL result store and hand-written campaign
-    spec files; tuples become lists (what JSON would do anyway), keeping
-    in-memory and from-disk expansions identical.
+    :class:`CostModel` instances and gateway faults become tagged dicts
+    so per-task cost overrides and fault schedules survive the JSONL
+    result store and hand-written campaign spec files; tuples become
+    lists (what JSON would do anyway), keeping in-memory and from-disk
+    expansions identical.
     """
     if isinstance(value, CostModel):
         return {COSTMODEL_TAG: {k: v for k, v in vars(value).items()}}
+    if isinstance(value, GatewayFault):
+        return {GATEWAYFAULT_TAG: value.to_dict()}
     if isinstance(value, (tuple, list)):
         return [encode_param_value(item) for item in value]
     if isinstance(value, Mapping):
@@ -55,10 +63,12 @@ def encode_param_value(value: Any) -> Any:
 
 
 def decode_param_value(value: Any) -> Any:
-    """Inverse of :func:`encode_param_value` (tagged dict -> CostModel)."""
+    """Inverse of :func:`encode_param_value` (tagged dicts -> objects)."""
     if isinstance(value, Mapping):
         if set(value) == {COSTMODEL_TAG}:
             return CostModel(**value[COSTMODEL_TAG])
+        if set(value) == {GATEWAYFAULT_TAG}:
+            return fault_from_dict(value[GATEWAYFAULT_TAG])
         return {k: decode_param_value(v) for k, v in value.items()}
     if isinstance(value, list):
         return [decode_param_value(item) for item in value]
@@ -358,9 +368,11 @@ def example_spec(sessions: int = 60, base_seed: int = 2003) -> CampaignSpec:
 
     Keeps the paper's safe SAVE interval (K=25, the T_save/T_send
     minimum) but shortens the streams so a session takes milliseconds;
-    ``sessions`` splits across a sender-reset population and randomized
-    receiver-replay / loss populations (below 3 sessions there is
-    nothing to split — it degenerates to sender resets only).
+    ``sessions`` splits across a sender-reset population, randomized
+    receiver-replay / loss populations, and (from 4 sessions up) a
+    multi-SA ``gateway_crash`` population exercising the shared-store
+    write policies.  Below 3 sessions there is nothing to split — it
+    degenerates to sender resets only.
     """
     check_positive("sessions", sessions)
     if sessions < 3:
@@ -377,39 +389,51 @@ def example_spec(sessions: int = 60, base_seed: int = 2003) -> CampaignSpec:
                 sessions=sessions,
             ),),
         )
-    third = max(1, sessions // 3)
+    share = max(1, sessions // 4) if sessions >= 4 else max(1, sessions // 3)
+    grids = [
+        ScenarioGrid(
+            scenario="receiver_reset",
+            params={
+                "k": 25,
+                "reset_after_receives": [40, 50, 60],
+                "messages_after_reset": 60,
+                "replay_history_after": [True, False],
+            },
+            sessions=share,
+        ),
+        ScenarioGrid(
+            scenario="loss_reset",
+            params={
+                "k": 25,
+                "loss_rate": [0.0, 0.02, 0.05],
+                "reset_after_sends": 50,
+                "messages_after_reset": 60,
+            },
+            sessions=share,
+        ),
+    ]
+    if sessions >= 4:
+        grids.append(ScenarioGrid(
+            scenario="gateway_crash",
+            params={
+                "n_sas": [2, 4],
+                "store_policy": ["serial", "batched", "write_ahead"],
+                "crash_after_sends": [50, 60],
+                "messages_after_reset": 60,
+            },
+            sessions=share,
+        ))
+    grids.insert(0, ScenarioGrid(
+        scenario="sender_reset",
+        params={
+            "k": 25,
+            "reset_after_sends": [40, 45, 50, 55, 60],
+            "messages_after_reset": 60,
+        },
+        sessions=sessions - share * len(grids),
+    ))
     return CampaignSpec(
         name="mixed-demo",
         base_seed=base_seed,
-        grids=(
-            ScenarioGrid(
-                scenario="sender_reset",
-                params={
-                    "k": 25,
-                    "reset_after_sends": [40, 45, 50, 55, 60],
-                    "messages_after_reset": 60,
-                },
-                sessions=sessions - 2 * third,
-            ),
-            ScenarioGrid(
-                scenario="receiver_reset",
-                params={
-                    "k": 25,
-                    "reset_after_receives": [40, 50, 60],
-                    "messages_after_reset": 60,
-                    "replay_history_after": [True, False],
-                },
-                sessions=third,
-            ),
-            ScenarioGrid(
-                scenario="loss_reset",
-                params={
-                    "k": 25,
-                    "loss_rate": [0.0, 0.02, 0.05],
-                    "reset_after_sends": 50,
-                    "messages_after_reset": 60,
-                },
-                sessions=third,
-            ),
-        ),
+        grids=tuple(grids),
     )

@@ -1,0 +1,180 @@
+"""Correlated fault injection for gateways.
+
+The single-pair injectors in :mod:`repro.core.reset` strike one
+endpoint.  A gateway fault is *correlated*: one physical event touches
+every SA the gateway terminates.  Three kinds, each a frozen dataclass
+with an :meth:`apply` hook (arming it against a
+:class:`~repro.gateway.core.Gateway`) and a dict round-trip so fleet
+campaign specs can carry faults as JSON (see the ``__gatewayfault__``
+tag in :mod:`repro.fleet.spec`):
+
+* :class:`GatewayCrash` — the paper's reset, scaled up: at one instant
+  every SA loses its volatile state and the shared store's queue is
+  lost.  Recovery is the interesting part — N simultaneous FETCHes
+  contend for one device.
+* :class:`RollingRestart` — an operator restart wave: SA ``i`` resets at
+  ``t + i * stagger``.  The store stays up, so recoveries interleave
+  with live traffic instead of storming.
+* :class:`SAChurn` — tunnel churn: every ``interval`` seconds the oldest
+  live SA is torn down and a fresh one is established mid-run.
+
+Triggers are either an absolute time (``at``) or a traffic count
+(``after_sends`` — the instant the gateway side of SA 0 completes that
+many sends/receives), mirroring :func:`repro.core.reset.reset_at_count`
+so a one-SA gateway crash lands at exactly the same instant as the
+single-pair ``sender_reset`` scenario's reset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from repro.core.reset import call_at_count
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.gateway.core import Gateway
+
+
+class GatewayFault:
+    """Base for the correlated fault kinds (dict round-trip + arming)."""
+
+    kind: str = ""
+
+    def apply(self, gateway: "Gateway") -> None:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, **asdict(self)}  # type: ignore[call-overload]
+
+    def _resolve_trigger(
+        self, gateway: "Gateway", fire: Callable[[], None],
+        at: float | None, after_sends: int | None,
+    ) -> None:
+        if (at is None) == (after_sends is None):
+            raise ValueError(
+                f"{type(self).__name__} needs exactly one trigger: "
+                f"'at' (absolute time) or 'after_sends' (SA 0 traffic count)"
+            )
+        if at is not None:
+            gateway.engine.call_at(at, fire)
+        else:
+            if not gateway.sas:
+                raise ValueError("cannot arm a count trigger on an empty gateway")
+            call_at_count(gateway.sas[0].gateway_end, after_sends, fire)
+
+
+@dataclass(frozen=True)
+class GatewayCrash(GatewayFault):
+    """One reset event hitting every SA (and the store queue) at once.
+
+    Attributes:
+        after_sends / at: the trigger (exactly one; see module docstring).
+        down_time: outage length; ``None`` means the scenario default
+            ``2 * t_save`` resolved at apply time.
+    """
+
+    after_sends: int | None = None
+    at: float | None = None
+    down_time: float | None = None
+
+    kind = "crash"
+
+    def apply(self, gateway: "Gateway") -> None:
+        down = (
+            self.down_time
+            if self.down_time is not None
+            else 2 * gateway.costs.t_save
+        )
+        self._resolve_trigger(
+            gateway, lambda: gateway.crash(down_for=down),
+            self.at, self.after_sends,
+        )
+
+
+@dataclass(frozen=True)
+class RollingRestart(GatewayFault):
+    """Restart wave: SA ``i`` resets ``i * stagger`` after the trigger.
+
+    The shared store stays up (only hosts restart), so each SA's
+    recovery FETCH contends with the *traffic-driven* saves of the SAs
+    still live — a different contention shape from the crash storm.
+    """
+
+    after_sends: int | None = None
+    at: float | None = None
+    stagger: float = 0.0005
+    down_time: float | None = None
+
+    kind = "rolling_restart"
+
+    def __post_init__(self) -> None:
+        if self.stagger < 0:
+            raise ValueError(f"stagger must be >= 0, got {self.stagger}")
+
+    def apply(self, gateway: "Gateway") -> None:
+        down = (
+            self.down_time
+            if self.down_time is not None
+            else 2 * gateway.costs.t_save
+        )
+
+        def begin_wave() -> None:
+            wave_times = []
+            for position, unit in enumerate(gateway.live_sas()):
+                at = gateway.engine.now + position * self.stagger
+                wave_times.append(at)
+                gateway.engine.call_at(at, unit.gateway_end.reset, down)
+            gateway.restart_waves.append(wave_times)
+
+        self._resolve_trigger(gateway, begin_wave, self.at, self.after_sends)
+
+
+@dataclass(frozen=True)
+class SAChurn(GatewayFault):
+    """Create/tear-down churn: each cycle retires the oldest live SA and
+    establishes a fresh one that immediately starts sending.
+
+    Attributes:
+        start: absolute time of the first cycle.
+        interval: seconds between cycles.
+        cycles: how many tear-down/create cycles to run.
+        messages: traffic attempt count for each newly created SA.
+    """
+
+    start: float = 0.001
+    interval: float = 0.001
+    cycles: int = 1
+    messages: int = 200
+
+    kind = "sa_churn"
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"interval must be > 0, got {self.interval}")
+        if self.cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {self.cycles}")
+
+    def apply(self, gateway: "Gateway") -> None:
+        for cycle in range(self.cycles):
+            gateway.engine.call_at(
+                self.start + cycle * self.interval,
+                gateway.churn,
+                self.messages,
+            )
+
+
+#: kind tag -> fault class (the JSON codec's dispatch table).
+FAULT_KINDS: dict[str, type[GatewayFault]] = {
+    cls.kind: cls for cls in (GatewayCrash, RollingRestart, SAChurn)
+}
+
+
+def fault_from_dict(data: Mapping[str, Any]) -> GatewayFault:
+    """Rebuild a fault from its :meth:`GatewayFault.to_dict` form."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    if kind not in FAULT_KINDS:
+        known = ", ".join(sorted(FAULT_KINDS))
+        raise ValueError(f"unknown gateway fault kind {kind!r}; known: {known}")
+    return FAULT_KINDS[kind](**payload)

@@ -1,0 +1,150 @@
+"""Gateway-level scoring: N per-SA reports flattened into one record.
+
+:class:`GatewayReport` aggregates the per-SA
+:class:`~repro.core.convergence.ConvergenceReport` objects of one
+gateway run.  :meth:`GatewayReport.metrics` produces the JSON-safe dict
+the fleet stack stores and aggregates: it carries the same top-level
+keys as a single-pair record (``converged``, ``replays_accepted``,
+``time_to_converge``, ``bound_violations``, ...) — summed or
+concatenated across SAs — so :func:`repro.fleet.aggregate.summarize`
+folds gateway sessions into a campaign summary unchanged, plus the
+gateway-only story (recovery spreads, shared-store contention counters,
+and the full per-SA report list for drill-down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.convergence import ConvergenceReport, report_metrics
+
+
+@dataclass
+class SAOutcome:
+    """One SA's scored run plus its lifecycle stamps."""
+
+    index: int
+    created_at: float
+    torn_down_at: float | None
+    report: ConvergenceReport
+
+
+@dataclass
+class GatewayReport:
+    """The scored outcome of one gateway run.
+
+    Attributes:
+        side: which side the gateway terminated (``"sender"`` /
+            ``"receiver"``).
+        store_policy: the shared store's write policy.
+        k: the SAVE interval the run actually used (consumers must read
+            this rather than re-deriving the sizing rule — a pinned
+            ``k`` diverges from it by design).
+        sa_outcomes: per-SA outcomes, creation order (churned-out SAs
+            included — their history happened and still scores).
+        gateway_crashes: correlated crash events injected.
+        recovery_spreads: per crash, last-SA-resumed minus
+            first-SA-resumed — the store-contention fingerprint (0 for
+            one uncontended SA; ~``(N-1) * t_fetch`` under a serialized
+            FETCH storm).
+        churn_events: SA create/tear-down cycles executed.
+        store_stats: the shared store's device counters.
+    """
+
+    side: str
+    store_policy: str
+    sa_outcomes: list[SAOutcome]
+    k: int = 0
+    gateway_crashes: int = 0
+    recovery_spreads: list[float] = field(default_factory=list)
+    churn_events: int = 0
+    store_stats: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def n_sas(self) -> int:
+        return len(self.sa_outcomes)
+
+    @property
+    def converged(self) -> bool:
+        """Whether every SA converged (the gateway-level verdict)."""
+        return all(outcome.report.converged for outcome in self.sa_outcomes)
+
+    @property
+    def replays_accepted(self) -> int:
+        return sum(o.report.replays_accepted for o in self.sa_outcomes)
+
+    @property
+    def fresh_discarded(self) -> int:
+        return sum(o.report.fresh_discarded for o in self.sa_outcomes)
+
+    @property
+    def bound_violations(self) -> list[str]:
+        """Every SA's violations, prefixed with the SA index."""
+        return [
+            f"sa{outcome.index}: {violation}"
+            for outcome in self.sa_outcomes
+            for violation in outcome.report.bound_violations
+        ]
+
+    def metrics(self) -> dict[str, Any]:
+        """The fleet-compatible flattened record (see module docstring)."""
+        reports = [outcome.report for outcome in self.sa_outcomes]
+        return {
+            "converged": self.converged,
+            "sender_resets": sum(r.sender_resets for r in reports),
+            "receiver_resets": sum(r.receiver_resets for r in reports),
+            "replays_accepted": self.replays_accepted,
+            "fresh_discarded": self.fresh_discarded,
+            "lost_seqnums_per_reset": [
+                lost for r in reports for lost in r.lost_seqnums_per_reset
+            ],
+            "gaps_sender": [gap for r in reports for gap in r.gaps_sender],
+            "gaps_receiver": [gap for r in reports for gap in r.gaps_receiver],
+            "time_to_converge": [t for r in reports for t in r.time_to_converge],
+            "bound_violations": self.bound_violations,
+            "fresh_sent": sum(r.audit.fresh_sent for r in reports),
+            "delivered_uids": sum(r.audit.delivered_uids for r in reports),
+            "never_arrived": sum(r.audit.never_arrived for r in reports),
+            "n_sas": self.n_sas,
+            "side": self.side,
+            "store_policy": self.store_policy,
+            "k": self.k,
+            "gateway_crashes": self.gateway_crashes,
+            "recovery_spreads": list(self.recovery_spreads),
+            "churn_events": self.churn_events,
+            "store": dict(self.store_stats),
+            "sa_reports": [report_metrics(r) for r in reports],
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line gateway summary."""
+        converged = sum(1 for o in self.sa_outcomes if o.report.converged)
+        lines = [
+            f"gateway: {self.n_sas} SAs ({self.side} side), "
+            f"store policy {self.store_policy}",
+            f"crashes: {self.gateway_crashes}  churn cycles: {self.churn_events}",
+            f"converged: {converged}/{self.n_sas}",
+            f"replays accepted: {self.replays_accepted}  "
+            f"fresh discarded: {self.fresh_discarded}",
+        ]
+        if self.recovery_spreads:
+            spreads = "  ".join(
+                f"{spread * 1e6:.1f}us" for spread in self.recovery_spreads
+            )
+            lines.append(f"recovery spread per crash: {spreads}")
+        if self.store_stats:
+            stats = self.store_stats
+            lines.append(
+                f"store: {stats.get('saves', 0)} saves "
+                f"({stats.get('batched_saves', 0)} batched), "
+                f"{stats.get('fetches', 0)} fetches, "
+                f"busy {stats.get('busy_time', 0.0) * 1e3:.3f}ms, "
+                f"max fetch wait {stats.get('max_fetch_wait', 0.0) * 1e6:.1f}us"
+            )
+        if self.bound_violations:
+            lines.append(f"VIOLATIONS: {self.bound_violations}")
+        return "\n".join(lines)

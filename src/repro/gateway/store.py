@@ -1,0 +1,288 @@
+"""One persistent device shared by every SA of a gateway.
+
+The paper's SAVE/FETCH analysis charges each operation a fixed cost
+(``t_save`` = 100 us, ``t_fetch``) against a *private* store per
+endpoint.  A security gateway terminating N SAs has one persistent
+device, so SAVE and FETCH requests from different SAs contend: a SAVE
+issued while the device is busy starts late, and — the case the paper
+never models — the FETCH storm after a gateway crash queues N reads
+back-to-back, so the i-th SA's recovery is delayed by the i-1 fetches in
+front of it.
+
+:class:`SharedStore` is that device: a FIFO service timeline
+(``busy_until``) every operation reserves a slot on.  Three write
+policies, all deterministic:
+
+* ``"serial"`` — the baseline.  Every SAVE occupies the device for the
+  full ``t_save``, every FETCH for ``t_fetch``, strictly FIFO.  With one
+  uncontended SA this is *exactly* the paper's private
+  :class:`~repro.core.persistent.PersistentStore` timing — the
+  N=1 golden-parity test in ``tests/gateway`` pins it.
+* ``"batched"`` — group commit.  SAVEs that arrive while the device is
+  busy coalesce into the next device write: one ``t_save`` commits the
+  whole batch.  Device seconds drop under a save storm; individual save
+  latency can rise (a batched save waits for the device to free first).
+* ``"write_ahead"`` — journaling.  A SAVE is a sequential log append
+  costing ``t_save * WAL_APPEND_FRACTION``; the price is paid at
+  recovery, where FETCH must scan the log tail:
+  ``t_fetch * WAL_SCAN_FACTOR`` per read.  Fast steady state, slow
+  crash recovery — the classic WAL trade.
+
+Per-SA state lives in :class:`SharedStoreClient`, a
+:class:`~repro.core.persistent.PersistentStore` subclass that keeps its
+own committed checkpoint, in-flight records, and crash semantics
+(abort-on-reset aborts only *that SA's* saves) but books every
+operation's timing through the shared device.  ``build_protocol``
+accepts clients via its ``sender_store`` / ``receiver_store`` hooks, so
+the protocol machines are byte-for-byte the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.persistent import PersistentStore
+from repro.ipsec.costs import CostModel, PAPER_COSTS
+from repro.sim.engine import Engine
+from repro.sim.process import SimProcess
+
+#: Known write policies (see module docstring).
+STORE_POLICIES = ("serial", "batched", "write_ahead")
+
+#: Cost of a write-ahead log append, as a fraction of a full ``t_save``
+#: (sequential append vs random in-place write).
+WAL_APPEND_FRACTION = 0.25
+
+#: Recovery-scan multiplier a write-ahead FETCH pays over ``t_fetch``
+#: (the committed value must be reconstructed from the log tail).
+WAL_SCAN_FACTOR = 4.0
+
+
+def safe_save_interval(
+    n_sas: int,
+    costs: CostModel = PAPER_COSTS,
+    policy: str = "serial",
+) -> int:
+    """The paper's SAVE-interval sizing rule, generalized to a shared store.
+
+    Section 4 sizes ``K`` so at most one SAVE is in flight: ``K >=
+    t_save / t_send`` (25 with the paper's constants).  Behind one
+    shared device that rule under-provisions: N SAs each checkpointing
+    every ``K`` messages offer ``N * save_cost`` of device time per
+    ``K * t_send`` period, so the serial policy needs ``K`` scaled by
+    ``N`` or the save queue grows without bound and the committed
+    checkpoint falls arbitrarily far behind (breaking the 2K gap bound).
+    Batching amortizes the storm — one device write commits any number
+    of queued saves — but a batched save can wait out the write already
+    in progress, so commit latency is bounded by ``2 * t_save`` and
+    ``K`` must cover that instead.  Write-ahead appends shrink the
+    per-save device time by :data:`WAL_APPEND_FRACTION`.
+
+    With ``n_sas=1`` every policy returns the paper's 25.
+    """
+    if policy not in STORE_POLICIES:
+        known = ", ".join(STORE_POLICIES)
+        raise ValueError(f"unknown store policy {policy!r}; known policies: {known}")
+    per_save = costs.t_save
+    if policy == "write_ahead":
+        per_save = costs.t_save * WAL_APPEND_FRACTION
+    demand = math.ceil(n_sas * per_save / costs.t_send)
+    if policy == "batched" and n_sas > 1:
+        # Group commit amortizes any N, but a batched save can wait out
+        # the write already in progress: latency is capped at 2 t_save.
+        demand = math.ceil(2 * costs.t_save / costs.t_send)
+    return max(costs.min_save_interval(), demand)
+
+
+@dataclass
+class _OpenBatch:
+    """A batched device write that is scheduled but has not started yet.
+
+    SAVEs arriving before ``starts_at`` join it for free (group commit);
+    once the device has started writing, late arrivals form a new batch.
+    """
+
+    starts_at: float
+    commits_at: float
+    members: int = 1
+
+
+class SharedStore(SimProcess):
+    """The gateway's one persistent device (see module docstring).
+
+    Args:
+        engine: the simulation engine shared by every SA.
+        name: trace name, e.g. ``"store:gateway"``.
+        costs: the paper's cost model (``t_save`` / ``t_fetch``).
+        policy: one of :data:`STORE_POLICIES`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str = "store:gateway",
+        costs: CostModel = PAPER_COSTS,
+        policy: str = "serial",
+    ) -> None:
+        super().__init__(engine, name)
+        if policy not in STORE_POLICIES:
+            known = ", ".join(STORE_POLICIES)
+            raise ValueError(
+                f"unknown store policy {policy!r}; known policies: {known}"
+            )
+        self.costs = costs
+        self.policy = policy
+        self._busy_until = 0.0
+        self._open_batch: _OpenBatch | None = None
+        self._clients: list[SharedStoreClient] = []
+        # Device statistics.
+        self.saves = 0
+        self.fetches = 0
+        self.device_writes = 0
+        self.batches = 0
+        self.batched_saves = 0
+        self.busy_time = 0.0
+        self.max_save_wait = 0.0
+        self.max_fetch_wait = 0.0
+        self.crashes = 0
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+    def client(self, name: str, initial_value: int = 0) -> "SharedStoreClient":
+        """Create one SA's store client (its private checkpoint slot)."""
+        created = SharedStoreClient(self, name, initial_value=initial_value)
+        self._clients.append(created)
+        return created
+
+    @property
+    def clients(self) -> tuple["SharedStoreClient", ...]:
+        return tuple(self._clients)
+
+    # ------------------------------------------------------------------
+    # Device timeline
+    # ------------------------------------------------------------------
+    @property
+    def save_cost(self) -> float:
+        """Device occupancy of one SAVE under the current policy."""
+        if self.policy == "write_ahead":
+            return self.costs.t_save * WAL_APPEND_FRACTION
+        return self.costs.t_save
+
+    @property
+    def fetch_cost(self) -> float:
+        """Device occupancy of one FETCH under the current policy."""
+        if self.policy == "write_ahead":
+            return self.costs.t_fetch * WAL_SCAN_FACTOR
+        return self.costs.t_fetch
+
+    def _expire_open_batch(self) -> None:
+        if self._open_batch is not None and self.now >= self._open_batch.starts_at:
+            self._open_batch = None  # the device started writing it
+
+    def reserve_save(self) -> float:
+        """Reserve a device slot for one SAVE; returns its commit time."""
+        self.saves += 1
+        self._expire_open_batch()
+        if self.policy == "batched" and self._open_batch is not None:
+            # Group commit: ride the already-scheduled write for free.
+            batch = self._open_batch
+            batch.members += 1
+            self.batched_saves += 1
+            self.max_save_wait = max(self.max_save_wait, batch.starts_at - self.now)
+            self.trace("save_batched", commits_at=batch.commits_at)
+            return batch.commits_at
+        starts_at = max(self.now, self._busy_until)
+        commits_at = starts_at + self.save_cost
+        self._busy_until = commits_at
+        self.device_writes += 1
+        self.busy_time += self.save_cost
+        self.max_save_wait = max(self.max_save_wait, starts_at - self.now)
+        if self.policy == "batched" and starts_at > self.now:
+            # The write waits for the device: it is joinable until it starts.
+            self._open_batch = _OpenBatch(starts_at=starts_at, commits_at=commits_at)
+            self.batches += 1
+        self.trace("save_reserved", starts_at=starts_at, commits_at=commits_at)
+        return commits_at
+
+    def reserve_fetch(self) -> float:
+        """Reserve a device slot for one FETCH; returns the caller's delay.
+
+        This is where the post-crash FETCH storm is modeled: N SAs waking
+        at one instant reserve N consecutive slots, so the i-th caller's
+        delay is ``i * fetch_cost`` of queueing plus its own read.
+        """
+        self.fetches += 1
+        self._expire_open_batch()
+        starts_at = max(self.now, self._busy_until)
+        done_at = starts_at + self.fetch_cost
+        self._busy_until = done_at
+        self.busy_time += self.fetch_cost
+        self.max_fetch_wait = max(self.max_fetch_wait, starts_at - self.now)
+        self.trace("fetch_reserved", starts_at=starts_at, done_at=done_at)
+        return done_at - self.now
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """A gateway-wide reset hits the device: the queue is lost.
+
+        Committed checkpoints survive (they are per-client persistent
+        state); everything in flight — reserved writes, the open batch —
+        is gone, so the device is immediately free for the recovery
+        FETCH storm.  Every client's in-flight records are aborted: live
+        endpoints already aborted theirs through the reset path (a
+        second abort is a no-op), and this catches writes queued by SAs
+        churned out before the crash, which would otherwise commit after
+        the queue died.
+        """
+        self.crashes += 1
+        self._busy_until = self.now
+        self._open_batch = None
+        for client in self._clients:
+            client.crash()
+        self.trace("device_crash")
+
+
+class SharedStoreClient(PersistentStore):
+    """One SA's checkpoint slot on a :class:`SharedStore`.
+
+    Value semantics (committed checkpoint, in-flight records, crash
+    aborting them) are inherited unchanged from
+    :class:`~repro.core.persistent.PersistentStore`; only *timing* is
+    delegated to the shared device, so a save commits when its reserved
+    device slot completes and a fetch charges the storm-queueing delay.
+    """
+
+    def __init__(
+        self,
+        shared: SharedStore,
+        name: str,
+        initial_value: int = 0,
+    ) -> None:
+        super().__init__(
+            shared.engine,
+            name,
+            t_save=shared.costs.t_save,
+            t_fetch=shared.costs.t_fetch,
+            initial_value=initial_value,
+        )
+        self.shared = shared
+        self._last_fetch_delay = shared.costs.t_fetch
+
+    def _save_commit_time(self) -> float:
+        """A SAVE commits when its reserved device slot completes."""
+        return self.shared.reserve_save()
+
+    def fetch(self) -> int:
+        """FETCH through the device queue; the delay is charged via
+        :meth:`fetch_delay` (callers always read value + delay together,
+        the :class:`~repro.core.sender.SaveFetchSender` wake pattern)."""
+        self._last_fetch_delay = self.shared.reserve_fetch()
+        return super().fetch()
+
+    def fetch_delay(self) -> float:
+        """Queueing delay reserved by the most recent :meth:`fetch`."""
+        return self._last_fetch_delay

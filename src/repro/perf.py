@@ -292,6 +292,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"FAILED: {len(failed)} benchmark(s) regressed more than "
               f"{float(baseline.get('tolerance', 0.20)):.0%} below baseline",
               file=sys.stderr)
+        print("if this change moved throughput intentionally, refresh the "
+              "baseline and commit the diff:\n"
+              f"  python -m repro.perf update {args.bench_json} "
+              f"--baseline {args.baseline}",
+              file=sys.stderr)
         return 1
     print("all gated benchmarks within tolerance")
     return 0

@@ -33,6 +33,14 @@ from repro.core.recovery import (
 )
 from repro.core.reset import reset_at_count, reset_during_save
 from repro.core.sender import SaveFetchSender, UnprotectedSender
+from repro.gateway import (
+    Gateway,
+    GatewayCrash,
+    GatewayFault,
+    RollingRestart,
+    SAChurn,
+    safe_save_interval,
+)
 from repro.ipsec.costs import CostModel, PAPER_COSTS
 from repro.net.adversary import ReplayAdversary
 from repro.net.link import Link
@@ -968,6 +976,225 @@ def run_loss_hole_scenario(
     }
 
 
+# ----------------------------------------------------------------------
+# Gateway scenarios (E15): correlated resets over a shared store
+# ----------------------------------------------------------------------
+def _gateway_recovery_slack(gateway: Gateway, extra_sas: int = 0) -> float:
+    """Extra quiet time the shared store's recovery queueing can add.
+
+    Bounded by every SA paying one policy-priced FETCH plus one
+    synchronous SAVE, serialized.  Zero for one SA, so the N=1 gateway
+    crash keeps exactly the single-pair scenario's schedule (the
+    golden-parity guarantee).
+    """
+    n_sas = len(gateway.sas) + extra_sas
+    return (n_sas - 1) * (gateway.store.fetch_cost + gateway.store.save_cost)
+
+
+def run_gateway_crash_scenario(
+    n_sas: int = 4,
+    side: str = "sender",
+    protected: bool = True,
+    k: int | None = None,
+    w: int = 64,
+    store_policy: str = "serial",
+    crash_after_sends: int = 500,
+    messages_after_reset: int = 500,
+    down_time: float | None = None,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    fault: GatewayFault | None = None,
+) -> dict[str, Any]:
+    """One gateway crash: every SA resets at one instant, recovery storms.
+
+    The per-SA story is exactly :func:`run_sender_reset_scenario` (same
+    trigger, traffic budget and horizon — with ``n_sas=1`` the flattened
+    per-SA report is bit-identical); the gateway story is what N adds:
+    the shared store serializes the wake-up FETCH storm, so the
+    ``recovery_spreads`` metric grows with N and shrinks under the
+    batched/write-ahead policies.
+
+    ``k=None`` applies the gateway sizing rule
+    (:func:`repro.gateway.safe_save_interval`) — the paper's 25 scaled
+    to the shared device; pin ``k=25`` at ``n_sas > 1`` under the serial
+    policy to watch the under-provisioned store break the 2K gap bound.
+    ``fault`` overrides the built-in :class:`~repro.gateway.GatewayCrash`
+    (e.g. an absolute-time trigger from a JSON campaign spec).
+    """
+    if k is None:
+        k = safe_save_interval(n_sas, costs, store_policy)
+    if down_time is None:
+        down_time = 2 * costs.t_save
+    gateway = Gateway(
+        n_sas=n_sas,
+        side=side,
+        protected=protected,
+        k=k,
+        w=w,
+        costs=costs,
+        store_policy=store_policy,
+        seed=seed,
+    )
+    if fault is None:
+        fault = GatewayCrash(after_sends=crash_after_sends, down_time=down_time)
+    else:
+        # The traffic budget and horizon must cover the fault that will
+        # actually run, not this scenario's defaults — otherwise an
+        # override with a long outage (or a late trigger) ends the run
+        # mid-recovery and the record claims convergence untested.
+        # (getattr: any GatewayFault kind is accepted here.)
+        if getattr(fault, "down_time", None) is not None:
+            down_time = fault.down_time
+        if getattr(fault, "after_sends", None) is not None:
+            crash_after_sends = fault.after_sends
+        elif getattr(fault, "at", None) is not None:
+            crash_after_sends = max(
+                crash_after_sends, int(fault.at / costs.t_send) + 1
+            )
+    fault.apply(gateway)
+    total_attempts = crash_after_sends + messages_after_reset
+    recovery_slack = _gateway_recovery_slack(gateway)
+    slack = int((2 * down_time + recovery_slack) / costs.t_send) + 10 * k
+    gateway.start_traffic(count=total_attempts + slack)
+    horizon = (
+        (total_attempts + slack + 10) * costs.t_send
+        + 10 * costs.t_save
+        + recovery_slack
+    )
+    gateway.run(until=horizon)
+    return gateway.score().metrics()
+
+
+def run_rolling_restart_scenario(
+    n_sas: int = 4,
+    side: str = "sender",
+    k: int | None = None,
+    w: int = 64,
+    store_policy: str = "serial",
+    restart_after_sends: int = 500,
+    stagger: float | None = None,
+    messages_after_reset: int = 500,
+    down_time: float | None = None,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    fault: GatewayFault | None = None,
+) -> dict[str, Any]:
+    """A restart wave: SA ``i`` resets ``i * stagger`` after the trigger.
+
+    The store stays up, so each recovering SA's FETCH and synchronous
+    SAVE contend with the *live* SAs' background saves instead of with a
+    storm of other recoveries — the operator's alternative to a cold
+    crash, and measurably gentler on the recovery spread.  ``k=None``
+    applies the gateway sizing rule (see
+    :func:`repro.gateway.safe_save_interval`).
+    """
+    if k is None:
+        k = safe_save_interval(n_sas, costs, store_policy)
+    if down_time is None:
+        down_time = 2 * costs.t_save
+    if stagger is None:
+        stagger = 2 * down_time
+    gateway = Gateway(
+        n_sas=n_sas,
+        side=side,
+        protected=True,
+        k=k,
+        w=w,
+        costs=costs,
+        store_policy=store_policy,
+        seed=seed,
+    )
+    if fault is None:
+        fault = RollingRestart(
+            after_sends=restart_after_sends, stagger=stagger, down_time=down_time
+        )
+    else:
+        # Budget/horizon follow the overriding fault (see gateway_crash).
+        if getattr(fault, "down_time", None) is not None:
+            down_time = fault.down_time
+        stagger = getattr(fault, "stagger", stagger)
+        if getattr(fault, "after_sends", None) is not None:
+            restart_after_sends = fault.after_sends
+        elif getattr(fault, "at", None) is not None:
+            restart_after_sends = max(
+                restart_after_sends, int(fault.at / costs.t_send) + 1
+            )
+    fault.apply(gateway)
+    total_attempts = restart_after_sends + messages_after_reset
+    wave = (n_sas - 1) * stagger + 2 * down_time
+    slack = int((wave + _gateway_recovery_slack(gateway)) / costs.t_send)
+    slack += 10 * k
+    gateway.start_traffic(count=total_attempts + slack)
+    horizon = (total_attempts + slack + 10) * costs.t_send + 10 * costs.t_save + wave
+    gateway.run(until=horizon)
+    return gateway.score().metrics()
+
+
+def run_sa_churn_scenario(
+    n_sas: int = 4,
+    side: str = "sender",
+    k: int | None = None,
+    w: int = 64,
+    store_policy: str = "serial",
+    messages: int = 600,
+    churn_cycles: int = 3,
+    churn_interval: float | None = None,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+    fault: GatewayFault | None = None,
+) -> dict[str, Any]:
+    """SA churn: tunnels are torn down and established mid-run.
+
+    No resets — the question is whether multiplexing is clean: every SA
+    (retired ones included) must converge with zero replays while
+    creation/teardown reshuffles the shared store's save schedule.
+    ``k=None`` sizes for the peak live SA count (initial plus one
+    mid-churn overlap).
+    """
+    if k is None:
+        k = safe_save_interval(n_sas + 1, costs, store_policy)
+    gateway = Gateway(
+        n_sas=n_sas,
+        side=side,
+        protected=True,
+        k=k,
+        w=w,
+        costs=costs,
+        store_policy=store_policy,
+        seed=seed,
+    )
+    stream_time = messages * costs.t_send
+    if churn_interval is None:
+        # All cycles land inside the middle half of the initial streams.
+        churn_interval = stream_time / (2 * max(1, churn_cycles))
+    churn_start = stream_time / 4
+    new_sa_messages = messages
+    if fault is None:
+        fault = SAChurn(
+            start=churn_start,
+            interval=churn_interval,
+            cycles=churn_cycles,
+            messages=messages,
+        )
+    else:
+        # Horizon follows the overriding fault (see gateway_crash).
+        churn_start = getattr(fault, "start", churn_start)
+        churn_interval = getattr(fault, "interval", churn_interval)
+        churn_cycles = getattr(fault, "cycles", churn_cycles)
+        new_sa_messages = getattr(fault, "messages", messages)
+    fault.apply(gateway)
+    gateway.start_traffic(count=messages)
+    horizon = (
+        churn_start
+        + churn_cycles * churn_interval
+        + (max(messages, new_sa_messages) + 10) * costs.t_send
+        + 10 * costs.t_save
+        + _gateway_recovery_slack(gateway, extra_sas=churn_cycles)
+    )
+    gateway.run(until=horizon)
+    return gateway.score().metrics()
+
+
 #: Stable scenario names for declarative drivers (fleet campaign specs
 #: and experiment sweeps).  Every ``run_*`` scenario callable in this
 #: module is reachable by name here.
@@ -985,6 +1212,9 @@ SCENARIOS: dict[str, Callable[..., "ScenarioResult | dict[str, Any]"]] = {
     "dpd": run_dpd_scenario,
     "save_policy": run_save_policy_scenario,
     "loss_hole": run_loss_hole_scenario,
+    "gateway_crash": run_gateway_crash_scenario,
+    "rolling_restart": run_rolling_restart_scenario,
+    "sa_churn": run_sa_churn_scenario,
 }
 
 

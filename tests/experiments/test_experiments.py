@@ -22,6 +22,7 @@ from repro.experiments import (
     e12_reset_notice,
     e13_dpd,
     e14_loss_robustness,
+    e15_gateway_convergence,
 )
 from repro.experiments.common import ExperimentResult, render_table
 
@@ -213,6 +214,27 @@ class TestE14:
         assert bursty["vulnerable_windows"] > 0
         assert bursty["sf_runs_with_replays"] > 0
         assert bursty["ceiling_runs_with_replays"] == 0
+
+
+class TestE15:
+    def test_policies_trade_spread_not_safety(self):
+        result = e15_gateway_convergence.run(
+            sa_counts=[1, 8],
+            crash_after_sends=100,
+            messages_after_reset=100,
+        )
+        assert all(row["converged"] for row in result.rows)
+        assert all(row["replays"] == 0 for row in result.rows)
+        by_cell = {(r["n_sas"], r["policy"]): r for r in result.rows}
+        # One SA: every policy degenerates to the paper's K=25, no spread.
+        assert by_cell[(1, "serial")]["k"] == 25
+        assert by_cell[(1, "serial")]["spread_us"] == 0
+        # Eight SAs: serial pays the FETCH storm, batching flattens it.
+        assert by_cell[(8, "serial")]["k"] == 200
+        assert by_cell[(8, "batched")]["k"] == 50
+        assert (by_cell[(8, "batched")]["spread_us"]
+                < by_cell[(8, "serial")]["spread_us"])
+        assert by_cell[(8, "batched")]["batched"] > 0
 
 
 class TestE12:

@@ -10,7 +10,7 @@ class TestRegistry:
     def test_every_paper_artifact_registered(self):
         expected = {
             "e01", "e02", "e03", "e04", "e05", "e06", "e06b", "e07",
-            "e08", "e09", "e10", "e11", "e12", "e13", "e14",
+            "e08", "e09", "e10", "e11", "e12", "e13", "e14", "e15",
         }
         assert expected <= set(REGISTRY)
 

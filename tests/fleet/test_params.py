@@ -8,12 +8,14 @@ import pytest
 from repro.fleet.runner import execute_task, scenario_metrics
 from repro.fleet.spec import (
     COSTMODEL_TAG,
+    GATEWAYFAULT_TAG,
     CampaignSpec,
     FleetTask,
     ScenarioGrid,
     decode_params,
     encode_params,
 )
+from repro.gateway import GatewayCrash, RollingRestart
 from repro.ipsec.costs import PAPER_COSTS, CostModel
 
 
@@ -121,3 +123,49 @@ class TestDictScenarios:
     def test_scenario_metrics_rejects_other_types(self):
         with pytest.raises(TypeError, match="expected a ScenarioResult"):
             scenario_metrics(42)
+
+
+class TestGatewayFaultCodec:
+    def test_fault_roundtrip_is_tagged_and_json_safe(self):
+        fault = GatewayCrash(at=0.002, down_time=0.0002)
+        encoded = encode_params({"n_sas": 4, "fault": fault})
+        assert set(encoded["fault"]) == {GATEWAYFAULT_TAG}
+        decoded = decode_params(json.loads(json.dumps(encoded)))
+        assert decoded["fault"] == fault
+        assert decode_params(encode_params({
+            "fault": RollingRestart(at=0.01, stagger=0.001)
+        }))["fault"] == RollingRestart(at=0.01, stagger=0.001)
+
+    def test_gateway_spec_json_roundtrip_preserves_fault(self):
+        spec = CampaignSpec(
+            name="gw",
+            grids=(ScenarioGrid(
+                scenario="gateway_crash",
+                params={
+                    "n_sas": [2, 4],
+                    "fault": GatewayCrash(after_sends=50, down_time=0.0002),
+                    "crash_after_sends": 50,
+                    "messages_after_reset": 50,
+                },
+            ),),
+        )
+        reloaded = CampaignSpec.from_json(spec.to_json())
+        assert reloaded.tasks() == spec.tasks()
+
+    def test_execute_task_applies_fault_from_json_params(self):
+        fault = GatewayCrash(at=0.0008, down_time=0.0002)
+        task = FleetTask(
+            task_id="gw0",
+            scenario="gateway_crash",
+            params=encode_params({
+                "n_sas": 2,
+                "fault": fault,
+                "crash_after_sends": 50,
+                "messages_after_reset": 50,
+            }),
+            seed=0,
+        )
+        record = execute_task(task)
+        assert record.status == "ok", record.error
+        assert record.metrics["gateway_crashes"] == 1
+        assert record.metrics["converged"] is True

@@ -43,7 +43,7 @@ class TestSmokeCampaign:
         assert len(records) == 20
         assert {r.status for r in records} == {STATUS_OK}
         assert {r.scenario for r in records} == {
-            "sender_reset", "receiver_reset", "loss_reset"
+            "sender_reset", "receiver_reset", "loss_reset", "gateway_crash"
         }
         assert all(r.metrics["converged"] for r in records)
         assert all(r.metrics["replays_accepted"] == 0 for r in records)

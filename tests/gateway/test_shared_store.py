@@ -1,0 +1,178 @@
+"""Unit tests for the shared persistence device (repro.gateway.store)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gateway.store import (
+    STORE_POLICIES,
+    WAL_APPEND_FRACTION,
+    WAL_SCAN_FACTOR,
+    SharedStore,
+    safe_save_interval,
+)
+from repro.ipsec.costs import PAPER_COSTS
+from repro.sim.engine import Engine
+from repro.sim.trace import NULL_TRACE
+
+T_SAVE = PAPER_COSTS.t_save
+T_FETCH = PAPER_COSTS.t_fetch
+
+
+def make_store(policy: str = "serial") -> tuple[Engine, SharedStore]:
+    engine = Engine(trace=NULL_TRACE)
+    return engine, SharedStore(engine, costs=PAPER_COSTS, policy=policy)
+
+
+class TestSerialPolicy:
+    def test_uncontended_save_matches_private_store_timing(self):
+        engine, store = make_store()
+        client = store.client("disk:p0", initial_value=1)
+        record = client.begin_save(10)
+        assert record.commit_due_at == pytest.approx(T_SAVE)
+        engine.run(until=T_SAVE)
+        assert record.committed
+        assert client.committed_value == 10
+
+    def test_contended_saves_serialize_fifo(self):
+        engine, store = make_store()
+        a = store.client("disk:p0")
+        b = store.client("disk:p1")
+        first = a.begin_save(5)
+        second = b.begin_save(7)
+        assert first.commit_due_at == pytest.approx(T_SAVE)
+        assert second.commit_due_at == pytest.approx(2 * T_SAVE)
+        engine.run(until=3 * T_SAVE)
+        assert a.committed_value == 5
+        assert b.committed_value == 7
+        assert store.max_save_wait == pytest.approx(T_SAVE)
+
+    def test_fetch_storm_queues(self):
+        _, store = make_store()
+        clients = [store.client(f"disk:p{i}") for i in range(4)]
+        delays = [client.shared.reserve_fetch() for client in clients]
+        assert delays == pytest.approx(
+            [T_FETCH, 2 * T_FETCH, 3 * T_FETCH, 4 * T_FETCH]
+        )
+        assert store.max_fetch_wait == pytest.approx(3 * T_FETCH)
+
+    def test_client_fetch_charges_queue_delay(self):
+        _, store = make_store()
+        a = store.client("disk:p0", initial_value=3)
+        b = store.client("disk:p1", initial_value=9)
+        assert a.fetch() == 3
+        assert b.fetch() == 9
+        assert a.fetch_delay() == pytest.approx(T_FETCH)
+        assert b.fetch_delay() == pytest.approx(2 * T_FETCH)
+
+    def test_values_stay_per_client(self):
+        engine, store = make_store()
+        a = store.client("disk:p0", initial_value=1)
+        b = store.client("disk:p1", initial_value=1)
+        a.begin_save(100)
+        b.begin_save(200)
+        engine.run(until=3 * T_SAVE)
+        assert (a.committed_value, b.committed_value) == (100, 200)
+
+
+class TestBatchedPolicy:
+    def test_saves_behind_busy_device_coalesce(self):
+        engine, store = make_store("batched")
+        clients = [store.client(f"disk:p{i}") for i in range(4)]
+        leader = clients[0].begin_save(1)  # device idle: starts writing now
+        followers = [c.begin_save(2) for c in clients[1:]]
+        # The three followers form one batch scheduled behind the leader.
+        assert leader.commit_due_at == pytest.approx(T_SAVE)
+        assert all(
+            record.commit_due_at == pytest.approx(2 * T_SAVE)
+            for record in followers
+        )
+        assert store.batches == 1
+        assert store.batched_saves == 2  # joins beyond the batch opener
+        assert store.device_writes == 2
+        engine.run(until=3 * T_SAVE)
+        assert all(c.committed_value == 2 for c in clients[1:])
+
+    def test_batch_closes_once_write_starts(self):
+        engine, store = make_store("batched")
+        a = store.client("disk:p0")
+        b = store.client("disk:p1")
+        a.begin_save(1)
+        batched = b.begin_save(2)  # waits, commits at 2 * T_SAVE
+        engine.run(until=batched.commit_due_at)
+        late = a.begin_save(3)  # batch already started: a fresh write
+        assert late.commit_due_at == pytest.approx(3 * T_SAVE)
+
+    def test_uncontended_batched_equals_serial(self):
+        _, store = make_store("batched")
+        client = store.client("disk:p0")
+        record = client.begin_save(4)
+        assert record.commit_due_at == pytest.approx(T_SAVE)
+        assert store.batches == 0
+
+
+class TestWriteAheadPolicy:
+    def test_append_is_cheap_and_fetch_is_expensive(self):
+        _, store = make_store("write_ahead")
+        client = store.client("disk:p0")
+        record = client.begin_save(4)
+        assert record.commit_due_at == pytest.approx(
+            T_SAVE * WAL_APPEND_FRACTION
+        )
+        client.fetch()
+        assert client.fetch_delay() == pytest.approx(
+            T_SAVE * WAL_APPEND_FRACTION + T_FETCH * WAL_SCAN_FACTOR
+        )
+
+
+class TestCrash:
+    def test_device_crash_frees_the_queue(self):
+        _, store = make_store()
+        a = store.client("disk:p0")
+        a.begin_save(5)
+        a.begin_save(6)
+        store.crash()
+        a.crash()  # endpoint-side abort of a's in-flight records
+        assert not a.save_in_flight
+        # The recovery fetch finds an idle device.
+        a.fetch()
+        assert a.fetch_delay() == pytest.approx(T_FETCH)
+
+    def test_client_crash_leaves_other_clients_in_flight(self):
+        engine, store = make_store()
+        a = store.client("disk:p0")
+        b = store.client("disk:p1")
+        a.begin_save(5)
+        record_b = b.begin_save(7)
+        a.crash()
+        assert not a.save_in_flight
+        assert b.save_in_flight
+        engine.run(until=3 * T_SAVE)
+        assert record_b.committed
+        assert b.committed_value == 7
+        assert a.committed_value == 0  # aborted save never committed
+
+
+class TestSizingRule:
+    def test_one_sa_is_the_papers_interval_for_every_policy(self):
+        for policy in STORE_POLICIES:
+            assert safe_save_interval(1, policy=policy) == 25
+
+    def test_serial_scales_linearly(self):
+        assert safe_save_interval(4) == 100
+        assert safe_save_interval(50) == 1250
+
+    def test_batched_caps_at_two_saves(self):
+        assert safe_save_interval(4, policy="batched") == 50
+        assert safe_save_interval(50, policy="batched") == 50
+
+    def test_write_ahead_scales_by_append_fraction(self):
+        assert safe_save_interval(16, policy="write_ahead") == 100
+        assert safe_save_interval(50, policy="write_ahead") == 313
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown store policy"):
+            safe_save_interval(4, policy="mmap")
+        engine = Engine(trace=NULL_TRACE)
+        with pytest.raises(ValueError, match="unknown store policy"):
+            SharedStore(engine, policy="mmap")

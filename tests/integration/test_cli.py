@@ -56,6 +56,36 @@ class TestCli:
         assert store.stat().st_size == size_after_first
         assert "E13" in capsys.readouterr().out
 
+    def test_gateway_compares_all_policies(self, capsys):
+        args = ["gateway", "--sas", "4", "--crash-after", "80",
+                "--messages", "80"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        for policy in ("serial", "batched", "write_ahead"):
+            assert policy in out
+        assert "spread" in out
+
+    def test_gateway_pinned_policy(self, capsys):
+        args = ["gateway", "--sas", "2", "--policy", "batched",
+                "--crash-after", "60", "--messages", "60"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "batched" in out and "serial" not in out
+
+    def test_gateway_rejects_zero_sas(self, capsys):
+        assert main(["gateway", "--sas", "0"]) == 2
+        assert "--sas must be >= 1" in capsys.readouterr().err
+
+    def test_gateway_rejects_bad_crash_after(self, capsys):
+        assert main(["gateway", "--crash-after", "0"]) == 2
+        assert "--crash-after must be >= 1" in capsys.readouterr().err
+
+    def test_fleet_sample_includes_gateway_grid(self, capsys):
+        assert main(["fleet", "--sample"]) == 0
+        out = capsys.readouterr().out
+        assert '"gateway_crash"' in out
+        assert '"store_policy"' in out
+
     def test_check_small_budget(self, capsys):
         assert main(["check", "--budget", "3000"]) == 0
         out = capsys.readouterr().out

@@ -129,7 +129,7 @@ class TestScenarioRegistry:
             "sender_reset", "receiver_reset", "dual_reset", "loss_reset",
             "reorder", "rekey", "staggered_reset", "prolonged_reset",
             "recovery_ablation", "reset_notice", "dpd", "save_policy",
-            "loss_hole",
+            "loss_hole", "gateway_crash", "rolling_restart", "sa_churn",
         }
 
     def test_every_run_callable_is_registered(self):
