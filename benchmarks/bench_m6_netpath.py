@@ -1,0 +1,99 @@
+"""Bench M6 — netpath overhead: regime switching vs the static link.
+
+The same reference workload (one protected pair, a clocked stream, no
+faults) three ways:
+
+* ``bench_static_link`` — the pre-netpath fixed channel (``path=None``):
+  the baseline hot path.
+* ``bench_static_profile`` — a single-phase static
+  :class:`~repro.netpath.PathProfile`.  Resolved at link construction,
+  so it must run the *same* hot path; any gap here is pure regression.
+* ``bench_regime_switching`` — a two-phase cycling profile whose
+  boundaries land every ``k`` messages, forcing hundreds of regime
+  transitions (model swap + timeline step) across the stream.  The
+  acceptance bar is <= 10% overhead vs the static link.
+
+Also runnable standalone, printing the comparison directly::
+
+    PYTHONPATH=src python benchmarks/bench_m6_netpath.py
+"""
+
+from __future__ import annotations
+
+from repro import perf
+from repro.core.protocol import build_protocol
+from repro.ipsec.costs import PAPER_COSTS
+from repro.net.delay import FixedDelay
+from repro.netpath import PathPhase, PathProfile
+from repro.sim.trace import NULL_TRACE
+
+MESSAGES = 20_000
+HORIZON = (MESSAGES + 10) * PAPER_COSTS.t_send + 10 * PAPER_COSTS.t_save
+
+#: Phase length: 50 messages of stream time, so the switching profile
+#: takes ~MESSAGES/50 = 400 transitions over the run.
+PHASE_SECONDS = 50 * PAPER_COSTS.t_send
+
+STATIC_PROFILE = PathProfile.static()
+
+SWITCHING_PROFILE = PathProfile(
+    cycle=True,
+    phases=(
+        PathPhase("calm", duration=PHASE_SECONDS),
+        PathPhase("jittery", duration=PHASE_SECONDS, delay=FixedDelay(0.0)),
+    ),
+)
+
+
+def _run(path: PathProfile | None) -> None:
+    harness = build_protocol(trace=NULL_TRACE, path=path)
+    harness.sender.start_traffic(count=MESSAGES)
+    harness.run(until=HORIZON)
+    report = harness.score()
+    assert report.audit.delivered_uids == MESSAGES, report.summary()
+
+
+def bench_static_link(benchmark, report_rate):
+    benchmark.pedantic(lambda: _run(None), rounds=3, iterations=1, warmup_rounds=1)
+    report_rate("msgs/s", MESSAGES)
+
+
+def bench_static_profile(benchmark, report_rate):
+    benchmark.pedantic(
+        lambda: _run(STATIC_PROFILE), rounds=3, iterations=1, warmup_rounds=1
+    )
+    report_rate("msgs/s", MESSAGES)
+
+
+def bench_regime_switching(benchmark, report_rate):
+    benchmark.pedantic(
+        lambda: _run(SWITCHING_PROFILE), rounds=3, iterations=1, warmup_rounds=1
+    )
+    report_rate("msgs/s", MESSAGES)
+
+
+def main() -> None:
+    print(f"netpath overhead, {MESSAGES} messages per run "
+          f"(switching profile transitions every 50 messages)")
+    results: dict[str, float] = {}
+    for name, path in (
+        ("static link (no profile)", None),
+        ("static single-phase profile", STATIC_PROFILE),
+        ("regime switching (cycling)", SWITCHING_PROFILE),
+    ):
+        _run(path)  # warmup
+        with perf.Stopwatch() as clock:
+            _run(path)
+        report = perf.measure_rate(name, "msgs/s", MESSAGES, clock.elapsed)
+        results[name] = report.rate
+        print(f"  {report.format()}")
+    base = results["static link (no profile)"]
+    for name, rate in results.items():
+        if name == "static link (no profile)":
+            continue
+        overhead = (base - rate) / base * 100.0
+        print(f"  {name}: {overhead:+.1f}% vs static link")
+
+
+if __name__ == "__main__":
+    main()

@@ -66,6 +66,15 @@ from repro.ipsec.replay_window import ArrayReplayWindow, BitmapReplayWindow, Ver
 from repro.ipsec.replay_window_blocked import BlockedReplayWindow
 from repro.ipsec.stack import IpsecStack
 from repro.net.adversary import ReplayAdversary
+from repro.netpath import (
+    NatGate,
+    NatRebinding,
+    PathFlap,
+    PathOutage,
+    PathPhase,
+    PathProfile,
+    RegimeShift,
+)
 from repro.sim.engine import Engine, EngineEventLimitError
 
 __version__ = "1.0.0"
@@ -86,10 +95,17 @@ __all__ = [
     "FleetSummary",
     "FleetTask",
     "IpsecStack",
+    "NatGate",
+    "NatRebinding",
     "PAPER_COSTS",
+    "PathFlap",
+    "PathOutage",
+    "PathPhase",
+    "PathProfile",
     "PersistentStore",
     "ProlongedResetSession",
     "ProtocolHarness",
+    "RegimeShift",
     "RekeyOutcome",
     "RekeySimulation",
     "ReplayAdversary",

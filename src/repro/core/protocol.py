@@ -18,6 +18,7 @@ tests start here::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.audit import DeliveryAuditor
 from repro.core.ceiling import CeilingReceiver, CeilingSender
@@ -35,6 +36,9 @@ from repro.net.reorder import DegreeReorderStage
 from repro.sim.engine import Engine
 from repro.sim.metrics import MetricSet
 from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (no import cycle)
+    from repro.netpath.profile import PathProfile
 
 
 @dataclass
@@ -134,6 +138,8 @@ def build_protocol(
     engine: Engine | None = None,
     sender_store: PersistentStore | None = None,
     receiver_store: PersistentStore | None = None,
+    path: "PathProfile | None" = None,
+    sender_address: str | None = None,
 ) -> ProtocolHarness:
     """Build a ready-to-run p -> q anti-replay simulation.
 
@@ -177,6 +183,14 @@ def build_protocol(
             a gateway passes clients of its
             :class:`~repro.gateway.SharedStore` so SAVE/FETCH contend
             for one device.  Ignored by the unprotected variant.
+        path: optional :class:`~repro.netpath.PathProfile` making the
+            link's conditions time-varying; phase models override
+            ``delay``/``loss`` while active.  A static single-phase
+            profile is byte-identical to the default fixed channel.
+        sender_address: the sender's initial network binding, stamped
+            on every packet's ``src`` (default None — address-less, the
+            paper's model).  NAT scenarios set it so a
+            :class:`~repro.netpath.NatRebinding` has something to move.
 
     Returns:
         A :class:`ProtocolHarness` with every component exposed.
@@ -244,6 +258,7 @@ def build_protocol(
         loss=loss if loss is not None else NoLoss(),
         seed=seed * 7919 + 1,
         fifo=fifo_link,
+        path=path,
     )
 
     pipe: PacketPipe = link
@@ -270,6 +285,7 @@ def build_protocol(
             auditor=auditor,
             sa=sender_sa,
             encap=encap,
+            address=sender_address,
         )
     elif variant == "ceiling":
         sender = CeilingSender(
@@ -282,6 +298,7 @@ def build_protocol(
             auditor=auditor,
             sa=sender_sa,
             encap=encap,
+            address=sender_address,
         )
     else:
         sender = UnprotectedSender(
@@ -292,6 +309,7 @@ def build_protocol(
             auditor=auditor,
             sa=sender_sa,
             encap=encap,
+            address=sender_address,
         )
 
     adversary: ReplayAdversary | None = None

@@ -104,6 +104,11 @@ class BaseSender(SimProcess):
         sa: security association for ESP/AH encapsulation.
         encap: ``"plain"`` (default), ``"esp"`` or ``"ah"``.
         payload: application payload placed in every message.
+        address: the sender's current network binding, stamped on every
+            fresh packet's ``src`` (default ``None`` — the paper's
+            address-less model).  A NAT rebinding
+            (:class:`repro.netpath.NatRebinding`) reassigns it mid-run;
+            packets sealed earlier keep the old binding.
     """
 
     def __init__(
@@ -116,6 +121,7 @@ class BaseSender(SimProcess):
         sa: SecurityAssociation | None = None,
         encap: str = "plain",
         payload: bytes = b"",
+        address: str | None = None,
     ) -> None:
         super().__init__(engine, name)
         self.pipe = pipe
@@ -124,6 +130,7 @@ class BaseSender(SimProcess):
         self.sa = sa
         self.encap = encap
         self.payload = payload
+        self.address = address
         # Volatile protocol state (erased by a reset).
         self.s = 1  # next sequence number to be sent, initially 1 (paper)
         self.wait = False
@@ -174,7 +181,10 @@ class BaseSender(SimProcess):
 
     def _transmit(self) -> None:
         uid = next(_uid_counter)
-        packet = seal(self.encap, self.sa, self.s, self.payload, self.now, uid)
+        packet = seal(
+            self.encap, self.sa, self.s, self.payload, self.now, uid,
+            src=self.address,
+        )
         if self.auditor is not None:
             self.auditor.register_send(packet, uid)
         if self.traced:

@@ -32,6 +32,8 @@ e13         supplementary — dead-peer detection time vs probe cadence
 e14         extension — replay exposure under bursty loss (loss hole)
 e15         extension — gateway-scale convergence: N SAs, one crash,
             one shared store (SA count x write-policy sweep)
+e16         extension — path dynamics: flaps, mobile handovers and NAT
+            rebindings crossed with the reset schedule
 ==========  ==========================================================
 """
 

@@ -98,6 +98,13 @@ def sweep(
                 "~(N-1) x t_fetch; group commit flattens it; write-ahead "
                 "trades cheap appends for 4x recovery scans"
             )
+        built.append(
+            "t_save here is the paper's load-independent upper bound; "
+            "SharedStore(load_factor=f) adds f x queue-wait to each write's "
+            "duration (load-dependent t_save, default off) — under it an "
+            "under-provisioned serial store degrades super-linearly, so the "
+            "sizing rule's margin matters, not just its sign"
+        )
         return built
 
     return SweepSpec(

@@ -37,6 +37,7 @@ from repro.experiments import (
     e13_dpd,
     e14_loss_robustness,
     e15_gateway_convergence,
+    e16_path_dynamics,
 )
 from repro.experiments.common import ExperimentResult
 from repro.experiments.sweep import ExperimentDriver, SweepSpec
@@ -71,6 +72,7 @@ EXPERIMENTS: dict[str, Callable[[], SweepSpec]] = {
         burst_levels=[0.0, 0.005, 0.02, 0.05], seeds=8
     ),
     "e15": lambda: e15_gateway_convergence.sweep(sa_counts=[1, 4, 16, 50]),
+    "e16": lambda: e16_path_dynamics.sweep(scale=300),
 }
 
 

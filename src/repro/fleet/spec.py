@@ -24,6 +24,8 @@ from typing import Any, Iterator, Mapping, Sequence
 
 from repro.gateway.faults import GatewayFault, fault_from_dict
 from repro.ipsec.costs import CostModel
+from repro.netpath.faults import PathFault, path_fault_from_dict
+from repro.netpath.profile import PathProfile
 from repro.util.rng import derive_seed, make_rng
 from repro.util.validation import check_positive
 from repro.workloads.scenarios import SCENARIOS
@@ -41,20 +43,32 @@ COSTMODEL_TAG = "__costmodel__"
 #: ``RollingRestart``, ``SAChurn`` — the ``kind`` field dispatches).
 GATEWAYFAULT_TAG = "__gatewayfault__"
 
+#: Tag key marking a JSON-encoded :class:`~repro.netpath.PathProfile`.
+PATHPROFILE_TAG = "__pathprofile__"
+
+#: Tag key marking a JSON-encoded path fault (``PathOutage``,
+#: ``PathFlap``, ``RegimeShift``, ``NatRebinding`` — ``kind`` dispatches).
+PATHFAULT_TAG = "__pathfault__"
+
 
 def encode_param_value(value: Any) -> Any:
     """JSON-safe encoding of one scenario kwarg.
 
-    :class:`CostModel` instances and gateway faults become tagged dicts
-    so per-task cost overrides and fault schedules survive the JSONL
-    result store and hand-written campaign spec files; tuples become
-    lists (what JSON would do anyway), keeping in-memory and from-disk
+    :class:`CostModel` instances, gateway faults, path profiles and path
+    faults become tagged dicts so per-task cost overrides, fault
+    schedules and time-varying path timelines survive the JSONL result
+    store and hand-written campaign spec files; tuples become lists
+    (what JSON would do anyway), keeping in-memory and from-disk
     expansions identical.
     """
     if isinstance(value, CostModel):
         return {COSTMODEL_TAG: {k: v for k, v in vars(value).items()}}
     if isinstance(value, GatewayFault):
         return {GATEWAYFAULT_TAG: value.to_dict()}
+    if isinstance(value, PathProfile):
+        return {PATHPROFILE_TAG: value.to_dict()}
+    if isinstance(value, PathFault):
+        return {PATHFAULT_TAG: value.to_dict()}
     if isinstance(value, (tuple, list)):
         return [encode_param_value(item) for item in value]
     if isinstance(value, Mapping):
@@ -69,6 +83,10 @@ def decode_param_value(value: Any) -> Any:
             return CostModel(**value[COSTMODEL_TAG])
         if set(value) == {GATEWAYFAULT_TAG}:
             return fault_from_dict(value[GATEWAYFAULT_TAG])
+        if set(value) == {PATHPROFILE_TAG}:
+            return PathProfile.from_dict(value[PATHPROFILE_TAG])
+        if set(value) == {PATHFAULT_TAG}:
+            return path_fault_from_dict(value[PATHFAULT_TAG])
         return {k: decode_param_value(v) for k, v in value.items()}
     if isinstance(value, list):
         return [decode_param_value(item) for item in value]

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING, Mapping
+
 from repro.core.convergence import score_run
 from repro.core.protocol import ProtocolHarness, build_protocol
 from repro.core.receiver import BaseReceiver
@@ -31,10 +33,14 @@ from repro.core.sender import BaseSender
 from repro.gateway.report import GatewayReport, SAOutcome
 from repro.gateway.store import SharedStore, safe_save_interval
 from repro.ipsec.costs import CostModel, PAPER_COSTS
+from repro.netpath.faults import PathEnv, PathFault
 from repro.sim.engine import Engine
 from repro.sim.trace import NULL_TRACE, TraceRecorder
 from repro.util.rng import derive_seed
 from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netpath.profile import PathProfile
 
 #: Sides of an SA a gateway can terminate.
 GATEWAY_SIDES = ("sender", "receiver")
@@ -99,6 +105,16 @@ class Gateway:
         trace: trace recorder for a fresh engine (default
             :data:`~repro.sim.trace.NULL_TRACE` — gateways are
             batch-scale; pass a recording ``TraceRecorder()`` to debug).
+        path: optional :class:`~repro.netpath.PathProfile` every SA's
+            link follows (each SA binds its own timeline under its own
+            derived seed).
+        sa_paths: per-SA profile overrides, SA index -> profile — how a
+            path impairment hits *one* SA of N while the rest stay on
+            ``path`` (or the fixed channel).  Applies to SAs created by
+            churn too (indices keep counting up).
+        store_load_factor: forwarded to
+            :class:`~repro.gateway.store.SharedStore` — load-dependent
+            SAVE duration (0.0 = the paper's fixed upper bound).
     """
 
     def __init__(
@@ -115,6 +131,9 @@ class Gateway:
         skip_wake_save: bool = False,
         engine: Engine | None = None,
         trace: TraceRecorder | None = None,
+        path: "PathProfile | None" = None,
+        sa_paths: "Mapping[int, PathProfile] | None" = None,
+        store_load_factor: float = 0.0,
     ) -> None:
         check_positive("n_sas", n_sas)
         if side not in GATEWAY_SIDES:
@@ -134,8 +153,11 @@ class Gateway:
         self.engine = engine if engine is not None else Engine(
             trace=trace if trace is not None else NULL_TRACE
         )
+        self.path = path
+        self.sa_paths = dict(sa_paths) if sa_paths is not None else {}
         self.store = SharedStore(
-            self.engine, "store:gateway", costs=costs, policy=store_policy
+            self.engine, "store:gateway", costs=costs, policy=store_policy,
+            load_factor=store_load_factor,
         )
         self.sas: list[SAUnit] = []
         self.crash_times: list[float] = []
@@ -175,6 +197,7 @@ class Gateway:
             receiver_name=f"q{index}",
             sender_store=store_client if self.side == "sender" else None,
             receiver_store=store_client if self.side == "receiver" else None,
+            path=self.sa_paths.get(index, self.path),
         )
         unit = SAUnit(
             index=index,
@@ -240,6 +263,24 @@ class Gateway:
         for unit in self.live_sas():
             unit.gateway_end.reset(down_for=down_for)
         self.store.crash()
+
+    def path_env(self, sa_index: int) -> PathEnv:
+        """The :class:`~repro.netpath.PathEnv` of one SA — what a path
+        fault may touch.  Unlike the correlated gateway faults, a path
+        fault is per-SA: an outage or NAT rebinding hits one tunnel of N
+        while the siblings keep converging undisturbed."""
+        for unit in self.sas:
+            if unit.index == sa_index:
+                return PathEnv(
+                    engine=self.engine,
+                    link=unit.harness.link,
+                    sender=unit.harness.sender,
+                )
+        raise KeyError(f"gateway has no SA with index {sa_index}")
+
+    def apply_path_fault(self, sa_index: int, fault: PathFault) -> None:
+        """Arm one path fault against one SA's path."""
+        fault.apply(self.path_env(sa_index))
 
     # ------------------------------------------------------------------
     # Scoring

@@ -116,6 +116,16 @@ class SharedStore(SimProcess):
         name: trace name, e.g. ``"store:gateway"``.
         costs: the paper's cost model (``t_save`` / ``t_fetch``).
         policy: one of :data:`STORE_POLICIES`.
+        load_factor: load-dependent SAVE duration (default 0.0 = off).
+            The paper treats ``t_save`` as a load-independent upper
+            bound; on a real contended device a write takes longer the
+            deeper the queue in front of it.  With ``load_factor = f``,
+            a SAVE that must wait ``w`` seconds for the device costs
+            ``save_cost + f * w`` of device time once it starts — i.e.
+            duration grows linearly with queue depth (the wait *is* the
+            queue depth times the per-op cost).  ``f > 0`` makes an
+            under-provisioned store degrade super-linearly, which is
+            exactly the regime the E15 sizing-rule note warns about.
     """
 
     def __init__(
@@ -124,6 +134,7 @@ class SharedStore(SimProcess):
         name: str = "store:gateway",
         costs: CostModel = PAPER_COSTS,
         policy: str = "serial",
+        load_factor: float = 0.0,
     ) -> None:
         super().__init__(engine, name)
         if policy not in STORE_POLICIES:
@@ -131,8 +142,11 @@ class SharedStore(SimProcess):
             raise ValueError(
                 f"unknown store policy {policy!r}; known policies: {known}"
             )
+        if load_factor < 0:
+            raise ValueError(f"load_factor must be >= 0, got {load_factor}")
         self.costs = costs
         self.policy = policy
+        self.load_factor = load_factor
         self._busy_until = 0.0
         self._open_batch: _OpenBatch | None = None
         self._clients: list[SharedStoreClient] = []
@@ -194,10 +208,15 @@ class SharedStore(SimProcess):
             self.trace("save_batched", commits_at=batch.commits_at)
             return batch.commits_at
         starts_at = max(self.now, self._busy_until)
-        commits_at = starts_at + self.save_cost
+        cost = self.save_cost
+        if self.load_factor:
+            # Load-dependent duration: the wait ahead of this write is
+            # queue depth in time units; the write slows proportionally.
+            cost += self.load_factor * (starts_at - self.now)
+        commits_at = starts_at + cost
         self._busy_until = commits_at
         self.device_writes += 1
-        self.busy_time += self.save_cost
+        self.busy_time += cost
         self.max_save_wait = max(self.max_save_wait, starts_at - self.now)
         if self.policy == "batched" and starts_at > self.now:
             # The write waits for the device: it is joinable until it starts.

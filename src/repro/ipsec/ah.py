@@ -23,6 +23,9 @@ class AhPacket:
     seq: int
     payload: bytes
     icv: bytes
+    #: Outer-header source address (NOT covered by the ICV — a NAT
+    #: rewrites it in flight; see ``repro.netpath.nat``).
+    src: str | None = None
 
     def __repr__(self) -> str:
         return f"ah(spi={self.spi:#x}, seq={self.seq})"
@@ -32,10 +35,16 @@ def _auth_data(spi: int, seq: int, payload: bytes) -> bytes:
     return b"AH" + spi.to_bytes(8, "big") + encode_seq(seq) + payload
 
 
-def ah_seal(sa: SecurityAssociation, seq: int, payload: bytes) -> AhPacket:
-    """Authenticate ``payload`` as sequence number ``seq``."""
+def ah_seal(
+    sa: SecurityAssociation, seq: int, payload: bytes, src: str | None = None
+) -> AhPacket:
+    """Authenticate ``payload`` as sequence number ``seq``.
+
+    ``src`` rides the (unauthenticated) outer header: integrity holds
+    regardless of the address a NAT stamped on the packet.
+    """
     icv = hmac_digest(sa.auth_key, _auth_data(sa.spi, seq, payload))
-    return AhPacket(spi=sa.spi, seq=seq, payload=payload, icv=icv)
+    return AhPacket(spi=sa.spi, seq=seq, payload=payload, icv=icv, src=src)
 
 
 def ah_open(sa: SecurityAssociation, packet: AhPacket) -> bytes:

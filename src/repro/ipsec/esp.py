@@ -28,6 +28,9 @@ class EspPacket:
     seq: int
     ciphertext: bytes
     icv: bytes
+    #: Outer-header source address (NOT covered by the ICV — a NAT
+    #: rewrites it in flight; see ``repro.netpath.nat``).
+    src: str | None = None
 
     def __repr__(self) -> str:
         return f"esp(spi={self.spi:#x}, seq={self.seq})"
@@ -37,12 +40,18 @@ def _auth_data(spi: int, seq: int, ciphertext: bytes) -> bytes:
     return spi.to_bytes(8, "big") + encode_seq(seq) + ciphertext
 
 
-def esp_seal(sa: SecurityAssociation, seq: int, payload: bytes) -> EspPacket:
-    """Encrypt and authenticate ``payload`` as sequence number ``seq``."""
+def esp_seal(
+    sa: SecurityAssociation, seq: int, payload: bytes, src: str | None = None
+) -> EspPacket:
+    """Encrypt and authenticate ``payload`` as sequence number ``seq``.
+
+    ``src`` rides the (unauthenticated) outer header: integrity holds
+    regardless of the address a NAT stamped on the packet.
+    """
     nonce = encode_seq(seq)
     ciphertext = xor_stream(sa.enc_key, payload, nonce=nonce)
     icv = hmac_digest(sa.auth_key, _auth_data(sa.spi, seq, ciphertext))
-    return EspPacket(spi=sa.spi, seq=seq, ciphertext=ciphertext, icv=icv)
+    return EspPacket(spi=sa.spi, seq=seq, ciphertext=ciphertext, icv=icv, src=src)
 
 
 def esp_open(sa: SecurityAssociation, packet: EspPacket) -> bytes:

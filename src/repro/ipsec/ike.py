@@ -83,6 +83,41 @@ class IkeConfig:
     proposal: str = "esp-hmac-sha256"
 
 
+class SerialCompute:
+    """One CPU's crypto timeline, shared by concurrent negotiations.
+
+    The sequential rekey train of E7 models a single-CPU host implicitly
+    (one negotiation at a time).  A *rekey storm* — N renegotiations in
+    flight at once after a gateway reset — needs the contention modeled
+    explicitly: DH exponentiations and PRF evaluations from different
+    sessions serialize on the host CPU exactly like SAVE/FETCH requests
+    serialize on the shared store device.  Same FIFO-reservation shape
+    as :class:`repro.gateway.store.SharedStore`: an operation issued
+    while the CPU is busy starts late, and its *wall* duration is the
+    queue wait plus its own compute.
+
+    Wire one instance into every peer living on the recovering host
+    (``compute=`` on the peer constructors); remote responders each get
+    their own CPU (or ``None`` — uncontended, the E7 behaviour).
+    """
+
+    def __init__(self) -> None:
+        self._busy_until = 0.0
+        self.operations = 0
+        self.busy_time = 0.0
+        self.max_wait = 0.0
+
+    def reserve(self, now: float, duration: float) -> float:
+        """Reserve ``duration`` of CPU starting FIFO-earliest; returns
+        the wall-clock delay until the operation completes."""
+        self.operations += 1
+        starts_at = max(now, self._busy_until)
+        self._busy_until = starts_at + duration
+        self.busy_time += duration
+        self.max_wait = max(self.max_wait, starts_at - now)
+        return self._busy_until - now
+
+
 @dataclass
 class IkeResult:
     """Outcome of one completed negotiation."""
@@ -112,12 +147,14 @@ class _IkePeer(SimProcess):
         config: IkeConfig | None = None,
         seed: int | None = None,
         on_complete: Callable[[IkeResult], None] | None = None,
+        compute: SerialCompute | None = None,
     ) -> None:
         super().__init__(engine, name)
         self.peer_name = peer_name
         self.send_fn = send_fn
         self.config = config if config is not None else IkeConfig()
         self.on_complete = on_complete
+        self.compute = compute
         self._rng = make_rng(seed)
         self.result: IkeResult | None = None
         # Per-session negotiation state.
@@ -148,7 +185,13 @@ class _IkePeer(SimProcess):
         self.result = None
 
     def _send_after(self, compute: float, step: int, **body: Any) -> None:
-        """Charge ``compute`` virtual time, then transmit message ``step``."""
+        """Charge ``compute`` virtual time, then transmit message ``step``.
+
+        With a shared :class:`SerialCompute`, the charge is a FIFO CPU
+        reservation: the wall delay includes the queue wait in front of
+        it (a rekey storm's contention).  Without one, compute runs
+        uncontended — the E7 sequential-train behaviour, unchanged.
+        """
         self._compute_time += compute
 
         def transmit() -> None:
@@ -164,7 +207,12 @@ class _IkePeer(SimProcess):
             self.send_fn(message)
 
         if compute > 0:
-            self.call_later(compute, transmit)
+            delay = (
+                self.compute.reserve(self.now, compute)
+                if self.compute is not None
+                else compute
+            )
+            self.call_later(delay, transmit)
         else:
             transmit()
 
@@ -319,12 +367,16 @@ def negotiate(
     responder_link_send: Callable[[IkeMessage], None],
     config: IkeConfig | None = None,
     seed: int = 0,
+    initiator_compute: SerialCompute | None = None,
+    responder_compute: SerialCompute | None = None,
 ) -> tuple[IkeInitiator, IkeResponder]:
     """Wire up an initiator/responder pair over caller-supplied links.
 
     The caller connects each peer's ``on_receive`` to the corresponding
     link sink and then calls :meth:`IkeInitiator.start`.  Provided as a
-    convenience for experiments; see E7.
+    convenience for experiments; see E7.  The optional
+    :class:`SerialCompute` queues model CPU contention — pass one shared
+    ``initiator_compute`` to every pair of a rekey storm.
     """
     initiator = IkeInitiator(
         engine,
@@ -333,6 +385,7 @@ def negotiate(
         initiator_link_send,
         config=config,
         seed=seed * 2 + 1,
+        compute=initiator_compute,
     )
     responder = IkeResponder(
         engine,
@@ -341,5 +394,6 @@ def negotiate(
         responder_link_send,
         config=config,
         seed=seed * 2 + 2,
+        compute=responder_compute,
     )
     return initiator, responder

@@ -31,6 +31,22 @@ _spi_counter = itertools.count(0x1000)
 AUTH_ALG = "hmac-sha256"
 ENC_ALG = "xor-stream-sim"
 
+#: Peer-address rebinding policies (RFC 3947/4555-style NAT handling,
+#: simulation form; enforced by the SAD and by
+#: :class:`repro.netpath.NatGate`):
+#:
+#: * ``"static"`` — addresses are ignored entirely (the paper's model:
+#:   an SA names hosts, not network bindings).
+#: * ``"strict"`` — the SA is pinned to the address it was established
+#:   from; traffic from any other source is dropped.  Safe, but a NAT
+#:   rebinding mid-SA silently kills the tunnel.
+#: * ``"rebind_on_valid"`` — MOBIKE-style: the binding moves to a new
+#:   source address the first time a packet from it passes the
+#:   anti-replay window.  In-flight packets from the old binding are
+#:   still processed — the window, not the address, remains the replay
+#:   authority.
+REBIND_POLICIES = ("static", "strict", "rebind_on_valid")
+
 
 @dataclass(frozen=True)
 class SecurityAssociation:
@@ -47,6 +63,11 @@ class SecurityAssociation:
         created_at: simulated establishment time.
         generation: how many times this (p, q, direction) SA slot has been
             re-established; the IETF-rekey baseline bumps it.
+        rebind_policy: what happens when the peer's *network binding*
+            (not its identity) changes mid-SA — one of
+            :data:`REBIND_POLICIES`.  Stable like the other attributes:
+            the policy is negotiated at establishment, the *current*
+            binding is volatile state tracked by the SAD.
     """
 
     spi: int
@@ -59,6 +80,14 @@ class SecurityAssociation:
     lifetime_seconds: float = 3600.0
     created_at: float = 0.0
     generation: int = 0
+    rebind_policy: str = "static"
+
+    def __post_init__(self) -> None:
+        if self.rebind_policy not in REBIND_POLICIES:
+            raise ValueError(
+                f"unknown rebind policy {self.rebind_policy!r}; "
+                f"expected one of {REBIND_POLICIES}"
+            )
 
     def expired(self, now: float) -> bool:
         """Whether the soft lifetime has elapsed at simulated time ``now``."""
@@ -95,6 +124,7 @@ def make_sa(
     generation: int = 0,
     master_secret: bytes | None = None,
     spi: int | None = None,
+    rebind_policy: str = "static",
 ) -> SecurityAssociation:
     """Create one unidirectional SA with fresh (seeded) key material.
 
@@ -124,6 +154,7 @@ def make_sa(
         lifetime_seconds=lifetime_seconds,
         created_at=now,
         generation=generation,
+        rebind_policy=rebind_policy,
     )
 
 
@@ -135,6 +166,7 @@ def make_sa_pair(
     lifetime_seconds: float = 3600.0,
     generation: int = 0,
     master_secret: bytes | None = None,
+    rebind_policy: str = "static",
 ) -> SaPair:
     """Create the forward (a->b) and backward (b->a) SAs of a conversation."""
     rng = make_rng(seed_or_rng)
@@ -149,6 +181,7 @@ def make_sa_pair(
             lifetime_seconds=lifetime_seconds,
             generation=generation,
             master_secret=master_secret,
+            rebind_policy=rebind_policy,
         ),
         backward=make_sa(
             host_b,
@@ -158,5 +191,6 @@ def make_sa_pair(
             lifetime_seconds=lifetime_seconds,
             generation=generation,
             master_secret=master_secret,
+            rebind_policy=rebind_policy,
         ),
     )

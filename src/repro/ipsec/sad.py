@@ -5,6 +5,13 @@ processing by ``(src, dst)``.  The database also supports bulk deletion for
 a peer — the operation the IETF reset remedy performs ("the entire IPsec SA
 should be deleted and reestablished once the reset is detected"), whose
 cost E7 measures when a host holds many SAs.
+
+The SAD also tracks each SA's *current peer network binding* — the
+address the peer last spoke from.  The binding is volatile SA state
+(like the window, unlike the keys) and moves only as the SA's
+``rebind_policy`` allows (see :data:`repro.ipsec.sa.REBIND_POLICIES`):
+a NAT rebinding mid-SA is a :meth:`rebind_peer` call that the
+``rebind_on_valid`` policy honours and ``static``/``strict`` refuse.
 """
 
 from __future__ import annotations
@@ -19,6 +26,11 @@ class SecurityAssociationDatabase:
 
     def __init__(self) -> None:
         self._by_spi: dict[tuple[int, str], SecurityAssociation] = {}
+        self._peer_binding: dict[tuple[int, str], str] = {}
+        #: Peer rebindings honoured so far (NAT traversal statistics).
+        self.rebinds = 0
+        #: Rebind attempts refused by the SA's policy.
+        self.rebinds_refused = 0
 
     def __len__(self) -> int:
         return len(self._by_spi)
@@ -48,7 +60,35 @@ class SecurityAssociationDatabase:
 
     def remove(self, sa: SecurityAssociation) -> bool:
         """Delete one SA; returns whether it was present."""
+        self._peer_binding.pop((sa.spi, sa.dst), None)
         return self._by_spi.pop((sa.spi, sa.dst), None) is not None
+
+    # ------------------------------------------------------------------
+    # Peer network bindings (NAT traversal)
+    # ------------------------------------------------------------------
+    def bind_peer(self, sa: SecurityAssociation, address: str) -> None:
+        """Record the address the SA's peer is (initially) speaking from."""
+        self._peer_binding[(sa.spi, sa.dst)] = address
+
+    def peer_binding(self, sa: SecurityAssociation) -> str | None:
+        """The peer's current network binding (``None`` if never bound)."""
+        return self._peer_binding.get((sa.spi, sa.dst))
+
+    def rebind_peer(self, sa: SecurityAssociation, new_address: str) -> bool:
+        """Move the SA's peer binding to ``new_address``, policy permitting.
+
+        Returns whether the binding moved.  ``static`` SAs have no
+        binding to move (addresses are ignored), ``strict`` SAs refuse
+        (the tunnel is pinned), ``rebind_on_valid`` SAs honour the move
+        — the caller is responsible for only invoking this after the
+        new address produced a window-valid packet.
+        """
+        if sa.rebind_policy != "rebind_on_valid":
+            self.rebinds_refused += 1
+            return False
+        self._peer_binding[(sa.spi, sa.dst)] = new_address
+        self.rebinds += 1
+        return True
 
     def remove_peer(self, host_a: str, host_b: str) -> int:
         """Delete every SA between two hosts (either direction).
@@ -63,6 +103,7 @@ class SecurityAssociationDatabase:
         ]
         for key in doomed:
             del self._by_spi[key]
+            self._peer_binding.pop(key, None)
         return len(doomed)
 
     def sas_involving(self, host: str) -> list[SecurityAssociation]:

@@ -4,11 +4,17 @@ A delay model samples the one-way latency of each packet.  On a link with
 ``fifo=False`` (the default — IP does not guarantee ordering), independent
 per-packet jitter is what produces natural reordering.  For *controlled*
 reorder degrees, use :class:`repro.net.reorder.DegreeReorderStage` instead.
+
+Every model round-trips through a tagged plain dict (:meth:`DelayModel.to_dict`
+/ :func:`delay_from_dict`), which is how :class:`repro.netpath.PathProfile`
+phases travel through JSON campaign specs and the fleet result store.
 """
 
 from __future__ import annotations
 
+import json
 import random
+from typing import Any, Mapping
 
 from repro.util.validation import check_non_negative
 
@@ -16,13 +22,30 @@ from repro.util.validation import check_non_negative
 class DelayModel:
     """Base class: samples a one-way delay per packet."""
 
+    #: Stable tag used by the JSON codec (set per subclass).
+    kind: str = ""
+
     def sample(self, rng: random.Random) -> float:
         """Return the delay (seconds, >= 0) for the next packet."""
         raise NotImplementedError
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form: the ``kind`` tag plus the constructor kwargs."""
+        return {"kind": self.kind, **vars(self)}
+
+    # Structural equality over the serialised form, so profiles and
+    # faults holding models compare by configuration, not identity.
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.to_dict() == self.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(json.dumps(self.to_dict(), sort_keys=True))
+
 
 class FixedDelay(DelayModel):
     """Every packet takes exactly ``latency`` seconds (no reordering)."""
+
+    kind = "fixed"
 
     def __init__(self, latency: float = 0.0) -> None:
         self.latency = check_non_negative("latency", latency)
@@ -36,6 +59,8 @@ class FixedDelay(DelayModel):
 
 class UniformJitterDelay(DelayModel):
     """Delay uniformly distributed in ``[base, base + jitter]``."""
+
+    kind = "uniform_jitter"
 
     def __init__(self, base: float, jitter: float) -> None:
         self.base = check_non_negative("base", base)
@@ -55,6 +80,8 @@ class ExponentialJitterDelay(DelayModel):
     which is the regime Experiment E10 sweeps.
     """
 
+    kind = "exponential_jitter"
+
     def __init__(self, base: float, mean_jitter: float) -> None:
         self.base = check_non_negative("base", base)
         self.mean_jitter = check_non_negative("mean_jitter", mean_jitter)
@@ -65,3 +92,19 @@ class ExponentialJitterDelay(DelayModel):
 
     def __repr__(self) -> str:
         return f"ExponentialJitterDelay(base={self.base}, mean_jitter={self.mean_jitter})"
+
+
+#: kind tag -> delay class (the JSON codec's dispatch table).
+DELAY_KINDS: dict[str, type[DelayModel]] = {
+    cls.kind: cls for cls in (FixedDelay, UniformJitterDelay, ExponentialJitterDelay)
+}
+
+
+def delay_from_dict(data: Mapping[str, Any]) -> DelayModel:
+    """Rebuild a delay model from its :meth:`DelayModel.to_dict` form."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    if kind not in DELAY_KINDS:
+        known = ", ".join(sorted(DELAY_KINDS))
+        raise ValueError(f"unknown delay model kind {kind!r}; known: {known}")
+    return DELAY_KINDS[kind](**payload)

@@ -15,18 +15,47 @@ taking the packet).  Optional pieces:
 * **fifo=True** forces in-order delivery (delivery time is clamped to be
   monotone), modelling the paper's "no message reorder occurs" hypothesis
   in claim (i).
+* **path**: a :class:`~repro.netpath.PathProfile` makes the link's
+  conditions *time-varying* — an ordered timeline of delay/loss/up
+  regimes the link steps through lazily, per offered packet.  A static
+  single-phase profile resolves at construction and runs the exact
+  fixed-channel hot path (golden-parity pinned); path faults
+  (:mod:`repro.netpath.faults`) drive the :meth:`Link.path_down` /
+  :meth:`Link.path_up` / :meth:`Link.shift_regime` hooks.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Protocol
 
-from repro.net.delay import DelayModel, FixedDelay
+from repro.net.delay import DelayModel, FixedDelay, delay_from_dict
 from repro.net.icmp import IcmpMessage, IcmpType
-from repro.net.loss import LossModel, NoLoss
+from repro.net.loss import LossModel, NoLoss, loss_from_dict
 from repro.sim.engine import Engine
 from repro.sim.process import SimProcess
 from repro.util.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard (repro.netpath
+    # imports repro.net; the runtime coupling here is duck-typed via
+    # PathProfile.bind() so no import cycle exists)
+    from repro.netpath.profile import PathPhase, PathProfile
+
+
+class _RegimeView:
+    """Adapter presenting a bare phase to :meth:`Link._apply_regime`
+    with freshly cloned models (same semantics as a profile transition)."""
+
+    __slots__ = ("delay", "loss", "up", "fifo")
+
+    def __init__(self, phase: "PathPhase") -> None:
+        self.delay = (
+            None if phase.delay is None else delay_from_dict(phase.delay.to_dict())
+        )
+        self.loss = (
+            None if phase.loss is None else loss_from_dict(phase.loss.to_dict())
+        )
+        self.up = phase.up
+        self.fifo = phase.fifo
 
 #: A tap receives ``(time, packet, injected)`` for every packet offered to
 #: the link; ``injected`` is True for adversary insertions.
@@ -56,6 +85,10 @@ class Link(SimProcess):
             destination is down and offered packets are undeliverable.
         icmp_sink: optional callable receiving :class:`IcmpMessage` when a
             packet is undeliverable.
+        path: optional :class:`~repro.netpath.PathProfile`.  Phase
+            models override ``delay``/``loss`` while active (``None``
+            fields inherit them); a static profile resolves here and
+            adds nothing to the hot path.
     """
 
     def __init__(
@@ -69,6 +102,7 @@ class Link(SimProcess):
         fifo: bool = False,
         availability: Callable[[], bool] | None = None,
         icmp_sink: Callable[[IcmpMessage], None] | None = None,
+        path: "PathProfile | None" = None,
     ) -> None:
         super().__init__(engine, name)
         self.sink = sink
@@ -86,6 +120,25 @@ class Link(SimProcess):
         self.delivered = 0
         self.undeliverable = 0
         self.injected = 0
+        self.blackholed = 0
+        self.regime_shifts = 0
+        # Path dynamics.  The base models are what phases with delay=None
+        # / loss=None fall back to; _path_up is the profile's up flag,
+        # _forced_down a depth counter driven by PathOutage/PathFlap.
+        self.path_profile = path
+        self._base_delay = self.delay
+        self._base_loss = self.loss
+        self._base_fifo = fifo
+        self._path_up = True
+        self._forced_down = 0
+        self._timeline = None
+        if path is not None:
+            timeline = path.bind(seed)
+            self._apply_regime(timeline)
+            # Static profiles resolve once; only a timeline that will
+            # actually transition earns the per-packet check.
+            if not timeline.is_static:
+                self._timeline = timeline
 
     # ------------------------------------------------------------------
     # Taps
@@ -115,10 +168,64 @@ class Link(SimProcess):
         self.injected += 1
         self._transmit(packet, injected=True)
 
+    # ------------------------------------------------------------------
+    # Path dynamics
+    # ------------------------------------------------------------------
+    def _apply_regime(self, regime: Any) -> None:
+        """Adopt a timeline/phase-like regime (duck-typed: ``delay``,
+        ``loss``, ``up``, ``fifo`` attributes, ``None`` = inherit)."""
+        self.delay = regime.delay if regime.delay is not None else self._base_delay
+        self.loss = regime.loss if regime.loss is not None else self._base_loss
+        self.fifo = regime.fifo if regime.fifo is not None else self._base_fifo
+        self._path_up = regime.up
+
+    @property
+    def path_is_up(self) -> bool:
+        """Whether packets offered right now would traverse the path."""
+        return self._path_up and not self._forced_down
+
+    @property
+    def path_transitions(self) -> int:
+        """Profile phase transitions taken so far (0 without a profile)."""
+        return self._timeline.transitions if self._timeline is not None else 0
+
+    def path_down(self) -> None:
+        """A fault blackholes the path (nestable; see :meth:`path_up`)."""
+        self._forced_down += 1
+        self.trace("path_down", depth=self._forced_down)
+
+    def path_up(self) -> None:
+        """Undo one :meth:`path_down`; the path carries again at depth 0."""
+        if self._forced_down > 0:
+            self._forced_down -= 1
+        self.trace("path_up", depth=self._forced_down)
+
+    def shift_regime(self, phase: "PathPhase") -> None:
+        """Switch the link's conditions to ``phase`` immediately.
+
+        A profile transition scheduled later still overrides — a shift
+        splices a regime into the timeline, it does not replace it.  The
+        phase's models enter fresh (same clone semantics as a profile
+        transition); its duration/jitter are ignored.
+        """
+        self.regime_shifts += 1
+        self._apply_regime(_RegimeView(phase))
+        self.trace("regime_shift", phase=phase.name)
+
     def _transmit(self, packet: Any, injected: bool) -> None:
         self.offered += 1
         for tap in self._taps:
             tap(self.now, packet, injected)
+        timeline = self._timeline
+        if timeline is not None and self.now >= timeline.next_change:
+            timeline.advance(self.now)
+            self._apply_regime(timeline)
+        if self._forced_down or not self._path_up:
+            self.blackholed += 1
+            self.dropped += 1
+            if self.traced:
+                self.trace("blackhole", packet=repr(packet), injected=injected)
+            return
         if self.loss.should_drop(self._rng):
             self.dropped += 1
             if self.traced:

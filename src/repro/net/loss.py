@@ -4,18 +4,27 @@ A loss model answers one question per packet: drop it or not.  Models are
 stateful where the model demands it (Gilbert-Elliott), and every stochastic
 decision draws from the :class:`random.Random` handed in by the link, never
 from global state.
+
+Every model round-trips through a tagged plain dict (:meth:`LossModel.to_dict`
+/ :func:`loss_from_dict`) so :class:`repro.netpath.PathProfile` phases can
+carry loss regimes through JSON campaign specs.  Only *construction
+parameters* are serialised — a decoded model starts in its reset state.
 """
 
 from __future__ import annotations
 
+import json
 import random
-from typing import Iterable
+from typing import Any, Iterable, Mapping
 
 from repro.util.validation import check_probability
 
 
 class LossModel:
     """Base class: decides, per packet, whether the link drops it."""
+
+    #: Stable tag used by the JSON codec (set per subclass).
+    kind: str = ""
 
     def should_drop(self, rng: random.Random) -> bool:
         """Return ``True`` if the next packet should be dropped."""
@@ -24,9 +33,23 @@ class LossModel:
     def reset(self) -> None:
         """Reset internal state (for models that have any)."""
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form: the ``kind`` tag plus the constructor kwargs."""
+        return {"kind": self.kind}
+
+    # Structural equality over the serialised form, so profiles and
+    # faults holding models compare by configuration, not identity.
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.to_dict() == self.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(json.dumps(self.to_dict(), sort_keys=True))
+
 
 class NoLoss(LossModel):
     """A perfectly reliable link."""
+
+    kind = "none"
 
     def should_drop(self, rng: random.Random) -> bool:
         return False
@@ -35,11 +58,16 @@ class NoLoss(LossModel):
 class BernoulliLoss(LossModel):
     """Independent per-packet loss with probability ``p``."""
 
+    kind = "bernoulli"
+
     def __init__(self, p: float) -> None:
         self.p = check_probability("p", p)
 
     def should_drop(self, rng: random.Random) -> bool:
         return rng.random() < self.p
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "p": self.p}
 
     def __repr__(self) -> str:
         return f"BernoulliLoss(p={self.p})"
@@ -60,6 +88,8 @@ class GilbertElliottLoss(LossModel):
         loss_good: drop probability while GOOD (often 0).
         loss_bad: drop probability while BAD (often near 1).
     """
+
+    kind = "gilbert_elliott"
 
     def __init__(
         self,
@@ -92,6 +122,15 @@ class GilbertElliottLoss(LossModel):
     def reset(self) -> None:
         self._in_bad_state = False
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "p_good_to_bad": self.p_good_to_bad,
+            "p_bad_to_good": self.p_bad_to_good,
+            "loss_good": self.loss_good,
+            "loss_bad": self.loss_bad,
+        }
+
     def __repr__(self) -> str:
         return (
             f"GilbertElliottLoss(g2b={self.p_good_to_bad}, b2g={self.p_bad_to_good}, "
@@ -106,9 +145,14 @@ class DeterministicLoss(LossModel):
     (e.g. "lose exactly the first fresh message after the receiver wakes").
     """
 
+    kind = "deterministic"
+
     def __init__(self, drop_indices: Iterable[int]) -> None:
         self.drop_indices = frozenset(int(i) for i in drop_indices)
         self._next_index = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "drop_indices": sorted(self.drop_indices)}
 
     def should_drop(self, rng: random.Random) -> bool:
         index = self._next_index
@@ -121,3 +165,20 @@ class DeterministicLoss(LossModel):
     def __repr__(self) -> str:
         shown = sorted(self.drop_indices)[:8]
         return f"DeterministicLoss({shown}{'...' if len(self.drop_indices) > 8 else ''})"
+
+
+#: kind tag -> loss class (the JSON codec's dispatch table).
+LOSS_KINDS: dict[str, type[LossModel]] = {
+    cls.kind: cls
+    for cls in (NoLoss, BernoulliLoss, GilbertElliottLoss, DeterministicLoss)
+}
+
+
+def loss_from_dict(data: Mapping[str, Any]) -> LossModel:
+    """Rebuild a loss model (in its reset state) from its ``to_dict`` form."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    if kind not in LOSS_KINDS:
+        known = ", ".join(sorted(LOSS_KINDS))
+        raise ValueError(f"unknown loss model kind {kind!r}; known: {known}")
+    return LOSS_KINDS[kind](**payload)

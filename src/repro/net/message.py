@@ -26,12 +26,19 @@ class Message:
         meta: free-form annotations (never interpreted by protocol logic;
             used by experiments, e.g. ``{"epoch": 0}`` to mark pre-reset
             traffic).
+        src: source address the packet was sent from (``None`` — the
+            paper's address-less model — unless the sender is given an
+            address).  A NAT rebinding changes the sender's address
+            mid-SA, so packets sealed before the rebinding keep the old
+            binding: exactly the in-flight traffic that exercises the
+            receiver-side rebinding policy (:mod:`repro.netpath.nat`).
     """
 
     seq: int
     payload: bytes = b""
     sent_at: float = 0.0
     meta: tuple[tuple[str, Any], ...] = field(default=())
+    src: str | None = None
 
     def with_meta(self, **annotations: Any) -> "Message":
         """Return a copy with extra ``meta`` annotations appended."""
@@ -40,6 +47,7 @@ class Message:
             payload=self.payload,
             sent_at=self.sent_at,
             meta=self.meta + tuple(sorted(annotations.items())),
+            src=self.src,
         )
 
     def get_meta(self, key: str, default: Any = None) -> Any:

@@ -1,0 +1,59 @@
+"""Time-varying network paths: profiles, path faults, NAT rebinding.
+
+The paper's channel is fixed for the lifetime of an SA.  Deployed SAs
+live on paths that change mid-SA: loss/delay regimes shift, routes flap
+and blackhole, and NAT rebindings move the peer's network address while
+in-flight (and adversary-recorded) packets still carry the old one.
+This package makes those conditions first-class, schedulable simulation
+objects:
+
+* :mod:`~repro.netpath.profile` — :class:`PathPhase` /
+  :class:`PathProfile`: an ordered, seed-deterministic timeline of
+  delay/loss/up regimes a :class:`~repro.net.link.Link` steps through.
+  A static single-phase profile is byte-identical to the fixed channel
+  (golden-parity pinned by ``tests/netpath/test_netpath_parity.py``).
+* :mod:`~repro.netpath.faults` — :class:`PathOutage`,
+  :class:`PathFlap`, :class:`RegimeShift`, :class:`NatRebinding`: the
+  injected path events, JSON-round-trippable through fleet campaign
+  specs (the ``__pathfault__`` / ``__pathprofile__`` tags in
+  :mod:`repro.fleet.spec`).
+* :mod:`~repro.netpath.nat` — :class:`NatGate`: the receiver-side
+  peer-address check enforcing an SA's rebinding policy
+  (:data:`repro.ipsec.sa.REBIND_POLICIES`), with the authoritative
+  binding in the SAD when the SA layer is wired.
+
+Scenarios ``nat_rebinding``, ``path_flap`` and ``mobile_handover``
+(registry names in :data:`repro.workloads.SCENARIOS`) run the stories
+end to end; E16 sweeps phase pattern x reset schedule;
+``python -m repro netpath`` is the CLI demo;
+``benchmarks/bench_m6_netpath.py`` pins the regime-switching overhead
+against the static link.
+"""
+
+from repro.netpath.faults import (
+    PATH_FAULT_KINDS,
+    NatRebinding,
+    PathEnv,
+    PathFault,
+    PathFlap,
+    PathOutage,
+    RegimeShift,
+    path_fault_from_dict,
+)
+from repro.netpath.nat import NatGate
+from repro.netpath.profile import PathPhase, PathProfile, PathTimeline
+
+__all__ = [
+    "NatGate",
+    "NatRebinding",
+    "PATH_FAULT_KINDS",
+    "PathEnv",
+    "PathFault",
+    "PathFlap",
+    "PathOutage",
+    "PathPhase",
+    "PathProfile",
+    "PathTimeline",
+    "RegimeShift",
+    "path_fault_from_dict",
+]

@@ -1,0 +1,228 @@
+"""Schedulable path faults: outages, flaps, regime shifts, NAT rebinds.
+
+Where a :class:`~repro.netpath.profile.PathProfile` declares the path's
+*planned* timeline, a path fault is an *injected* event — the netpath
+analogue of :mod:`repro.core.reset` (endpoint faults) and
+:mod:`repro.gateway.faults` (correlated gateway faults).  Four kinds,
+each a frozen dataclass with a dict round-trip so fleet campaign specs
+carry them as JSON (the ``__pathfault__`` tag in
+:mod:`repro.fleet.spec`):
+
+* :class:`PathOutage` — a blackhole window: from ``at`` for
+  ``duration`` seconds every packet offered to the link vanishes
+  (counted in ``Link.blackholed``), with none of the ICMP courtesy an
+  *availability* outage produces.  Routing failures look like this.
+* :class:`PathFlap` — a repeating outage: ``cycles`` down/up periods, a
+  route that cannot make up its mind.
+* :class:`RegimeShift` — the path's conditions change: at ``at`` the
+  link adopts the given :class:`~repro.netpath.profile.PathPhase`'s
+  delay/loss models (congestion onset, a failover onto a longer route).
+* :class:`NatRebinding` — the sender's network binding changes mid-SA:
+  packets sealed afterwards carry the new source address, in-flight and
+  adversary-recorded packets keep the old one, and the receiver-side
+  policy (:class:`~repro.netpath.nat.NatGate`) decides what that means.
+
+Faults are armed with :meth:`PathFault.apply` against a
+:class:`PathEnv` — the slice of a wired harness a fault can touch.
+Triggers are an absolute time (``at``) or, for :class:`NatRebinding`, a
+sender traffic count (``after_sends``), mirroring
+:func:`repro.core.reset.reset_at_count`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.core.reset import call_at_count
+from repro.netpath.profile import PathPhase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sender import BaseSender
+    from repro.net.link import Link
+    from repro.netpath.nat import NatGate
+    from repro.sim.engine import Engine
+
+
+@dataclass
+class PathEnv:
+    """What a path fault may act on: the link, and (for NAT rebindings)
+    the sender whose binding changes.  Scenarios build one per harness;
+    the gateway builds one per SA so a fault can hit one SA of N."""
+
+    engine: "Engine"
+    link: "Link | None" = None
+    sender: "BaseSender | None" = None
+    gate: "NatGate | None" = None
+
+    def require_link(self, fault: "PathFault") -> "Link":
+        if self.link is None:
+            raise ValueError(f"{type(fault).__name__} needs a link in its PathEnv")
+        return self.link
+
+    def require_sender(self, fault: "PathFault") -> "BaseSender":
+        if self.sender is None:
+            raise ValueError(f"{type(fault).__name__} needs a sender in its PathEnv")
+        return self.sender
+
+
+class PathFault:
+    """Base for the path fault kinds (dict round-trip + arming)."""
+
+    kind: str = ""
+
+    def apply(self, env: PathEnv) -> None:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, **vars(self)}
+
+
+@dataclass(frozen=True)
+class PathOutage(PathFault):
+    """One blackhole window on the path.
+
+    Attributes:
+        at: when the window opens (absolute simulated time).
+        duration: how long it stays open.
+    """
+
+    at: float
+    duration: float
+
+    kind = "outage"
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"outage duration must be > 0, got {self.duration}")
+
+    def apply(self, env: PathEnv) -> None:
+        link = env.require_link(self)
+        env.engine.call_at(self.at, link.path_down)
+        env.engine.call_at(self.at + self.duration, link.path_up)
+
+
+@dataclass(frozen=True)
+class PathFlap(PathFault):
+    """A repeating outage: ``cycles`` down/up periods starting at ``at``.
+
+    Attributes:
+        at: start of the first down window.
+        down_time: length of each blackhole window.
+        up_time: carrying time between windows.
+        cycles: how many down/up periods.
+    """
+
+    at: float
+    down_time: float
+    up_time: float
+    cycles: int = 1
+
+    kind = "flap"
+
+    def __post_init__(self) -> None:
+        if self.down_time <= 0 or self.up_time <= 0:
+            raise ValueError(
+                f"flap down_time/up_time must be > 0, got "
+                f"{self.down_time}/{self.up_time}"
+            )
+        if self.cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {self.cycles}")
+
+    @property
+    def period(self) -> float:
+        return self.down_time + self.up_time
+
+    @property
+    def ends_at(self) -> float:
+        """When the last down window closes."""
+        return self.at + (self.cycles - 1) * self.period + self.down_time
+
+    def apply(self, env: PathEnv) -> None:
+        link = env.require_link(self)
+        for cycle in range(self.cycles):
+            start = self.at + cycle * self.period
+            env.engine.call_at(start, link.path_down)
+            env.engine.call_at(start + self.down_time, link.path_up)
+
+
+@dataclass(frozen=True)
+class RegimeShift(PathFault):
+    """The path's conditions change at one instant.
+
+    The link adopts ``phase``'s delay/loss/fifo/up immediately; a
+    later transition of an attached :class:`PathProfile` still
+    overrides (a shift splices, it does not replace the timeline).
+    """
+
+    at: float
+    phase: PathPhase
+
+    kind = "regime_shift"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.phase, PathPhase):
+            object.__setattr__(self, "phase", PathPhase.from_dict(self.phase))
+
+    def apply(self, env: PathEnv) -> None:
+        link = env.require_link(self)
+        env.engine.call_at(self.at, link.shift_regime, self.phase)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "at": self.at, "phase": self.phase.to_dict()}
+
+
+@dataclass(frozen=True)
+class NatRebinding(PathFault):
+    """The sender's network binding changes mid-SA.
+
+    Attributes:
+        new_address: the binding after the change.
+        after_sends / at: the trigger (exactly one) — a sender traffic
+            count or an absolute time.
+    """
+
+    new_address: str
+    after_sends: int | None = None
+    at: float | None = None
+
+    kind = "nat_rebinding"
+
+    def __post_init__(self) -> None:
+        if not self.new_address:
+            raise ValueError("new_address must be non-empty")
+        # Validate at construction, not at apply(): a misconfigured fault
+        # must fail while the campaign spec is being authored, not after
+        # it expanded into a worker deep inside a fleet run.
+        if (self.at is None) == (self.after_sends is None):
+            raise ValueError(
+                "NatRebinding needs exactly one trigger: 'at' (absolute "
+                "time) or 'after_sends' (sender traffic count)"
+            )
+
+    def apply(self, env: PathEnv) -> None:
+        sender = env.require_sender(self)
+
+        def rebind() -> None:
+            sender.address = self.new_address
+
+        if self.at is not None:
+            env.engine.call_at(self.at, rebind)
+        else:
+            call_at_count(sender, self.after_sends, rebind)
+
+
+#: kind tag -> fault class (the JSON codec's dispatch table).
+PATH_FAULT_KINDS: dict[str, type[PathFault]] = {
+    cls.kind: cls for cls in (PathOutage, PathFlap, RegimeShift, NatRebinding)
+}
+
+
+def path_fault_from_dict(data: Mapping[str, Any]) -> PathFault:
+    """Rebuild a path fault from its :meth:`PathFault.to_dict` form."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    if kind not in PATH_FAULT_KINDS:
+        known = ", ".join(sorted(PATH_FAULT_KINDS))
+        raise ValueError(f"unknown path fault kind {kind!r}; known: {known}")
+    return PATH_FAULT_KINDS[kind](**payload)

@@ -1,0 +1,275 @@
+"""Time-varying network paths: phases, profiles, and their runtime.
+
+The paper's convergence argument assumes one fixed channel between
+sender and receiver; real paths change mid-SA — loss/delay regimes
+shift, blackhole windows open, routes flap.  A :class:`PathProfile`
+makes link conditions first-class, schedulable simulation objects: an
+ordered timeline of :class:`PathPhase` regimes (each a delay model, a
+loss model, an up/down flag and an optional FIFO override) that a
+:class:`~repro.net.link.Link` steps through as simulated time advances.
+
+Three properties the rest of the stack depends on:
+
+* **Static parity** — a single-phase profile with no end time *is* the
+  paper's fixed channel: the link resolves it at construction and runs
+  the exact pre-netpath hot path, byte-identical results included
+  (pinned by ``tests/netpath/test_netpath_parity.py``).
+* **Determinism per seed** — phase boundaries may carry jitter; every
+  jittered duration is drawn from an RNG derived from the link seed via
+  the spawn-key scheme, so the whole timeline is a pure function of
+  ``(profile, seed)`` regardless of process or worker count.
+* **JSON round-trip** — profiles serialise to tagged plain dicts
+  (delay/loss models via their ``to_dict`` codecs), so fleet campaign
+  specs carry them like any other scenario parameter (see the
+  ``__pathprofile__`` tag in :mod:`repro.fleet.spec`).
+
+Phase transitions are evaluated *lazily*, per offered packet: the link
+checks ``now >= timeline.next_change`` before applying its loss/delay
+models.  No extra engine events exist for transitions, so a profile adds
+zero event-heap pressure and the static case adds one integer compare.
+Packets already in flight when a phase ends were priced by the regime
+that carried them — a delivery is not retroactively re-priced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.net.delay import DelayModel, delay_from_dict
+from repro.net.loss import LossModel, loss_from_dict
+from repro.util.rng import derive_seed, make_rng
+
+
+def _clone_delay(model: DelayModel) -> DelayModel:
+    """Fresh equivalent of ``model`` (profiles may be shared across links)."""
+    return delay_from_dict(model.to_dict())
+
+
+def _clone_loss(model: LossModel) -> LossModel:
+    """Fresh equivalent of ``model``, in its reset state."""
+    return loss_from_dict(model.to_dict())
+
+
+@dataclass(frozen=True)
+class PathPhase:
+    """One regime of a time-varying path.
+
+    Attributes:
+        name: label for traces, logs and experiment rows.
+        duration: how long the phase lasts (seconds).  ``None`` means
+            "until the end of the run" and is only allowed for the final
+            phase of a non-cycling profile.
+        delay: delay model while the phase is active; ``None`` inherits
+            the link's base model (state preserved across phases).
+        loss: loss model while the phase is active; ``None`` inherits
+            the link's base model.  Non-``None`` models are entered
+            *fresh* (a Gilbert-Elliott phase starts GOOD on every
+            entry).
+        up: ``False`` makes the phase a blackhole window — every packet
+            offered while it is active is silently dropped (counted in
+            ``Link.blackholed``), the deployment-visible signature of a
+            routing outage.
+        fifo: ``True``/``False`` overrides the link's in-order clamp for
+            the phase (a reorder regime); ``None`` keeps the link's
+            setting.
+        jitter: fraction of ``duration`` by which the realised length
+            varies, uniformly in ``[-jitter, +jitter]``, drawn per entry
+            from the timeline's seed-derived RNG.
+    """
+
+    name: str
+    duration: float | None = None
+    delay: DelayModel | None = None
+    loss: LossModel | None = None
+    up: bool = True
+    fifo: bool | None = None
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("phase name must be non-empty")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"phase duration must be > 0, got {self.duration}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.jitter > 0 and self.duration is None:
+            raise ValueError("a terminal phase (duration=None) cannot jitter")
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"name": self.name, "duration": self.duration}
+        if self.delay is not None:
+            data["delay"] = self.delay.to_dict()
+        if self.loss is not None:
+            data["loss"] = self.loss.to_dict()
+        if not self.up:
+            data["up"] = False
+        if self.fifo is not None:
+            data["fifo"] = self.fifo
+        if self.jitter:
+            data["jitter"] = self.jitter
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PathPhase":
+        return cls(
+            name=data["name"],
+            duration=data.get("duration"),
+            delay=(
+                delay_from_dict(data["delay"]) if data.get("delay") is not None else None
+            ),
+            loss=(
+                loss_from_dict(data["loss"]) if data.get("loss") is not None else None
+            ),
+            up=data.get("up", True),
+            fifo=data.get("fifo"),
+            jitter=data.get("jitter", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class PathProfile:
+    """An ordered timeline of path regimes.
+
+    Attributes:
+        phases: the regimes, entered in order starting at ``t = 0``.
+        cycle: after the last phase ends, loop back to the first
+            (periodic conditions — flapping routes, diurnal load).
+            Requires every phase to carry a duration.
+    """
+
+    phases: tuple[PathPhase, ...]
+    cycle: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "phases", tuple(
+            phase if isinstance(phase, PathPhase) else PathPhase.from_dict(phase)
+            for phase in self.phases
+        ))
+        if not self.phases:
+            raise ValueError("a path profile needs at least one phase")
+        for index, phase in enumerate(self.phases):
+            terminal = (index == len(self.phases) - 1) and not self.cycle
+            if phase.duration is None and not terminal:
+                raise ValueError(
+                    f"phase {phase.name!r} has no duration but is not the "
+                    "final phase of a non-cycling profile"
+                )
+
+    @classmethod
+    def static(
+        cls,
+        delay: DelayModel | None = None,
+        loss: LossModel | None = None,
+        name: str = "static",
+    ) -> "PathProfile":
+        """The degenerate profile: one regime, forever — today's ``Link``."""
+        return cls(phases=(PathPhase(name=name, delay=delay, loss=loss),))
+
+    @property
+    def is_static(self) -> bool:
+        """Whether the profile never transitions (one terminal up phase)."""
+        if len(self.phases) != 1 or self.cycle:
+            return False
+        phase = self.phases[0]
+        return phase.duration is None and phase.up
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"phases": [phase.to_dict() for phase in self.phases]}
+        if self.cycle:
+            data["cycle"] = True
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PathProfile":
+        return cls(
+            phases=tuple(PathPhase.from_dict(p) for p in data["phases"]),
+            cycle=data.get("cycle", False),
+        )
+
+    # ------------------------------------------------------------------
+    # Runtime
+    # ------------------------------------------------------------------
+    def bind(self, seed: int | None = None) -> "PathTimeline":
+        """Instantiate the runtime timeline for one link.
+
+        ``seed`` feeds the jitter RNG (spawn-key derived, so the timeline
+        is independent of every other random stream in the simulation).
+        """
+        return PathTimeline(self, seed)
+
+
+class PathTimeline:
+    """The mutable runtime of one profile on one link.
+
+    A link holds at most one; it reads the resolved regime attributes
+    (:attr:`delay`, :attr:`loss`, :attr:`up`, :attr:`fifo` — ``None``
+    meaning "inherit the link's base model") and calls :meth:`advance`
+    whenever ``now`` has passed :attr:`next_change`.  The link never
+    imports this module: the coupling is duck-typed so ``repro.net``
+    stays import-cycle-free below ``repro.netpath``.
+    """
+
+    def __init__(self, profile: PathProfile, seed: int | None = None) -> None:
+        self.profile = profile
+        self._rng = make_rng(derive_seed(seed if seed is not None else 0, "netpath"))
+        self._index = 0
+        self.transitions = 0
+        #: ``(time, phase name)`` per entered phase, first entry included.
+        self.log: list[tuple[float, str]] = []
+        self._enter(self.profile.phases[0], now=0.0)
+
+    # Resolved attributes of the current regime ------------------------
+    delay: DelayModel | None
+    loss: LossModel | None
+    up: bool
+    fifo: bool | None
+    next_change: float
+
+    @property
+    def is_static(self) -> bool:
+        """True when no transition will ever fire (the link may then drop
+        the per-packet timeline check entirely)."""
+        return math.isinf(self.next_change)
+
+    @property
+    def phase(self) -> PathPhase:
+        """The currently active phase."""
+        return self.profile.phases[self._index]
+
+    def _realised_duration(self, phase: PathPhase) -> float:
+        if phase.duration is None:
+            return math.inf
+        if phase.jitter:
+            return phase.duration * (1.0 + self._rng.uniform(-phase.jitter, phase.jitter))
+        return phase.duration
+
+    def _enter(self, phase: PathPhase, now: float) -> None:
+        self.delay = _clone_delay(phase.delay) if phase.delay is not None else None
+        self.loss = _clone_loss(phase.loss) if phase.loss is not None else None
+        self.up = phase.up
+        self.fifo = phase.fifo
+        self.next_change = now + self._realised_duration(phase)
+        self.log.append((now, phase.name))
+
+    def advance(self, now: float) -> None:
+        """Step to the phase active at ``now`` (may cross several)."""
+        phases = self.profile.phases
+        while now >= self.next_change:
+            boundary = self.next_change
+            if self._index + 1 < len(phases):
+                self._index += 1
+            elif self.profile.cycle:
+                self._index = 0
+            else:
+                # A *timed* final phase simply runs on once its duration
+                # elapses: nothing is left to enter, so park the boundary
+                # at infinity or every later packet would re-check it.
+                self.next_change = math.inf
+                return
+            self.transitions += 1
+            self._enter(phases[self._index], now=boundary)

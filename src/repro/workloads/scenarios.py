@@ -31,7 +31,7 @@ from repro.core.recovery import (
     ResetNoticeReceiver,
     send_reset_notice,
 )
-from repro.core.reset import reset_at_count, reset_during_save
+from repro.core.reset import call_at_count, reset_at_count, reset_during_save
 from repro.core.sender import SaveFetchSender, UnprotectedSender
 from repro.gateway import (
     Gateway,
@@ -42,12 +42,23 @@ from repro.gateway import (
     safe_save_interval,
 )
 from repro.ipsec.costs import CostModel, PAPER_COSTS
+from repro.ipsec.ike import IkeConfig, IkeInitiator, IkeResponder, SerialCompute
 from repro.net.adversary import ReplayAdversary
+from repro.net.delay import FixedDelay
 from repro.net.link import Link
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss, NoLoss
+from repro.netpath import (
+    NatGate,
+    NatRebinding,
+    PathEnv,
+    PathFlap,
+    PathPhase,
+    PathProfile,
+)
 from repro.sim.engine import Engine
 from repro.sim.process import Timer
 from repro.sim.trace import NULL_TRACE
+from repro.util.rng import derive_seed
 from repro.workloads.traffic import BurstyTraffic
 
 
@@ -122,13 +133,17 @@ def run_sender_reset_scenario(
     seed: int = 0,
     leap_factor: int = 2,
     skip_wake_save: bool = False,
+    path: PathProfile | None = None,
 ) -> ScenarioResult:
     """Claim (i) scenario: steady traffic, one sender reset, more traffic.
 
     The channel is in-order and lossless (the claim's hypothesis).  The
     reset lands immediately after the ``reset_after_sends``-th
     transmission; the sweep over that count is what traces Fig. 1, since
-    it moves the reset across the SAVE cycle.
+    it moves the reset across the SAVE cycle.  ``path`` attaches a
+    :class:`~repro.netpath.PathProfile` to the channel; a static
+    single-phase profile reproduces the default link byte-for-byte (the
+    netpath golden-parity guarantee).
     """
     harness = build_protocol(
         trace=NULL_TRACE,
@@ -140,6 +155,7 @@ def run_sender_reset_scenario(
         seed=seed,
         leap_factor=leap_factor,
         skip_wake_save=skip_wake_save,
+        path=path,
     )
     if down_time is None:
         down_time = 2 * costs.t_save
@@ -1004,6 +1020,8 @@ def run_gateway_crash_scenario(
     costs: CostModel = PAPER_COSTS,
     seed: int = 0,
     fault: GatewayFault | None = None,
+    path: PathProfile | None = None,
+    store_load_factor: float = 0.0,
 ) -> dict[str, Any]:
     """One gateway crash: every SA resets at one instant, recovery storms.
 
@@ -1019,7 +1037,10 @@ def run_gateway_crash_scenario(
     to the shared device; pin ``k=25`` at ``n_sas > 1`` under the serial
     policy to watch the under-provisioned store break the 2K gap bound.
     ``fault`` overrides the built-in :class:`~repro.gateway.GatewayCrash`
-    (e.g. an absolute-time trigger from a JSON campaign spec).
+    (e.g. an absolute-time trigger from a JSON campaign spec).  ``path``
+    attaches a :class:`~repro.netpath.PathProfile` to every SA's link;
+    ``store_load_factor`` turns on the shared store's load-dependent
+    SAVE duration (see :class:`~repro.gateway.SharedStore`).
     """
     if k is None:
         k = safe_save_interval(n_sas, costs, store_policy)
@@ -1034,6 +1055,8 @@ def run_gateway_crash_scenario(
         costs=costs,
         store_policy=store_policy,
         seed=seed,
+        path=path,
+        store_load_factor=store_load_factor,
     )
     if fault is None:
         fault = GatewayCrash(after_sends=crash_after_sends, down_time=down_time)
@@ -1195,6 +1218,396 @@ def run_sa_churn_scenario(
     return gateway.score().metrics()
 
 
+# ----------------------------------------------------------------------
+# Netpath scenarios (E16): time-varying paths under the protocol
+# ----------------------------------------------------------------------
+def _netpath_extras(harness: ProtocolHarness, gate: NatGate | None = None) -> dict[str, Any]:
+    """JSON-safe path/NAT counters every netpath scenario reports."""
+    extras: dict[str, Any] = {
+        "blackholed": harness.link.blackholed,
+        "path_transitions": harness.link.path_transitions,
+        "regime_shifts": harness.link.regime_shifts,
+        "adversary_injections": (
+            harness.adversary.injections if harness.adversary is not None else 0
+        ),
+    }
+    if gate is not None:
+        extras["nat"] = gate.metrics()
+    return extras
+
+
+def _schedule_reset(
+    harness: ProtocolHarness,
+    reset_schedule: str,
+    during_at: float,
+    after_at: float,
+    down_time: float,
+) -> None:
+    """Arm the E16 reset-schedule axis: no reset, a reset *during* the
+    path impairment, or one safely *after* it settles."""
+    if reset_schedule == "none":
+        return
+    if reset_schedule == "during":
+        harness.engine.call_at(during_at, harness.sender.reset, down_time)
+    elif reset_schedule == "after":
+        harness.engine.call_at(after_at, harness.sender.reset, down_time)
+    else:
+        raise ValueError(
+            f"unknown reset_schedule {reset_schedule!r}; "
+            "expected 'none', 'during' or 'after'"
+        )
+
+
+def run_nat_rebinding_scenario(
+    protected: bool = True,
+    k: int = 25,
+    w: int = 64,
+    rebind_after_sends: int = 500,
+    messages_after_rebind: int = 500,
+    policy: str = "rebind_on_valid",
+    replay_old_binding: bool = True,
+    reset_schedule: str = "none",
+    path: PathProfile | None = None,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+) -> ScenarioResult:
+    """The peer's NAT mapping changes mid-SA; the receiver's policy decides.
+
+    The sender starts bound to ``nat:a``; after ``rebind_after_sends``
+    transmissions the NAT rebinds it to ``nat:b``, so later packets
+    carry the new source while everything recorded earlier keeps the old
+    one.  ``policy`` is one of :data:`repro.ipsec.sa.REBIND_POLICIES`:
+    ``rebind_on_valid`` moves the binding on the first window-valid
+    packet and converges cleanly; ``strict`` pins the tunnel and drops
+    the entire post-rebinding stream at the gate (counted, not scored as
+    discards — the messages never reach the window); ``static`` ignores
+    addresses.  With ``replay_old_binding`` the Section 3 adversary
+    replays the recorded (old-binding) history right after the rebinding
+    — the anti-replay window, not the address check, must reject it.
+
+    ``reset_schedule`` overlays the E16 reset axis: a sender reset
+    landing at the rebinding instant (``"during"``) or well after the
+    binding settled (``"after"``).
+    """
+    harness = build_protocol(
+        trace=NULL_TRACE,
+        protected=protected,
+        k_p=k,
+        k_q=k,
+        w=w,
+        costs=costs,
+        seed=seed,
+        with_adversary=True,
+        path=path,
+        sender_address="nat:a",
+    )
+    gate = NatGate(harness.receiver, policy=policy, initial_binding="nat:a")
+    harness.link.sink = gate.on_receive
+    env = PathEnv(
+        engine=harness.engine,
+        link=harness.link,
+        sender=harness.sender,
+        gate=gate,
+    )
+    NatRebinding(after_sends=rebind_after_sends, new_address="nat:b").apply(env)
+
+    if replay_old_binding:
+        # Strike right after the first new-binding packet: the receiver
+        # has just (maybe) rebound and the recorded history is entirely
+        # old-binding traffic.
+        def fire_replay() -> None:
+            assert harness.adversary is not None
+            harness.adversary.replay_history(rate=1.0 / costs.t_recv)
+
+        call_at_count(harness.sender, rebind_after_sends + 1, fire_replay)
+
+    down_time = 2 * costs.t_save
+    rebind_at = rebind_after_sends * costs.t_send
+    settle_at = (rebind_after_sends + messages_after_rebind // 2) * costs.t_send
+    _schedule_reset(harness, reset_schedule, rebind_at, settle_at, down_time)
+
+    total_attempts = rebind_after_sends + messages_after_rebind
+    slack = 0 if reset_schedule == "none" else int(2 * down_time / costs.t_send) + 10 * k
+    harness.sender.start_traffic(count=total_attempts + slack)
+    horizon = (total_attempts + slack + 10) * costs.t_send + 10 * costs.t_save
+    replay_budget = (total_attempts + 10) * costs.t_recv if replay_old_binding else 0.0
+    _run_to_completion(harness, horizon + replay_budget)
+    return ScenarioResult(
+        harness=harness,
+        report=harness.score(),
+        extra=_netpath_extras(harness, gate),
+    )
+
+
+def run_path_flap_scenario(
+    protected: bool = True,
+    k: int = 25,
+    w: int = 64,
+    messages: int = 1000,
+    flap_after_sends: int = 300,
+    down_time: float | None = None,
+    up_time: float | None = None,
+    cycles: int = 3,
+    reset_schedule: str = "none",
+    path: PathProfile | None = None,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+) -> ScenarioResult:
+    """A flapping route: repeated blackhole windows under steady traffic.
+
+    Packets offered inside a window vanish without ICMP (scored as
+    ``never_arrived`` — this is channel loss, outside the claims'
+    lossless hypothesis, so bounds are not checked).  The interesting
+    interaction is ``reset_schedule="during"``: the sender reset lands
+    inside a blackhole window, so its recovery runs while the path is
+    still dark and the first post-leap messages may fall into the next
+    window.
+    """
+    if down_time is None:
+        down_time = 2 * costs.t_save
+    if up_time is None:
+        up_time = down_time
+    harness = build_protocol(
+        trace=NULL_TRACE,
+        protected=protected,
+        k_p=k,
+        k_q=k,
+        w=w,
+        costs=costs,
+        seed=seed,
+        path=path,
+    )
+    flap = PathFlap(
+        at=(flap_after_sends + 0.5) * costs.t_send,
+        down_time=down_time,
+        up_time=up_time,
+        cycles=cycles,
+    )
+    flap.apply(PathEnv(engine=harness.engine, link=harness.link))
+
+    _schedule_reset(
+        harness,
+        reset_schedule,
+        during_at=flap.at + down_time / 2,  # inside the first window
+        after_at=flap.ends_at + 2 * costs.t_save,
+        down_time=2 * costs.t_save,
+    )
+
+    slack = 0
+    if reset_schedule != "none":
+        slack = int(4 * costs.t_save / costs.t_send) + 10 * k
+    harness.sender.start_traffic(count=messages + slack)
+    horizon = (
+        (messages + slack + 10) * costs.t_send
+        + cycles * (down_time + up_time)
+        + 10 * costs.t_save
+    )
+    _run_to_completion(harness, horizon)
+    return ScenarioResult(
+        harness=harness,
+        report=harness.score(check_bounds=False),
+        extra=_netpath_extras(harness),
+    )
+
+
+def run_mobile_handover_scenario(
+    protected: bool = True,
+    k: int = 25,
+    w: int = 64,
+    handover_after_sends: int = 400,
+    messages_after_handover: int = 400,
+    outage: float | None = None,
+    policy: str = "rebind_on_valid",
+    replay_old_binding: bool = True,
+    degraded_delay: float = 0.0002,
+    degraded_loss: float = 0.01,
+    reset_schedule: str = "none",
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+) -> ScenarioResult:
+    """A mobile peer hands over networks mid-SA: outage + new regime + NAT.
+
+    At the handover instant three things happen at once, which is what
+    distinguishes it from each fault alone: the path blackholes for
+    ``outage`` seconds (association gap), the regime shifts to the
+    visited network's conditions (``degraded_delay``/``degraded_loss``),
+    and the peer's source address changes (``nat:home`` ->
+    ``nat:visited``).  The adversary replays the recorded home-network
+    history right after the gap — a window that must stay closed however
+    the addresses moved.  ``reset_schedule="during"`` lands a sender
+    reset inside the handover gap: recovery and rebinding interleave.
+    """
+    if outage is None:
+        outage = 2 * costs.t_save
+    harness = build_protocol(
+        trace=NULL_TRACE,
+        protected=protected,
+        k_p=k,
+        k_q=k,
+        w=w,
+        costs=costs,
+        seed=seed,
+        with_adversary=True,
+        sender_address="nat:home",
+    )
+    gate = NatGate(harness.receiver, policy=policy, initial_binding="nat:home")
+    harness.link.sink = gate.on_receive
+    visited = PathPhase(
+        name="visited",
+        delay=FixedDelay(degraded_delay),
+        loss=BernoulliLoss(degraded_loss) if degraded_loss > 0 else None,
+    )
+
+    def on_handover() -> None:
+        harness.link.path_down()
+        harness.engine.call_later(outage, harness.link.path_up)
+        harness.link.shift_regime(visited)
+        harness.sender.address = "nat:visited"
+
+    call_at_count(harness.sender, handover_after_sends, on_handover)
+
+    if replay_old_binding:
+        def fire_replay() -> None:
+            assert harness.adversary is not None
+            harness.adversary.replay_history(rate=1.0 / costs.t_recv)
+
+        # Right after the first visited-network packet leaves.
+        call_at_count(harness.sender, handover_after_sends + 1, fire_replay)
+
+    handover_at = handover_after_sends * costs.t_send
+    _schedule_reset(
+        harness,
+        reset_schedule,
+        during_at=handover_at + outage / 2,
+        after_at=handover_at + outage + (messages_after_handover // 2) * costs.t_send,
+        down_time=2 * costs.t_save,
+    )
+
+    total_attempts = handover_after_sends + messages_after_handover
+    slack = int(2 * outage / costs.t_send) + (10 * k if reset_schedule != "none" else 0)
+    harness.sender.start_traffic(count=total_attempts + slack)
+    horizon = (
+        (total_attempts + slack + 10) * (costs.t_send + degraded_delay)
+        + outage
+        + 10 * costs.t_save
+    )
+    replay_budget = (total_attempts + 10) * costs.t_recv if replay_old_binding else 0.0
+    _run_to_completion(harness, horizon + replay_budget)
+    return ScenarioResult(
+        harness=harness,
+        report=harness.score(check_bounds=False),
+        extra=_netpath_extras(harness, gate),
+    )
+
+
+# ----------------------------------------------------------------------
+# Rekey storm: N concurrent IKE renegotiations contending for one CPU
+# ----------------------------------------------------------------------
+def run_rekey_storm_scenario(
+    n_sas: int = 8,
+    rtt: float = 0.01,
+    detection_delay: float = 0.0,
+    contended: bool = True,
+    costs: CostModel = PAPER_COSTS,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """The IETF remedy at gateway scale: N renegotiations at one instant.
+
+    E7's :class:`~repro.core.baselines.RekeySimulation` renegotiates
+    sequentially (one CPU, one session at a time).  A gateway reset
+    drops N SAs at once, and an implementation would fire all N IKE
+    exchanges concurrently: network round-trips overlap, but every DH
+    exponentiation and PRF evaluation still serializes on the recovering
+    host's CPU (:class:`~repro.ipsec.ike.SerialCompute` — the same
+    FIFO-reservation shape as the shared store's FETCH storm).  Each
+    remote peer is a distinct host, so responder compute is uncontended.
+
+    Reported against both E7 baselines: the sequential train it
+    improves on, and the SAVE/FETCH recovery that needs no network at
+    all.  ``contended=False`` ablates the CPU model (pure overlap — the
+    lower bound an infinitely parallel host could reach).
+    """
+    engine = Engine(trace=NULL_TRACE)
+    config = IkeConfig(costs=costs)
+    one_way = FixedDelay(rtt / 2.0)
+    gateway_cpu = SerialCompute() if contended else None
+    completions: list[float] = []
+    messages = {"count": 0}
+
+    initiators: list[IkeInitiator] = []
+    links_out: list[Link] = []
+    links_back: list[Link] = []
+    for index in range(n_sas):
+        pair_seed = derive_seed(seed, "rekey_storm", index)
+        # send_fn closures bind the index, not the loop variable.
+        responder = IkeResponder(
+            engine,
+            f"peer{index}",
+            "gw",
+            send_fn=lambda m, i=index: links_back[i].send(m),
+            config=config,
+            seed=pair_seed * 2 + 1,
+        )
+        initiator = IkeInitiator(
+            engine,
+            "gw",
+            f"peer{index}",
+            send_fn=lambda m, i=index: links_out[i].send(m),
+            config=config,
+            seed=pair_seed * 2 + 2,
+            compute=gateway_cpu,
+        )
+
+        def on_complete(result) -> None:
+            completions.append(result.completed_at)
+            messages["count"] += result.messages_sent
+
+        def count_responder(result) -> None:
+            messages["count"] += result.messages_sent
+
+        initiator.on_complete = on_complete
+        responder.on_complete = count_responder
+        links_out.append(Link(
+            engine, f"link:gw->peer{index}", sink=responder.on_receive,
+            delay=one_way,
+        ))
+        links_back.append(Link(
+            engine, f"link:peer{index}->gw", sink=initiator.on_receive,
+            delay=one_way,
+        ))
+        initiators.append(initiator)
+
+    for initiator in initiators:
+        engine.call_at(detection_delay, initiator.start)
+    engine.run()
+    if len(completions) != n_sas:
+        raise RuntimeError(
+            f"only {len(completions)}/{n_sas} storm negotiations completed"
+        )
+    storm_time = max(completions) - detection_delay
+
+    sequential = RekeySimulation(
+        n_sas=n_sas,
+        rtt=rtt,
+        detection_delay=detection_delay,
+        costs=costs,
+        seed=seed,
+    ).run()
+    savefetch = savefetch_recovery_outcome(n_sas=n_sas, costs=costs)
+    return {
+        "n_sas": n_sas,
+        "rekey_storm_time_s": storm_time,
+        "rekey_sequential_time_s": sequential.renegotiation_time,
+        "savefetch_time_s": savefetch.recovery_time,
+        "messages": messages["count"],
+        "cpu_busy_s": gateway_cpu.busy_time if gateway_cpu is not None else 0.0,
+        "cpu_max_wait_s": gateway_cpu.max_wait if gateway_cpu is not None else 0.0,
+        "storm_speedup": (
+            sequential.renegotiation_time / storm_time if storm_time > 0 else 0.0
+        ),
+    }
+
+
 #: Stable scenario names for declarative drivers (fleet campaign specs
 #: and experiment sweeps).  Every ``run_*`` scenario callable in this
 #: module is reachable by name here.
@@ -1215,6 +1628,10 @@ SCENARIOS: dict[str, Callable[..., "ScenarioResult | dict[str, Any]"]] = {
     "gateway_crash": run_gateway_crash_scenario,
     "rolling_restart": run_rolling_restart_scenario,
     "sa_churn": run_sa_churn_scenario,
+    "nat_rebinding": run_nat_rebinding_scenario,
+    "path_flap": run_path_flap_scenario,
+    "mobile_handover": run_mobile_handover_scenario,
+    "rekey_storm": run_rekey_storm_scenario,
 }
 
 

@@ -11,6 +11,7 @@ class TestRegistry:
         expected = {
             "e01", "e02", "e03", "e04", "e05", "e06", "e06b", "e07",
             "e08", "e09", "e10", "e11", "e12", "e13", "e14", "e15",
+            "e16",
         }
         assert expected <= set(REGISTRY)
 

@@ -176,3 +176,64 @@ class TestSizingRule:
         engine = Engine(trace=NULL_TRACE)
         with pytest.raises(ValueError, match="unknown store policy"):
             SharedStore(engine, policy="mmap")
+
+
+class TestLoadDependentSaveDuration:
+    """The load_factor hook: SAVE duration grows linearly with the queue."""
+
+    def test_default_off_is_the_fixed_upper_bound(self):
+        engine, store = make_store()
+        assert store.load_factor == 0.0
+        a = store.client("disk:p0")
+        b = store.client("disk:p1")
+        a.begin_save(10)
+        record = b.begin_save(20)  # queued behind a's write
+        assert record.commit_due_at == pytest.approx(2 * T_SAVE)
+        assert store.busy_time == pytest.approx(2 * T_SAVE)
+
+    def test_queued_write_slows_by_its_wait(self):
+        engine = Engine(trace=NULL_TRACE)
+        store = SharedStore(engine, costs=PAPER_COSTS, load_factor=0.5)
+        a = store.client("disk:p0")
+        b = store.client("disk:p1")
+        first = a.begin_save(10)  # uncontended: no wait, no surcharge
+        assert first.commit_due_at == pytest.approx(T_SAVE)
+        second = b.begin_save(20)  # waits T_SAVE -> +0.5 * T_SAVE duration
+        assert second.commit_due_at == pytest.approx(T_SAVE + 1.5 * T_SAVE)
+
+    def test_deep_queue_degrades_super_linearly(self):
+        engine = Engine(trace=NULL_TRACE)
+        store = SharedStore(engine, costs=PAPER_COSTS, load_factor=0.5)
+        clients = [store.client(f"disk:p{i}") for i in range(4)]
+        commits = [c.begin_save(5).commit_due_at for c in clients]
+        # Each write waits out everything ahead of it *including* the
+        # surcharges already accumulated: 1, 2.5, 4.75, 8.125 x T_SAVE.
+        assert commits == pytest.approx(
+            [T_SAVE, 2.5 * T_SAVE, 4.75 * T_SAVE, 8.125 * T_SAVE]
+        )
+
+    def test_uncontended_timing_unchanged_at_any_factor(self):
+        engine = Engine(trace=NULL_TRACE)
+        store = SharedStore(engine, costs=PAPER_COSTS, load_factor=2.0)
+        client = store.client("disk:p0")
+        record = client.begin_save(10)
+        assert record.commit_due_at == pytest.approx(T_SAVE)
+
+    def test_rejects_negative_factor(self):
+        engine = Engine(trace=NULL_TRACE)
+        with pytest.raises(ValueError, match="load_factor"):
+            SharedStore(engine, costs=PAPER_COSTS, load_factor=-0.1)
+
+    def test_scenario_forwarding(self):
+        from repro.workloads.scenarios import run_gateway_crash_scenario
+
+        base = run_gateway_crash_scenario(
+            n_sas=4, k=25, crash_after_sends=60, messages_after_reset=60,
+        )
+        loaded = run_gateway_crash_scenario(
+            n_sas=4, k=25, crash_after_sends=60, messages_after_reset=60,
+            store_load_factor=0.5,
+        )
+        # Under-provisioned K with load-dependent saves keeps the device
+        # busier than the fixed-bound model says.
+        assert loaded["store"]["busy_time"] > base["store"]["busy_time"]

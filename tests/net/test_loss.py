@@ -88,3 +88,105 @@ class TestDeterministicLoss:
         assert not model.should_drop(rng)
         model.reset()
         assert model.should_drop(rng)
+
+
+class TestGilbertElliottSteadyState:
+    """Statistical pins for the chain's long-run loss rate.
+
+    The per-packet state chain has stationary distribution
+    ``pi_bad = g2b / (g2b + b2g)`` (state transitions happen *before*
+    the drop draw, so the stationary split applies to the state each
+    packet sees), giving a steady-state loss rate of
+    ``pi_bad * loss_bad + (1 - pi_bad) * loss_good``.  Tolerances are
+    ~5 standard deviations of the correlated estimator, so the pins are
+    tight enough to catch an off-by-one in the transition/draw order but
+    do not flake.
+    """
+
+    @staticmethod
+    def _empirical_rate(model, draws, seed=1234):
+        rng = random.Random(seed)
+        return sum(model.should_drop(rng) for _ in range(draws)) / draws
+
+    def test_symmetric_chain_loses_half_of_bad_time(self):
+        # pi_bad = 0.25; loss only in BAD -> rate = 0.25
+        model = GilbertElliottLoss(0.1, 0.3, loss_good=0.0, loss_bad=1.0)
+        rate = self._empirical_rate(model, 200_000)
+        assert abs(rate - 0.25) < 0.012
+
+    def test_mixed_state_loss_probabilities(self):
+        # pi_bad = 0.2/(0.2+0.3) = 0.4; rate = 0.4*0.8 + 0.6*0.05 = 0.35
+        model = GilbertElliottLoss(0.2, 0.3, loss_good=0.05, loss_bad=0.8)
+        rate = self._empirical_rate(model, 200_000)
+        assert abs(rate - 0.35) < 0.012
+
+    def test_rare_long_bursts_regime(self):
+        # The E14 shape: pi_bad = 0.02/(0.02+0.015) ~ 0.5714, loss_bad=1.
+        model = GilbertElliottLoss(0.02, 0.015, loss_good=0.0, loss_bad=1.0)
+        rate = self._empirical_rate(model, 400_000)
+        assert abs(rate - 0.02 / 0.035) < 0.03  # slow-mixing chain: wider bar
+
+    def test_reset_mid_stream_restores_the_good_start(self):
+        """reset() must restore the *initial* distribution, not the
+        stationary one: a fresh/reset chain starts GOOD deterministically."""
+        model = GilbertElliottLoss(0.5, 0.1, loss_good=0.0, loss_bad=1.0)
+        rng = random.Random(7)
+        for _ in range(100):
+            model.should_drop(rng)
+        model.reset()
+        # First post-reset packet can only be lost if the chain leaves
+        # GOOD on that very step: probability g2b, never loss_good.
+        drops = 0
+        for _ in range(2_000):
+            model.reset()
+            drops += model.should_drop(rng)
+        assert abs(drops / 2_000 - 0.5) < 0.05  # = g2b, not pi_bad (5/6)
+
+
+class TestDeterministicLossBoundaries:
+    """Pattern-boundary pins for the index-set model."""
+
+    def test_first_and_last_index_of_a_pattern(self):
+        model = DeterministicLoss([0, 4])
+        rng = random.Random(0)
+        results = [model.should_drop(rng) for _ in range(6)]
+        assert results == [True, False, False, False, True, False]
+
+    def test_beyond_the_pattern_never_drops(self):
+        model = DeterministicLoss([2])
+        rng = random.Random(0)
+        [model.should_drop(rng) for _ in range(3)]
+        assert not any(model.should_drop(rng) for _ in range(1_000))
+
+    def test_empty_pattern_is_noloss(self):
+        model = DeterministicLoss([])
+        rng = random.Random(0)
+        assert not any(model.should_drop(rng) for _ in range(100))
+
+    def test_counter_advances_even_on_kept_packets(self):
+        """The index is per *offered* packet, not per dropped one."""
+        model = DeterministicLoss([3])
+        rng = random.Random(0)
+        assert [model.should_drop(rng) for _ in range(4)] == [
+            False, False, False, True,
+        ]
+
+    def test_duplicate_and_unordered_indices_collapse(self):
+        model = DeterministicLoss([3, 1, 3, 1])
+        assert model.drop_indices == frozenset({1, 3})
+
+    def test_negative_indices_are_unreachable(self):
+        """Accepted by construction but can never fire: the offered-packet
+        counter starts at 0 and only grows."""
+        model = DeterministicLoss([-1])
+        rng = random.Random(0)
+        assert not any(model.should_drop(rng) for _ in range(10))
+
+    def test_reset_at_a_pattern_boundary(self):
+        """reset() exactly at the last pattern index replays the pattern
+        from the top, not from the interrupted position."""
+        model = DeterministicLoss([1])
+        rng = random.Random(0)
+        assert [model.should_drop(rng) for _ in range(2)] == [False, True]
+        model.reset()
+        assert [model.should_drop(rng) for _ in range(2)] == [False, True]

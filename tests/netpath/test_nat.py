@@ -1,0 +1,196 @@
+"""Tests for repro.netpath.nat, Message.src, and the SA/SAD rebinding policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import build_protocol
+from repro.ipsec.sa import REBIND_POLICIES, make_sa
+from repro.ipsec.sad import SecurityAssociationDatabase
+from repro.net.message import Message
+from repro.netpath.nat import NatGate
+from repro.sim.trace import NULL_TRACE
+
+
+class TestMessageSrc:
+    def test_src_defaults_to_none(self):
+        assert Message(seq=1).src is None
+
+    def test_with_meta_preserves_src(self):
+        message = Message(seq=1, src="nat:a").with_meta(uid=7)
+        assert message.src == "nat:a"
+        assert message.get_meta("uid") == 7
+
+    def test_sender_address_stamped_on_packets(self):
+        harness = build_protocol(trace=NULL_TRACE, sender_address="nat:a")
+        seen = []
+        harness.link.add_tap(lambda _t, packet, _inj: seen.append(packet.src))
+        harness.sender.send_burst(3)
+        harness.sender.address = "nat:b"
+        harness.sender.send_burst(2)
+        assert seen == ["nat:a"] * 3 + ["nat:b"] * 2
+
+    def test_default_sender_is_addressless(self):
+        harness = build_protocol(trace=NULL_TRACE)
+        seen = []
+        harness.link.add_tap(lambda _t, packet, _inj: seen.append(packet.src))
+        harness.sender.send_burst(1)
+        assert seen == [None]
+
+    @pytest.mark.parametrize("encap", ["esp", "ah"])
+    def test_encapsulated_packets_carry_the_outer_src(self, encap):
+        """ESP and AH ride src on the outer header (outside the ICV), so
+        a NatGate sees the same addresses as in plain mode."""
+        harness = build_protocol(
+            trace=NULL_TRACE, encap=encap, sender_address="nat:a"
+        )
+        seen = []
+        harness.link.add_tap(lambda _t, packet, _inj: seen.append(packet.src))
+        harness.sender.send_burst(2)
+        harness.run(until=0.001)
+        assert seen == ["nat:a", "nat:a"]
+        assert harness.receiver.delivered_total == 2  # ICV unaffected
+
+
+class TestSaRebindPolicy:
+    def test_policies_are_the_known_set(self):
+        assert REBIND_POLICIES == ("static", "strict", "rebind_on_valid")
+
+    def test_sa_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="rebind policy"):
+            make_sa("p", "q", seed_or_rng=0, rebind_policy="wander")
+
+    def test_sad_tracks_and_moves_bindings_per_policy(self):
+        sad = SecurityAssociationDatabase()
+        mobile = make_sa("p", "q", seed_or_rng=0, rebind_policy="rebind_on_valid")
+        pinned = make_sa("p", "r", seed_or_rng=1, rebind_policy="strict")
+        sad.add(mobile)
+        sad.add(pinned)
+        sad.bind_peer(mobile, "nat:a")
+        sad.bind_peer(pinned, "nat:a")
+        assert sad.rebind_peer(mobile, "nat:b")
+        assert sad.peer_binding(mobile) == "nat:b"
+        assert not sad.rebind_peer(pinned, "nat:b")
+        assert sad.peer_binding(pinned) == "nat:a"
+        assert sad.rebinds == 1 and sad.rebinds_refused == 1
+
+    def test_remove_clears_binding(self):
+        sad = SecurityAssociationDatabase()
+        sa = make_sa("p", "q", seed_or_rng=0)
+        sad.add(sa)
+        sad.bind_peer(sa, "nat:a")
+        sad.remove(sa)
+        assert sad.peer_binding(sa) is None
+
+    def test_remove_peer_bulk_teardown_clears_bindings(self):
+        """The IETF-remedy bulk teardown must not leave stale bindings a
+        re-established SA with the same SPI would inherit."""
+        sad = SecurityAssociationDatabase()
+        sa = make_sa("p", "q", seed_or_rng=0)
+        sad.add(sa)
+        sad.bind_peer(sa, "nat:a")
+        assert sad.remove_peer("p", "q") == 1
+        reborn = make_sa("p", "q", seed_or_rng=1, spi=sa.spi)
+        sad.add(reborn)
+        assert sad.peer_binding(reborn) is None
+
+
+def gated_harness(policy: str, **kwargs):
+    harness = build_protocol(
+        trace=NULL_TRACE, sender_address="nat:a", **kwargs
+    )
+    gate = NatGate(harness.receiver, policy=policy, initial_binding="nat:a")
+    harness.link.sink = gate.on_receive
+    return harness, gate
+
+
+class TestNatGate:
+    def test_rejects_unknown_policy(self):
+        harness = build_protocol(trace=NULL_TRACE)
+        with pytest.raises(ValueError, match="rebind policy"):
+            NatGate(harness.receiver, policy="wander")
+
+    def test_sad_and_sa_must_come_together(self):
+        harness = build_protocol(trace=NULL_TRACE)
+        with pytest.raises(ValueError, match="together"):
+            NatGate(harness.receiver, sad=SecurityAssociationDatabase())
+
+    def test_rebind_on_valid_moves_binding_once(self):
+        harness, gate = gated_harness("rebind_on_valid")
+        harness.sender.send_burst(5)
+        harness.sender.address = "nat:b"
+        harness.sender.send_burst(5)
+        harness.run(until=0.01)
+        assert gate.binding == "nat:b"
+        assert gate.rebinds == 1
+        assert harness.receiver.delivered_total == 10
+
+    def test_strict_drops_the_moved_stream(self):
+        harness, gate = gated_harness("strict")
+        harness.sender.send_burst(5)
+        harness.sender.address = "nat:b"
+        harness.sender.send_burst(5)
+        harness.run(until=0.01)
+        assert gate.binding == "nat:a"
+        assert gate.rejected == 5
+        assert harness.receiver.delivered_total == 5
+
+    def test_static_forwards_everything_without_rebinding(self):
+        harness, gate = gated_harness("static")
+        harness.sender.send_burst(3)
+        harness.sender.address = "nat:b"
+        harness.sender.send_burst(3)
+        harness.run(until=0.01)
+        assert gate.binding == "nat:a"
+        assert gate.rebinds == 0 and gate.rejected == 0
+        assert harness.receiver.delivered_total == 6
+
+    def test_window_invalid_packet_does_not_rebind(self):
+        """A replay from a new address must not move the binding."""
+        harness, gate = gated_harness("rebind_on_valid", with_adversary=True)
+        harness.sender.send_burst(5)
+        harness.run(until=0.001)
+        # Replay a recorded (old-binding) packet... but pretend the
+        # adversary moved: inject a stale copy re-stamped from nat:evil.
+        _, recorded = harness.adversary.recorded[0]
+        forged = Message(
+            seq=recorded.seq, payload=recorded.payload,
+            sent_at=recorded.sent_at, meta=recorded.meta, src="nat:evil",
+        )
+        harness.adversary.inject_now(forged)
+        harness.run(until=0.002)
+        assert gate.binding == "nat:a"  # replay was rejected, no rebind
+        assert gate.rebinds == 0
+        assert gate.off_binding == 1
+
+    def test_first_contact_latches_binding(self):
+        harness = build_protocol(trace=NULL_TRACE, sender_address="nat:a")
+        gate = NatGate(harness.receiver, policy="strict", initial_binding=None)
+        harness.link.sink = gate.on_receive
+        harness.sender.send_burst(2)
+        harness.run(until=0.001)
+        assert gate.binding == "nat:a"
+        assert gate.rejected == 0
+
+    def test_sad_backed_gate_moves_the_sad_binding(self):
+        """With sad/sa wired, the SAD holds the authoritative binding and
+        the SA's negotiated policy overrides the gate argument."""
+        sad = SecurityAssociationDatabase()
+        sa = make_sa("p", "q", seed_or_rng=3, rebind_policy="rebind_on_valid")
+        sad.add(sa)
+        harness = build_protocol(trace=NULL_TRACE, sender_address="nat:a")
+        gate = NatGate(
+            harness.receiver, policy="strict",  # overridden by the SA
+            sad=sad, sa=sa, initial_binding="nat:a",
+        )
+        harness.link.sink = gate.on_receive
+        assert gate.policy == "rebind_on_valid"
+        assert sad.peer_binding(sa) == "nat:a"
+        harness.sender.send_burst(3)
+        harness.sender.address = "nat:b"
+        harness.sender.send_burst(3)
+        harness.run(until=0.01)
+        assert sad.peer_binding(sa) == "nat:b"
+        assert gate.binding == "nat:b"
+        assert sad.rebinds == 1
+        assert harness.receiver.delivered_total == 6

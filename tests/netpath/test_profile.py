@@ -1,0 +1,213 @@
+"""Tests for repro.netpath.profile: phases, profiles, timelines."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.net.delay import FixedDelay, UniformJitterDelay
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss
+from repro.netpath.profile import PathPhase, PathProfile
+from repro.sim.engine import Engine
+from repro.sim.trace import NULL_TRACE
+
+
+class TestPathPhase:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            PathPhase(name="")
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            PathPhase(name="x", duration=0.0)
+
+    def test_rejects_out_of_range_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            PathPhase(name="x", duration=1.0, jitter=1.0)
+
+    def test_rejects_jitter_on_terminal_phase(self):
+        with pytest.raises(ValueError, match="terminal"):
+            PathPhase(name="x", duration=None, jitter=0.1)
+
+    def test_dict_round_trip_preserves_everything(self):
+        phase = PathPhase(
+            name="burst",
+            duration=0.25,
+            delay=UniformJitterDelay(0.001, 0.002),
+            loss=GilbertElliottLoss(0.1, 0.3, 0.0, 0.9),
+            up=False,
+            fifo=False,
+            jitter=0.2,
+        )
+        data = json.loads(json.dumps(phase.to_dict()))
+        rebuilt = PathPhase.from_dict(data)
+        assert rebuilt.to_dict() == phase.to_dict()
+        assert rebuilt.up is False and rebuilt.fifo is False
+
+
+class TestPathProfile:
+    def test_needs_at_least_one_phase(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PathProfile(phases=())
+
+    def test_non_final_phase_needs_duration(self):
+        with pytest.raises(ValueError, match="final phase"):
+            PathProfile(phases=(
+                PathPhase(name="a"),
+                PathPhase(name="b", duration=1.0),
+            ))
+
+    def test_cycle_requires_every_duration(self):
+        with pytest.raises(ValueError, match="final phase"):
+            PathProfile(phases=(PathPhase(name="a"),), cycle=True)
+
+    def test_static_detection(self):
+        assert PathProfile.static().is_static
+        assert not PathProfile(phases=(PathPhase("a", duration=1.0),)).is_static
+        assert not PathProfile(
+            phases=(PathPhase("hole", up=False),)
+        ).is_static  # a forever-down phase is not the fixed channel
+
+    def test_json_round_trip(self):
+        profile = PathProfile(
+            cycle=True,
+            phases=(
+                PathPhase("good", duration=0.1, loss=BernoulliLoss(0.01)),
+                PathPhase("bad", duration=0.05, up=False, jitter=0.1),
+            ),
+        )
+        data = json.loads(json.dumps(profile.to_dict()))
+        assert PathProfile.from_dict(data).to_dict() == profile.to_dict()
+
+    def test_phases_accepts_plain_dicts(self):
+        profile = PathProfile(phases=({"name": "a", "duration": None},))
+        assert profile.phases[0] == PathPhase("a")
+
+
+class TestPathTimeline:
+    def test_walks_phases_in_order(self):
+        profile = PathProfile(phases=(
+            PathPhase("a", duration=1.0),
+            PathPhase("b", duration=2.0),
+            PathPhase("c"),
+        ))
+        timeline = profile.bind(0)
+        assert timeline.phase.name == "a" and timeline.next_change == 1.0
+        timeline.advance(1.0)
+        assert timeline.phase.name == "b" and timeline.next_change == 3.0
+        timeline.advance(5.0)
+        assert timeline.phase.name == "c"
+        assert math.isinf(timeline.next_change)
+        assert timeline.transitions == 2
+        assert [name for _, name in timeline.log] == ["a", "b", "c"]
+
+    def test_advance_crosses_many_boundaries_at_once(self):
+        profile = PathProfile(
+            cycle=True,
+            phases=(PathPhase("x", duration=1.0), PathPhase("y", duration=1.0)),
+        )
+        timeline = profile.bind(0)
+        timeline.advance(10.5)
+        assert timeline.transitions == 10
+        assert timeline.phase.name == "x"
+
+    def test_jitter_is_deterministic_per_seed(self):
+        profile = PathProfile(
+            cycle=True,
+            phases=(PathPhase("x", duration=1.0, jitter=0.5),),
+        )
+        first = profile.bind(7)
+        second = profile.bind(7)
+        other = profile.bind(8)
+        for _ in range(5):
+            first.advance(first.next_change)
+            second.advance(second.next_change)
+            other.advance(other.next_change)
+        assert [t for t, _ in first.log] == [t for t, _ in second.log]
+        assert [t for t, _ in first.log] != [t for t, _ in other.log]
+
+    def test_phase_models_enter_fresh_each_entry(self):
+        """A re-entered Gilbert-Elliott phase starts GOOD again."""
+        profile = PathProfile(
+            cycle=True,
+            phases=(
+                PathPhase("lossy", duration=1.0,
+                          loss=GilbertElliottLoss(1.0, 0.0)),
+                PathPhase("clean", duration=1.0),
+            ),
+        )
+        timeline = profile.bind(0)
+        first_model = timeline.loss
+        assert first_model is not None
+        import random
+        rng = random.Random(0)
+        first_model.should_drop(rng)
+        assert first_model.in_bad_state
+        timeline.advance(2.0)  # lossy re-entered on the second cycle
+        assert timeline.phase.name == "lossy"
+        assert timeline.loss is not first_model
+        assert not timeline.loss.in_bad_state
+
+
+class TestLinkIntegration:
+    def _link(self, profile, seed=0):
+        engine = Engine(trace=NULL_TRACE)
+        delivered = []
+        link = Link(engine, "l", sink=delivered.append, path=profile, seed=seed)
+        return engine, link, delivered
+
+    def test_static_profile_keeps_hot_path_unarmed(self):
+        _, link, _ = self._link(PathProfile.static())
+        assert link._timeline is None  # resolved at construction
+
+    def test_blackhole_phase_drops_offered_packets(self):
+        profile = PathProfile(phases=(
+            PathPhase("up", duration=0.001),
+            PathPhase("hole", duration=0.001, up=False),
+            PathPhase("up2"),
+        ))
+        engine, link, delivered = self._link(profile)
+        for t in (0.0005, 0.0015, 0.0025):
+            engine.call_at(t, link.send, t)
+        engine.run()
+        assert delivered == [0.0005, 0.0025]
+        assert link.blackholed == 1 and link.dropped == 1
+        assert link.path_transitions == 2
+
+    def test_phase_models_override_and_inherit_base(self):
+        profile = PathProfile(phases=(
+            PathPhase("lossy", duration=0.001, loss=BernoulliLoss(1.0)),
+            PathPhase("inherit"),
+        ))
+        engine, link, delivered = self._link(profile)
+        base_loss = link._base_loss
+        for t in (0.0005, 0.0015):
+            engine.call_at(t, link.send, t)
+        engine.run()
+        assert delivered == [0.0015]  # first packet eaten by the lossy phase
+        assert link.loss is base_loss  # inherited back after the transition
+
+    def test_phase_fifo_override(self):
+        profile = PathProfile(phases=(
+            PathPhase("ordered", duration=0.001, fifo=True),
+            PathPhase("free", fifo=False),
+        ))
+        engine, link, _ = self._link(profile)
+        assert link.fifo is True
+        engine.call_at(0.002, link.send, "x")
+        engine.run()
+        assert link.fifo is False
+
+    def test_timed_final_phase_runs_on_forever(self):
+        """A non-cycling profile whose last phase is timed: the timeline
+        parks at infinity once the duration elapses (no repeated checks,
+        no phantom transition)."""
+        profile = PathProfile(phases=(PathPhase("only", duration=1.0),))
+        timeline = profile.bind(0)
+        timeline.advance(5.0)
+        assert timeline.phase.name == "only"
+        assert timeline.transitions == 0
+        assert math.isinf(timeline.next_change)

@@ -130,6 +130,7 @@ class TestScenarioRegistry:
             "reorder", "rekey", "staggered_reset", "prolonged_reset",
             "recovery_ablation", "reset_notice", "dpd", "save_policy",
             "loss_hole", "gateway_crash", "rolling_restart", "sa_churn",
+            "nat_rebinding", "path_flap", "mobile_handover", "rekey_storm",
         }
 
     def test_every_run_callable_is_registered(self):
