@@ -24,6 +24,11 @@ Commands:
   receiver policy, a flapping route, and a mobile handover, each with a
   recorded-history replay against the moved binding (``--messages N``
   to scale the streams).
+* ``obs <run-dir>`` — summarize an observed run: the per-SA health
+  table, headline metrics, and a rendered ``trace.json`` (open in
+  https://ui.perfetto.dev).  ``--scenario NAME`` produces the run first
+  (under a live metrics hub); ``--check`` schema-validates the run
+  directory's files and fails loudly — the CI obs smoke job runs it.
 """
 
 from __future__ import annotations
@@ -144,9 +149,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         return 2
     out_dir = Path(args.out) if args.out else Path("fleet_runs") / spec.name
     store = ResultStore(out_dir / "results.jsonl")
+    obs_dir = out_dir / "obs" if args.obs else None
     total = spec.session_count()
+    extra = f", obs={obs_dir}" if obs_dir is not None else ""
     print(f"campaign {spec.name!r}: {total} sessions, jobs={args.jobs}, "
-          f"store={store.path}")
+          f"store={store.path}{extra}")
 
     stride = max(1, total // 20)
 
@@ -156,7 +163,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print(f"  [{done}/{pending}] {record.task_id}{status}")
 
     try:
-        outcome = FleetRunner(spec, store, jobs=args.jobs, progress=progress).run()
+        outcome = FleetRunner(
+            spec, store, jobs=args.jobs, progress=progress, obs_dir=obs_dir
+        ).run()
     except KeyboardInterrupt:
         done = len(store.completed_ids())
         print(f"\ninterrupted — {done}/{total} sessions persisted to {store.path}; "
@@ -268,6 +277,115 @@ def _cmd_netpath(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        CHROME_TRACE_FILE,
+        MANIFEST_FILE,
+        METRICS_FILE,
+        MetricsHub,
+        export_run,
+        health_rows,
+        read_manifest,
+        read_metrics_jsonl,
+        render_health_table,
+        render_run_trace,
+        use_hub,
+        validate_manifest,
+        validate_metrics_lines,
+        validate_trace_events,
+    )
+
+    run_dir = Path(args.run_dir)
+
+    if args.scenario is not None:
+        from repro.fleet.runner import scenario_metrics
+        from repro.workloads.scenarios import get_scenario
+
+        try:
+            scenario = get_scenario(args.scenario)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        try:
+            params = json.loads(args.params) if args.params else {}
+        except json.JSONDecodeError as exc:
+            print(f"error: --params is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        hub = MetricsHub(args.scenario)
+        with use_hub(hub):
+            result = scenario(seed=args.seed, **params)
+        export_run(
+            run_dir,
+            hub,
+            name=args.scenario,
+            scenario=args.scenario,
+            params=params,
+            seed=args.seed,
+            manifest_extra={"metrics": scenario_metrics(result)},
+        )
+        print(f"observed run written to {run_dir}/")
+
+    metrics_path = run_dir / METRICS_FILE
+    if not metrics_path.exists():
+        print(f"error: {metrics_path} not found — not an observed run "
+              "directory (produce one with --scenario)", file=sys.stderr)
+        return 2
+
+    export = read_metrics_jsonl(metrics_path)
+    manifest = None
+    manifest_path = run_dir / MANIFEST_FILE
+    if manifest_path.exists():
+        manifest = read_manifest(manifest_path)
+    trace_path = render_run_trace(run_dir)
+
+    if args.check:
+        failures: list[str] = []
+        lines = [
+            json.loads(line)
+            for line in metrics_path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        failures += [f"{METRICS_FILE}: {e}" for e in validate_metrics_lines(lines)]
+        if manifest is None:
+            failures.append(f"{MANIFEST_FILE}: missing")
+        else:
+            failures += [f"{MANIFEST_FILE}: {e}" for e in validate_manifest(manifest)]
+        if trace_path is None:
+            failures.append(f"{CHROME_TRACE_FILE}: not renderable")
+        else:
+            document = json.loads(trace_path.read_text(encoding="utf-8"))
+            failures += [
+                f"{CHROME_TRACE_FILE}: {e}"
+                for e in validate_trace_events(document)
+            ]
+        if failures:
+            for failure in failures:
+                print(f"SCHEMA FAIL  {failure}", file=sys.stderr)
+            return 1
+        print(f"schema check OK: {METRICS_FILE}, {MANIFEST_FILE}, "
+              f"{CHROME_TRACE_FILE}")
+
+    if manifest is not None:
+        scenario_name = manifest.get("scenario", manifest.get("name", "?"))
+        seed = manifest.get("seed", "?")
+        print(f"run: {scenario_name} (seed {seed})")
+    counters = export.get("counters", {})
+    total = sum(v for k, v in counters.items() if k.endswith("replay_discards"))
+    resets = sum(v for k, v in counters.items() if k.endswith("resets"))
+    print(f"instruments: {len(counters)} counters, "
+          f"{len(export.get('series', {}))} series, "
+          f"{len(export.get('histograms', {}))} histograms; "
+          f"resets={resets} replay_discards={total}")
+    print()
+    print(render_health_table(health_rows(export)))
+    if trace_path is not None:
+        print()
+        print(f"timeline: {trace_path} (load into https://ui.perfetto.dev)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -276,7 +394,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    p_exp = subparsers.add_parser("experiments", help="run experiment tables")
+    p_exp = subparsers.add_parser(
+        "experiments", help="run experiment tables",
+        epilog="example: python -m repro experiments e01 e06 --jobs 4",
+    )
     p_exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     p_exp.add_argument("--only", action="append", metavar="eNN",
                        help="run only this experiment (repeatable)")
@@ -290,20 +411,31 @@ def main(argv: list[str] | None = None) -> int:
                             "(default: experiment_runs)")
     p_exp.set_defaults(fn=_cmd_experiments)
 
-    p_check = subparsers.add_parser("check", help="model-check the specs")
+    p_check = subparsers.add_parser(
+        "check", help="model-check the specs",
+        epilog="example: python -m repro check --budget 500000",
+    )
     p_check.add_argument("--budget", type=int, default=2_000_000,
                          help="max states per configuration")
     p_check.set_defaults(fn=_cmd_check)
 
-    p_demo = subparsers.add_parser("demo", help="run the quickstart scenario")
+    p_demo = subparsers.add_parser(
+        "demo", help="run the quickstart scenario",
+        epilog="example: python -m repro demo",
+    )
     p_demo.set_defaults(fn=_cmd_demo)
 
-    p_spec = subparsers.add_parser("spec", help="print an APN spec")
+    p_spec = subparsers.add_parser(
+        "spec", help="print an APN spec",
+        epilog="example: python -m repro spec savefetch",
+    )
     p_spec.add_argument("which", choices=["unprotected", "savefetch", "ceiling"])
     p_spec.set_defaults(fn=_cmd_spec)
 
     p_fleet = subparsers.add_parser(
-        "fleet", help="run a multi-session campaign from a spec file"
+        "fleet", help="run a multi-session campaign from a spec file",
+        epilog="example: python -m repro fleet campaign.json --jobs 4 "
+               "--obs  (first print a spec with: python -m repro fleet --sample)",
     )
     p_fleet.add_argument("spec", nargs="?", help="campaign spec JSON file")
     p_fleet.add_argument("--jobs", type=int, default=1,
@@ -312,10 +444,14 @@ def main(argv: list[str] | None = None) -> int:
                          help="output directory (default: fleet_runs/<name>)")
     p_fleet.add_argument("--sample", action="store_true",
                          help="print an example campaign spec and exit")
+    p_fleet.add_argument("--obs", action="store_true",
+                         help="observe every session: per-task metrics files "
+                              "and a campaign rollup under <out>/obs/")
     p_fleet.set_defaults(fn=_cmd_fleet)
 
     p_gw = subparsers.add_parser(
-        "gateway", help="multi-SA gateway crash demo over a shared store"
+        "gateway", help="multi-SA gateway crash demo over a shared store",
+        epilog="example: python -m repro gateway --sas 16 --policy batched",
     )
     p_gw.add_argument("--sas", type=int, default=8,
                       help="number of SAs the gateway terminates (default: 8)")
@@ -333,11 +469,32 @@ def main(argv: list[str] | None = None) -> int:
     p_gw.set_defaults(fn=_cmd_gateway)
 
     p_np = subparsers.add_parser(
-        "netpath", help="time-varying path demo: NAT rebinding, flaps, handover"
+        "netpath", help="time-varying path demo: NAT rebinding, flaps, handover",
+        epilog="example: python -m repro netpath --messages 2000",
     )
     p_np.add_argument("--messages", type=int, default=1000,
                       help="messages per demo stream (default: 1000)")
     p_np.set_defaults(fn=_cmd_netpath)
+
+    p_obs = subparsers.add_parser(
+        "obs", help="summarize an observed run: health table + Chrome trace",
+        epilog="example: python -m repro obs runs/crash --scenario "
+               "gateway_crash --params '{\"n_sas\": 8}' --check",
+    )
+    p_obs.add_argument("run_dir",
+                       help="run directory (holds metrics.jsonl; created by "
+                            "--scenario)")
+    p_obs.add_argument("--scenario", default=None,
+                       help="produce the run first: a registry scenario name "
+                            "(see repro.workloads.scenarios)")
+    p_obs.add_argument("--params", default=None, metavar="JSON",
+                       help='scenario kwargs as JSON, e.g. \'{"n_sas": 8}\'')
+    p_obs.add_argument("--seed", type=int, default=0,
+                       help="scenario seed (default: 0)")
+    p_obs.add_argument("--check", action="store_true",
+                       help="schema-validate metrics/manifest/trace files "
+                            "(exit 1 on any violation)")
+    p_obs.set_defaults(fn=_cmd_obs)
 
     args = parser.parse_args(argv)
     return args.fn(args)

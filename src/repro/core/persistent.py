@@ -108,6 +108,26 @@ class PersistentStore(SimProcess):
         """Whether at least one SAVE has started but not committed."""
         return bool(self._in_flight)
 
+    @property
+    def in_flight_count(self) -> int:
+        """How many SAVEs have started but not committed (obs signal:
+        ``save_queue_depth``; >1 means the sizing rule is violated)."""
+        return len(self._in_flight)
+
+    def queue_wait(self) -> float:
+        """Time until the newest in-flight SAVE commits (0 when idle).
+
+        On a shared-store client this is the device queueing delay the
+        obs ``save_wait`` gauge tracks; on a private store it never
+        exceeds ``t_save``.
+        """
+        if not self._in_flight:
+            return 0.0
+        return max(
+            0.0,
+            max(record.commit_due_at for record, _ in self._in_flight) - self.now,
+        )
+
     def add_listener(self, listener: SaveListener) -> None:
         """Register a callback fired at save start and at save commit."""
         self._listeners.append(listener)

@@ -33,6 +33,9 @@ from repro.net.delay import DelayModel, FixedDelay
 from repro.net.link import Link, PacketPipe
 from repro.net.loss import LossModel, NoLoss
 from repro.net.reorder import DegreeReorderStage
+from repro.obs.hub import MetricsHub, default_hub
+from repro.obs.probe import HealthProbe
+from repro.obs.sampler import DEFAULT_SAMPLE_INTERVAL, Sampler
 from repro.sim.engine import Engine
 from repro.sim.metrics import MetricSet
 from repro.sim.trace import TraceRecorder
@@ -54,6 +57,9 @@ class ProtocolHarness:
     adversary: ReplayAdversary | None = None
     reorder_stage: DegreeReorderStage | None = None
     sa_pair: SaPair | None = None
+    hub: MetricsHub | None = None
+    probe: HealthProbe | None = None
+    sampler: Sampler | None = None
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Run the engine; returns events fired (see :meth:`Engine.run`)."""
@@ -140,6 +146,8 @@ def build_protocol(
     receiver_store: PersistentStore | None = None,
     path: "PathProfile | None" = None,
     sender_address: str | None = None,
+    hub: MetricsHub | None = None,
+    sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
 ) -> ProtocolHarness:
     """Build a ready-to-run p -> q anti-replay simulation.
 
@@ -191,12 +199,25 @@ def build_protocol(
             on every packet's ``src`` (default None — address-less, the
             paper's model).  NAT scenarios set it so a
             :class:`~repro.netpath.NatRebinding` has something to move.
+        hub: the metrics hub to publish health signals under (default:
+            the ambient :func:`repro.obs.default_hub`, which is
+            :data:`~repro.obs.NULL_HUB` unless a driver installed one
+            via :func:`repro.obs.use_hub`).  The zero-overhead-off
+            invariant: ``hub.enabled`` is checked *once, here* — a
+            disabled hub attaches no probe and no sampler, so the built
+            simulation is object-for-object what it was before this
+            parameter existed.
+        sample_interval: the probe sampling period when the hub is
+            enabled (simulated seconds).
 
     Returns:
         A :class:`ProtocolHarness` with every component exposed.
     """
+    own_engine = engine is None
     if engine is None:
         engine = Engine(trace=trace)
+    if hub is None:
+        hub = default_hub()
     auditor = DeliveryAuditor()
 
     if variant is None:
@@ -316,6 +337,20 @@ def build_protocol(
     if with_adversary:
         adversary = ReplayAdversary(engine, link, seed=seed * 7919 + 3)
 
+    # Observability: decided once at build time, never on the hot path.
+    # A disabled hub attaches nothing — the harness is exactly the
+    # pre-obs object graph and runs byte-identically.
+    probe: HealthProbe | None = None
+    sampler: Sampler | None = None
+    if hub.enabled:
+        probe = HealthProbe(hub, sender=sender, receiver=receiver, link=link)
+        if own_engine:
+            # A shared engine belongs to a multiplexing driver (the
+            # gateway), which runs one sampler for all of its pairs.
+            sampler = Sampler(engine, hub, interval=sample_interval)
+            sampler.register(probe)
+            sampler.start()
+
     return ProtocolHarness(
         engine=engine,
         sender=sender,
@@ -326,4 +361,7 @@ def build_protocol(
         adversary=adversary,
         reorder_stage=reorder_stage,
         sa_pair=sa_pair,
+        hub=hub if hub.enabled else None,
+        probe=probe,
+        sampler=sampler,
     )

@@ -20,9 +20,12 @@ Two properties the rest of the fleet stack depends on:
 
 from __future__ import annotations
 
+import contextlib
+import json
 import multiprocessing
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping
 
 from repro.fleet.results import (
@@ -33,6 +36,8 @@ from repro.fleet.results import (
     report_metrics,
 )
 from repro.fleet.spec import CampaignSpec, FleetTask, decode_params
+from repro.obs.export import write_metrics_jsonl
+from repro.obs.hub import MetricsHub, merge_rollups, use_hub
 from repro.sim.engine import Engine
 from repro.workloads.scenarios import ScenarioResult, get_scenario
 
@@ -61,7 +66,11 @@ def scenario_metrics(result: Any) -> dict[str, Any]:
     )
 
 
-def execute_task(task: FleetTask, max_events: int | None = None) -> TaskRecord:
+def execute_task(
+    task: FleetTask,
+    max_events: int | None = None,
+    obs_dir: str | Path | None = None,
+) -> TaskRecord:
     """Run one task to completion and score it; never raises.
 
     Task params are JSON-encoded (see :func:`repro.fleet.spec.decode_params`
@@ -74,20 +83,38 @@ def execute_task(task: FleetTask, max_events: int | None = None) -> TaskRecord:
     :class:`~repro.sim.engine.EngineEventLimitError` tripwire — becomes a
     ``status="error"`` record (retried on the next resume) instead of
     taking the whole campaign down.
+
+    With ``obs_dir`` set, the task runs under a fresh ambient
+    :class:`~repro.obs.MetricsHub` (same pattern as the event limit:
+    installed around the call so engines built inside the scenario
+    helper pick it up), its full metrics land in
+    ``<obs_dir>/<task_id>.metrics.jsonl``, and a label-rolled summary
+    rides the record as ``metrics["obs"]`` so campaign aggregates reach
+    the :class:`~repro.fleet.results.ResultStore` without re-reading the
+    per-task files.
     """
     started = time.perf_counter()
     previous_limit = Engine.default_hard_event_limit
     Engine.default_hard_event_limit = max_events
+    hub = MetricsHub(task.task_id) if obs_dir is not None else None
+    ambient = use_hub(hub) if hub is not None else contextlib.nullcontext()
     try:
         scenario = get_scenario(task.scenario)
-        result = scenario(seed=task.seed, **decode_params(task.params))
+        with ambient:
+            result = scenario(seed=task.seed, **decode_params(task.params))
+        metrics = scenario_metrics(result)
+        if hub is not None:
+            write_metrics_jsonl(
+                hub, Path(obs_dir) / f"{task.task_id}.metrics.jsonl"
+            )
+            metrics["obs"] = hub.rollup()
         return TaskRecord(
             task_id=task.task_id,
             scenario=task.scenario,
             params=dict(task.params),
             seed=task.seed,
             status=STATUS_OK,
-            metrics=scenario_metrics(result),
+            metrics=metrics,
             wall_time=time.perf_counter() - started,
         )
     except Exception as exc:  # noqa: BLE001 - one bad task must not kill the fleet
@@ -104,10 +131,14 @@ def execute_task(task: FleetTask, max_events: int | None = None) -> TaskRecord:
         Engine.default_hard_event_limit = previous_limit
 
 
-def _pool_execute(payload: tuple[dict[str, Any], int | None]) -> dict[str, Any]:
+def _pool_execute(
+    payload: tuple[dict[str, Any], int | None, str | None]
+) -> dict[str, Any]:
     """Pool worker entry point (module-level so it pickles by reference)."""
-    task_data, max_events = payload
-    return execute_task(FleetTask.from_dict(task_data), max_events).to_dict()
+    task_data, max_events, obs_dir = payload
+    return execute_task(
+        FleetTask.from_dict(task_data), max_events, obs_dir=obs_dir
+    ).to_dict()
 
 
 @dataclass
@@ -148,6 +179,14 @@ class FleetRunner:
         max_events: per-task engine event budget; defaults to
             ``spec.max_events`` (``None`` disables the guard).
         progress: optional per-record callback (see :data:`ProgressFn`).
+        obs_dir: observe every task (default None — no observability,
+            exactly the pre-obs fast path).  Tasks run under per-task
+            hubs, full metrics land in
+            ``<obs_dir>/<task_id>.metrics.jsonl``, rollup summaries
+            ride the records, and :meth:`run` aggregates worst-case
+            health across the campaign.  Determinism is preserved: the
+            hub observes, never schedules, so stores stay byte-identical
+            modulo ``wall_time`` whether observed or not.
     """
 
     def __init__(
@@ -157,6 +196,7 @@ class FleetRunner:
         jobs: int = 1,
         max_events: int | None = None,
         progress: ProgressFn | None = None,
+        obs_dir: str | Path | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -165,6 +205,7 @@ class FleetRunner:
         self.jobs = jobs
         self.max_events = max_events if max_events is not None else spec.max_events
         self.progress = progress
+        self.obs_dir = Path(obs_dir) if obs_dir is not None else None
 
     # ------------------------------------------------------------------
     # Execution
@@ -181,11 +222,14 @@ class FleetRunner:
         return len(tasks), [task for task in tasks if task.task_id not in done]
 
     def _results(self, pending: list[FleetTask]) -> Iterator[TaskRecord]:
+        obs_dir = str(self.obs_dir) if self.obs_dir is not None else None
         if self.jobs == 1:
             for task in pending:
-                yield execute_task(task, self.max_events)
+                yield execute_task(task, self.max_events, obs_dir=self.obs_dir)
             return
-        payloads = [(task.to_dict(), self.max_events) for task in pending]
+        payloads = [
+            (task.to_dict(), self.max_events, obs_dir) for task in pending
+        ]
         # chunksize=1 keeps completion streaming; ordered imap keeps the
         # store's line order identical to the serial run.
         with multiprocessing.Pool(processes=self.jobs) as pool:
@@ -196,14 +240,38 @@ class FleetRunner:
         """Execute every pending task, appending records as they finish."""
         started = time.perf_counter()
         total, pending = self.pending_tasks()
+        if self.obs_dir is not None:
+            self.obs_dir.mkdir(parents=True, exist_ok=True)
         outcome = FleetOutcome(total=total, skipped=total - len(pending))
         for record in self._results(pending):
             self.store.append(record)
             outcome.executed.append(record)
             if self.progress is not None:
                 self.progress(len(outcome.executed), len(pending), record)
+        if self.obs_dir is not None:
+            self._write_campaign_rollup()
         outcome.wall_time = time.perf_counter() - started
         return outcome
+
+    def _write_campaign_rollup(self) -> None:
+        """Aggregate every stored task's obs summary into one file.
+
+        Reads the rollups back from the *store* (not just this call's
+        records), so a resumed campaign aggregates everything — earlier
+        sessions included — and ``campaign_obs.json`` always reflects
+        the store's complete state.
+        """
+        rollups = [
+            record.metrics["obs"]
+            for record in self.store.records()
+            if record.status == STATUS_OK and "obs" in record.metrics
+        ]
+        merged = merge_rollups(rollups)
+        path = self.obs_dir / "campaign_obs.json"
+        path.write_text(
+            json.dumps(merged, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
 
 
 def run_campaign(
@@ -211,8 +279,11 @@ def run_campaign(
     store: ResultStore | str,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    obs_dir: str | Path | None = None,
 ) -> FleetOutcome:
     """Convenience wrapper: build the runner and execute the campaign."""
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
-    return FleetRunner(spec, store, jobs=jobs, progress=progress).run()
+    return FleetRunner(
+        spec, store, jobs=jobs, progress=progress, obs_dir=obs_dir
+    ).run()

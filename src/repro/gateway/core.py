@@ -34,6 +34,9 @@ from repro.gateway.report import GatewayReport, SAOutcome
 from repro.gateway.store import SharedStore, safe_save_interval
 from repro.ipsec.costs import CostModel, PAPER_COSTS
 from repro.netpath.faults import PathEnv, PathFault
+from repro.obs.hub import MetricsHub, NULL_HUB, default_hub
+from repro.obs.probe import SharedStoreProbe
+from repro.obs.sampler import DEFAULT_SAMPLE_INTERVAL, Sampler
 from repro.sim.engine import Engine
 from repro.sim.trace import NULL_TRACE, TraceRecorder
 from repro.util.rng import derive_seed
@@ -115,6 +118,14 @@ class Gateway:
         store_load_factor: forwarded to
             :class:`~repro.gateway.store.SharedStore` — load-dependent
             SAVE duration (0.0 = the paper's fixed upper bound).
+        hub: metrics hub for per-SA health signals (default: the
+            ambient :func:`repro.obs.default_hub`).  When enabled, each
+            SA publishes under a ``saN`` sub-hub label, the shared
+            device under ``store/``, and one gateway-wide
+            :class:`~repro.obs.Sampler` snapshots everything; when
+            disabled (the default ambient :data:`~repro.obs.NULL_HUB`)
+            nothing attaches and runs are byte-identical to pre-obs.
+        sample_interval: sampling period when the hub is enabled.
     """
 
     def __init__(
@@ -134,6 +145,8 @@ class Gateway:
         path: "PathProfile | None" = None,
         sa_paths: "Mapping[int, PathProfile] | None" = None,
         store_load_factor: float = 0.0,
+        hub: MetricsHub | None = None,
+        sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
     ) -> None:
         check_positive("n_sas", n_sas)
         if side not in GATEWAY_SIDES:
@@ -159,6 +172,14 @@ class Gateway:
             self.engine, "store:gateway", costs=costs, policy=store_policy,
             load_factor=store_load_factor,
         )
+        if hub is None:
+            hub = default_hub()
+        self.hub: MetricsHub | None = hub if hub.enabled else None
+        self.sampler: Sampler | None = None
+        if self.hub is not None:
+            self.sampler = Sampler(self.engine, self.hub, interval=sample_interval)
+            self.sampler.register(SharedStoreProbe(self.hub, self.store))
+            self.sampler.start()
         self.sas: list[SAUnit] = []
         self.crash_times: list[float] = []
         self.restart_waves: list[list[float]] = []
@@ -198,6 +219,9 @@ class Gateway:
             sender_store=store_client if self.side == "sender" else None,
             receiver_store=store_client if self.side == "receiver" else None,
             path=self.sa_paths.get(index, self.path),
+            # Explicit (never ambient): the gateway decided observability
+            # at construction; its SAs publish under per-SA labels.
+            hub=self.hub.sub(f"sa{index}") if self.hub is not None else NULL_HUB,
         )
         unit = SAUnit(
             index=index,
@@ -205,6 +229,8 @@ class Gateway:
             side=self.side,
             created_at=self.engine.now,
         )
+        if self.sampler is not None and harness.probe is not None:
+            self.sampler.register(harness.probe)
         self.sas.append(unit)
         return unit
 

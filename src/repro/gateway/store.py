@@ -174,6 +174,12 @@ class SharedStore(SimProcess):
     def clients(self) -> tuple["SharedStoreClient", ...]:
         return tuple(self._clients)
 
+    @property
+    def backlog(self) -> float:
+        """Time until the device is free (obs signal ``store/backlog``;
+        it grows without bound exactly when ``K`` is under-provisioned)."""
+        return max(0.0, self._busy_until - self.now)
+
     # ------------------------------------------------------------------
     # Device timeline
     # ------------------------------------------------------------------

@@ -1,0 +1,117 @@
+"""repro.obs — unified observability: metrics hub, health probes, export.
+
+The layer that turns a simulation into signals:
+
+* :mod:`repro.obs.hub` — the :class:`MetricsHub` instrument registry
+  (counters, gauges, EWMA gauges, log-bucket histograms, time series)
+  with sub-hub label fan-in and the zero-overhead :class:`NullHub`.
+* :mod:`repro.obs.probe` — pull-based per-SA :class:`HealthProbe` and
+  the gateway's :class:`SharedStoreProbe`.
+* :mod:`repro.obs.sampler` — the periodic :class:`Sampler` engine
+  process snapshotting probes into time series.
+* :mod:`repro.obs.health` — GREEN/YELLOW/RED multi-signal voting and
+  the health summary table.
+* :mod:`repro.obs.export` — metrics JSONL, run manifests, and Chrome
+  trace-event rendering (open in https://ui.perfetto.dev).
+
+``python -m repro obs`` is the CLI over all of it; ``repro.control``
+(ROADMAP) is the next consumer.
+"""
+
+from repro.obs.export import (
+    CHROME_TRACE_FILE,
+    MANIFEST_FILE,
+    MANIFEST_SCHEMA,
+    METRICS_FILE,
+    METRICS_SCHEMA,
+    TRACE_RECORDS_FILE,
+    TRACE_RECORDS_SCHEMA,
+    build_manifest,
+    chrome_trace_events,
+    export_run,
+    metrics_lines,
+    read_manifest,
+    read_metrics_jsonl,
+    read_trace_records,
+    render_run_trace,
+    validate_manifest,
+    validate_metrics_lines,
+    validate_trace_events,
+    write_chrome_trace,
+    write_manifest,
+    write_metrics_jsonl,
+    write_trace_records,
+)
+from repro.obs.health import (
+    DEFAULT_THRESHOLDS,
+    HealthState,
+    HealthThresholds,
+    classify,
+    health_rows,
+    render_health_table,
+    signal_level,
+)
+from repro.obs.hub import (
+    DEFAULT_EWMA_ALPHA,
+    NULL_HUB,
+    EwmaGauge,
+    Gauge,
+    HubCounter,
+    LogHistogram,
+    MetricsHub,
+    NullHub,
+    default_hub,
+    merge_rollups,
+    split_label,
+    use_hub,
+)
+from repro.obs.probe import HealthProbe, SharedStoreProbe
+from repro.obs.sampler import DEFAULT_SAMPLE_INTERVAL, Sampler
+
+__all__ = [
+    "CHROME_TRACE_FILE",
+    "DEFAULT_EWMA_ALPHA",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "DEFAULT_THRESHOLDS",
+    "EwmaGauge",
+    "Gauge",
+    "HealthProbe",
+    "HealthState",
+    "HealthThresholds",
+    "HubCounter",
+    "LogHistogram",
+    "MANIFEST_FILE",
+    "MANIFEST_SCHEMA",
+    "METRICS_FILE",
+    "METRICS_SCHEMA",
+    "MetricsHub",
+    "NULL_HUB",
+    "NullHub",
+    "Sampler",
+    "SharedStoreProbe",
+    "TRACE_RECORDS_FILE",
+    "TRACE_RECORDS_SCHEMA",
+    "build_manifest",
+    "chrome_trace_events",
+    "classify",
+    "default_hub",
+    "export_run",
+    "health_rows",
+    "merge_rollups",
+    "metrics_lines",
+    "read_manifest",
+    "read_metrics_jsonl",
+    "read_trace_records",
+    "render_health_table",
+    "render_run_trace",
+    "signal_level",
+    "split_label",
+    "use_hub",
+    "validate_manifest",
+    "validate_metrics_lines",
+    "validate_trace_events",
+    "write_chrome_trace",
+    "write_manifest",
+    "write_metrics_jsonl",
+    "write_trace_records",
+]

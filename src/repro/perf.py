@@ -126,6 +126,10 @@ def _timed_calibration_round() -> float:
 # ----------------------------------------------------------------------
 # Rate reporting
 # ----------------------------------------------------------------------
+#: Schema tag stamped into :meth:`RateReport.as_dict` exports.
+RATE_SCHEMA = "repro.perf/rate@1"
+
+
 @dataclass(frozen=True)
 class RateReport:
     """One benchmark's throughput, raw and machine-normalized.
@@ -163,7 +167,14 @@ class RateReport:
         )
 
     def as_dict(self) -> dict[str, Any]:
+        """JSON-safe export, carried into pytest-benchmark ``extra_info``.
+
+        The ``schema`` tag makes archived BENCH_*.json artifacts
+        self-describing: a consumer can tell these fields came from this
+        reporter (and which revision of it) without guessing from shape.
+        """
         return {
+            "schema": RATE_SCHEMA,
             "name": self.name,
             "metric": self.metric,
             "count": self.count,
@@ -189,12 +200,18 @@ def measure_rate(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class GateResult:
-    """Verdict for one gated benchmark."""
+    """Verdict for one gated benchmark.
+
+    ``current_raw`` is the un-normalized rate on this host — not gated
+    (it is machine-dependent), but printed so a green run still reports
+    what the hardware actually did.
+    """
 
     name: str
     current_normalized: float
     baseline_normalized: float
     floor: float
+    current_raw: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -206,10 +223,14 @@ class GateResult:
 
     def format(self) -> str:
         verdict = "ok" if self.ok else "REGRESSION"
+        raw = (
+            f" [{self.current_raw:,.0f} raw]"
+            if self.current_raw is not None else ""
+        )
         return (
             f"  {self.name}: normalized {self.current_normalized:,.1f} "
             f"vs baseline {self.baseline_normalized:,.1f} "
-            f"({self.ratio:.2f}x, floor {self.floor:,.1f}) {verdict}"
+            f"({self.ratio:.2f}x, floor {self.floor:,.1f}){raw} {verdict}"
         )
 
 
@@ -258,7 +279,8 @@ def check_report(
         if name not in bench_times:
             missing.append(name)
             continue
-        normalized = spec["count"] / bench_times[name] / score
+        raw = spec["count"] / bench_times[name]
+        normalized = raw / score
         base = float(spec["normalized_rate"])
         results.append(
             GateResult(
@@ -266,6 +288,7 @@ def check_report(
                 current_normalized=normalized,
                 baseline_normalized=base,
                 floor=base * (1.0 - tolerance),
+                current_raw=raw,
             )
         )
     return results, missing

@@ -39,10 +39,30 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """An append-only log of :class:`TraceRecord` objects with query helpers."""
+    """An append-only log of :class:`TraceRecord` objects with query helpers.
 
-    def __init__(self, enabled: bool = True) -> None:
+    Args:
+        enabled: start recording immediately (flippable at runtime).
+        max_records: optional memory bound.  ``None`` (the default) keeps
+            every record — unchanged historical behaviour.  With a bound,
+            the recorder becomes a ring buffer over the *newest* records:
+            appending beyond the bound evicts the oldest record and
+            increments :attr:`dropped`.  Long traced runs (fleet tasks,
+            soak scenarios) set a bound so tracing cannot grow without
+            limit; queries then see only the retained tail, and consumers
+            that need to know whether history was lost check ``dropped``
+            (the exported trace-records header carries it).
+    """
+
+    def __init__(
+        self, enabled: bool = True, max_records: int | None = None
+    ) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
         self.enabled = enabled
+        self.max_records = max_records
+        #: Records evicted by the ring bound (0 when unbounded).
+        self.dropped = 0
         self._records: list[TraceRecord] = []
 
     def record(
@@ -52,10 +72,16 @@ class TraceRecorder:
         kind: str,
         **detail: Any,
     ) -> None:
-        """Append a record (no-op when disabled)."""
+        """Append a record (no-op when disabled; evicts oldest at bound)."""
         if not self.enabled:
             return
         self._records.append(TraceRecord(time=time, source=source, kind=kind, detail=detail))
+        if self.max_records is not None and len(self._records) > self.max_records:
+            # One-in one-out: eviction cost is O(n) per append, but a
+            # bounded trace is small by construction and the unbounded
+            # default path never reaches this branch.
+            del self._records[0]
+            self.dropped += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -99,8 +125,9 @@ class TraceRecorder:
         return matches[-1] if matches else None
 
     def clear(self) -> None:
-        """Drop all records."""
+        """Drop all records (and forget the eviction count)."""
         self._records.clear()
+        self.dropped = 0
 
     def render(self, limit: int | None = None) -> str:
         """Render the trace (optionally only the last ``limit`` records)."""

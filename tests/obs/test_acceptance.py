@@ -1,0 +1,129 @@
+"""The ISSUE's acceptance run: a 32-SA observed gateway crash.
+
+An enabled hub on a fleet-scale gateway_crash must produce per-SA loss
+EWMA, save-queue and recovery-latency series, and the run directory's
+Chrome trace-event JSON must validate against the schema checker — the
+same contract the CI obs smoke job enforces on a smaller grid.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    export_run,
+    read_metrics_jsonl,
+    render_run_trace,
+    validate_manifest,
+    validate_metrics_lines,
+    validate_trace_events,
+)
+from repro.obs.health import health_rows
+from repro.obs.hub import MetricsHub, use_hub
+from repro.workloads.scenarios import run_gateway_crash_scenario
+
+N_SAS = 32
+
+
+@pytest.fixture(scope="module")
+def observed_crash():
+    hub = MetricsHub("acceptance-32sa")
+    with use_hub(hub):
+        metrics = run_gateway_crash_scenario(
+            n_sas=N_SAS, crash_after_sends=60, messages_after_reset=60,
+            seed=2003,
+        )
+    return hub, metrics
+
+
+class TestPerSaSignals:
+    def test_every_sa_labeled(self, observed_crash):
+        hub, _ = observed_crash
+        assert hub.labels == [f"sa{index}" for index in range(N_SAS)]
+
+    def test_per_sa_loss_ewma_series(self, observed_crash):
+        hub, _ = observed_crash
+        for index in range(N_SAS):
+            samples = hub.series(f"sa{index}/loss_ewma").samples
+            assert samples, f"sa{index} has no loss series"
+            assert all(value == 0.0 for _, value in samples)  # lossless link
+
+    def test_per_sa_save_queue_series(self, observed_crash):
+        hub, _ = observed_crash
+        peaks = [
+            max(value for _, value in hub.series(f"sa{i}/save_queue_depth").samples)
+            for i in range(N_SAS)
+        ]
+        assert all(peak >= 0 for peak in peaks)
+        assert any(peak >= 1 for peak in peaks), (
+            "no SA was ever sampled with an in-flight SAVE"
+        )
+
+    def test_per_sa_recovery_latency_observed(self, observed_crash):
+        hub, _ = observed_crash
+        for index in range(N_SAS):
+            histogram = hub.histogram(f"sa{index}/recovery_latency")
+            assert histogram.count >= 1, f"sa{index} recorded no recovery"
+
+    def test_fetch_storm_staircase(self, observed_crash):
+        # The shared store serializes the wake-up FETCH storm, so
+        # recovery latency grows with the SA's position in the queue:
+        # the worst SA waits far longer than the first.
+        hub, _ = observed_crash
+        latencies = sorted(
+            hub.histogram(f"sa{index}/recovery_latency").maximum
+            for index in range(N_SAS)
+        )
+        assert latencies[-1] > 1.5 * latencies[0]
+        # ... and the spread spans many serialized FETCHes, not jitter.
+        assert latencies[-1] - latencies[0] > 1e-3
+
+    def test_store_probe_saw_the_storm(self, observed_crash):
+        hub, _ = observed_crash
+        backlog = [value for _, value in hub.series("store/backlog").samples]
+        assert max(backlog) > 0.0
+        assert hub.series("store/fetches").last_value() >= N_SAS
+
+    def test_rollup_aggregates_all_sas(self, observed_crash):
+        hub, _ = observed_crash
+        rollup = hub.rollup()
+        assert rollup["labels"] == N_SAS
+        assert rollup["counters"]["resets"] >= N_SAS
+        assert rollup["histograms"]["recovery_latency"]["count"] >= N_SAS
+
+    def test_health_rows_cover_every_sa(self, observed_crash):
+        hub, _ = observed_crash
+        rows = health_rows(hub.as_dict())
+        assert len(rows) == N_SAS
+        assert all(row["state"] in ("GREEN", "YELLOW", "RED") for row in rows)
+
+
+class TestRunDirectoryContract:
+    def test_exported_run_validates_end_to_end(self, observed_crash, tmp_path):
+        hub, metrics = observed_crash
+        run_dir = export_run(
+            tmp_path / "run", hub, name="acceptance-32sa",
+            scenario="gateway_crash", seed=2003,
+            manifest_extra={"metrics": metrics},
+        )
+        lines = [
+            json.loads(line)
+            for line in (run_dir / "metrics.jsonl").read_text().splitlines()
+        ]
+        assert validate_metrics_lines(lines) == []
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert validate_manifest(manifest) == []
+        trace_path = render_run_trace(run_dir)
+        document = json.loads(trace_path.read_text())
+        assert validate_trace_events(document) == []
+        # The counter tracks carry every SA's series into the viewer.
+        counter_names = {
+            event["name"] for event in document["traceEvents"]
+            if event["ph"] == "C"
+        }
+        assert f"sa{N_SAS - 1}/loss_ewma" in counter_names
+        # And the file round-trips to the same health view.
+        read_back = read_metrics_jsonl(run_dir / "metrics.jsonl")
+        assert len(health_rows(read_back)) == N_SAS

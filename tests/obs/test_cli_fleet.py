@@ -1,0 +1,150 @@
+"""End-to-end tests: the ``obs`` CLI and the fleet's ``--obs`` plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.fleet.results import ResultStore
+from repro.fleet.runner import FleetRunner
+from repro.fleet.spec import CampaignSpec, ScenarioGrid
+from repro.obs.export import read_metrics_jsonl, validate_trace_events
+from repro.obs.hub import merge_rollups
+
+
+class TestObsCli:
+    def run_observed(self, tmp_path, extra=()):
+        return main([
+            "obs", str(tmp_path / "run"),
+            "--scenario", "gateway_crash",
+            "--params", json.dumps(
+                {"n_sas": 4, "crash_after_sends": 60,
+                 "messages_after_reset": 60}
+            ),
+            "--seed", "2003", *extra,
+        ])
+
+    def test_scenario_run_writes_and_summarizes(self, tmp_path, capsys):
+        assert self.run_observed(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "observed run written" in out
+        assert "overall:" in out  # the health table printed
+        run_dir = tmp_path / "run"
+        assert (run_dir / "metrics.jsonl").exists()
+        assert (run_dir / "manifest.json").exists()
+        assert (run_dir / "trace.json").exists()
+        export = read_metrics_jsonl(run_dir / "metrics.jsonl")
+        assert export["labels"] == ["sa0", "sa1", "sa2", "sa3"]
+
+    def test_check_passes_on_real_run(self, tmp_path):
+        assert self.run_observed(tmp_path, extra=("--check",)) == 0
+        document = json.loads((tmp_path / "run" / "trace.json").read_text())
+        assert validate_trace_events(document) == []
+
+    def test_check_fails_on_corrupted_metrics(self, tmp_path, capsys):
+        assert self.run_observed(tmp_path) == 0
+        metrics_path = tmp_path / "run" / "metrics.jsonl"
+        lines = metrics_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema"] = "bogus@9"
+        metrics_path.write_text("\n".join([json.dumps(header)] + lines[1:]))
+        assert main(["obs", str(tmp_path / "run"), "--check"]) == 1
+        assert "SCHEMA FAIL" in capsys.readouterr().err
+
+    def test_summarize_without_run_errors(self, tmp_path, capsys):
+        assert main(["obs", str(tmp_path / "empty")]) == 2
+        assert "not an observed run" in capsys.readouterr().err
+
+    def test_unknown_scenario_errors(self, tmp_path, capsys):
+        code = main(["obs", str(tmp_path / "run"), "--scenario", "nonsense"])
+        assert code == 2
+        assert "nonsense" in capsys.readouterr().err
+
+    def test_bad_params_json_errors(self, tmp_path, capsys):
+        code = main([
+            "obs", str(tmp_path / "run"),
+            "--scenario", "gateway_crash", "--params", "{not json",
+        ])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_help_has_an_example_per_subcommand(self, capsys):
+        for command in ("experiments", "check", "demo", "spec", "fleet",
+                        "gateway", "netpath", "obs"):
+            with pytest.raises(SystemExit):
+                main([command, "--help"])
+            assert "example:" in capsys.readouterr().out, (
+                f"{command} --help lacks a usage example"
+            )
+
+
+def observed_campaign(tmp_path, jobs: int = 1):
+    spec = CampaignSpec(
+        name="obs-fleet",
+        base_seed=2003,
+        grids=(ScenarioGrid(
+            scenario="gateway_crash",
+            params={"n_sas": [2, 4], "crash_after_sends": 60,
+                    "messages_after_reset": 60},
+        ),),
+    )
+    store = ResultStore(tmp_path / "results.jsonl")
+    obs_dir = tmp_path / "obs"
+    outcome = FleetRunner(spec, store, jobs=jobs, obs_dir=obs_dir).run()
+    return outcome, store, obs_dir
+
+
+class TestFleetObs:
+    def test_per_task_metrics_files_written(self, tmp_path):
+        outcome, _, obs_dir = observed_campaign(tmp_path)
+        assert {r.status for r in outcome.executed} == {"ok"}
+        for record in outcome.executed:
+            path = obs_dir / f"{record.task_id}.metrics.jsonl"
+            assert path.exists(), f"missing metrics file for {record.task_id}"
+            export = read_metrics_jsonl(path)
+            assert export["name"] == record.task_id
+            assert export["labels"]  # per-SA sub-hubs registered
+
+    def test_rollup_rides_each_record(self, tmp_path):
+        outcome, _, _ = observed_campaign(tmp_path)
+        for record in outcome.executed:
+            rollup = record.metrics["obs"]
+            assert rollup["counters"]["resets"] >= 2
+            assert "recovery_latency" in rollup["histograms"]
+
+    def test_campaign_rollup_written_and_consistent(self, tmp_path):
+        outcome, store, obs_dir = observed_campaign(tmp_path)
+        campaign = json.loads((obs_dir / "campaign_obs.json").read_text())
+        expected = merge_rollups(
+            record.metrics["obs"] for record in store.records()
+        )
+        assert campaign == json.loads(json.dumps(expected))
+        assert campaign["tasks"] == len(outcome.executed)
+        assert campaign["labels"] == 2 + 4
+
+    def test_parallel_campaign_observes_identically(self, tmp_path):
+        _, _, serial_dir = observed_campaign(tmp_path / "serial", jobs=1)
+        _, _, pooled_dir = observed_campaign(tmp_path / "pooled", jobs=2)
+        serial = json.loads((serial_dir / "campaign_obs.json").read_text())
+        pooled = json.loads((pooled_dir / "campaign_obs.json").read_text())
+        assert serial == pooled
+
+    def test_fleet_cli_obs_flag(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-obs",
+            "base_seed": 2003,
+            "grids": [{
+                "scenario": "gateway_crash",
+                "params": {"n_sas": 2, "crash_after_sends": 60,
+                           "messages_after_reset": 60},
+            }],
+        }))
+        out_dir = tmp_path / "runs"
+        assert main(["fleet", str(spec_path), "--out", str(out_dir),
+                     "--obs"]) == 0
+        assert (out_dir / "obs" / "campaign_obs.json").exists()
+        metrics_files = list((out_dir / "obs").rglob("*.metrics.jsonl"))
+        assert len(metrics_files) == 1

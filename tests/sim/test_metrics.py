@@ -56,6 +56,17 @@ class TestSummaryStat:
         assert stat.variance == 0.0
         assert not math.isnan(stat.stddev)
 
+    def test_single_observation_as_dict(self):
+        # One sample: min == max == mean == the value, spread is zero,
+        # and nothing leaks the +/-inf initial sentinels.
+        stat = SummaryStat("x")
+        stat.observe(7.25)
+        exported = stat.as_dict()
+        assert exported["count"] == 1
+        assert exported["min"] == exported["max"] == exported["mean"] == 7.25
+        assert exported["stddev"] == 0.0
+        assert all(math.isfinite(v) for v in exported.values())
+
 
 class TestTimeSeries:
     def test_sampling(self):
@@ -68,6 +79,14 @@ class TestTimeSeries:
 
     def test_last_value_default(self):
         assert TimeSeries("x").last_value(default=-1.0) == -1.0
+
+    def test_empty_series_queries(self):
+        # Every query on a never-sampled series answers without raising.
+        series = TimeSeries("x")
+        assert series.values == []
+        assert series.times == []
+        assert series.last_value() == 0.0
+        assert series.samples == []
 
 
 class TestMetricSet:
@@ -87,3 +106,21 @@ class TestMetricSet:
         assert exported["counters"]["sent"] == 3
         assert exported["stats"]["gap"]["count"] == 1
         assert exported["series"]["edge"] == [(0.0, 10.0)]
+
+    def test_as_dict_same_name_across_kinds_does_not_collide(self):
+        # A counter, a stat and a series may legitimately share one name
+        # (e.g. "gap" counted and distributed); the export must keep all
+        # three, each under its own kind, values intact.
+        metrics = MetricSet()
+        metrics.counter("gap").increment(2)
+        metrics.stat("gap").observe(4.0)
+        metrics.series("gap").sample(1.0, 8.0)
+        exported = metrics.as_dict()
+        assert exported["counters"]["gap"] == 2
+        assert exported["stats"]["gap"]["mean"] == 4.0
+        assert exported["series"]["gap"] == [(1.0, 8.0)]
+        # And the namesakes are independent objects: touching one kind
+        # never bleeds into another.
+        metrics.counter("gap").increment(5)
+        assert metrics.stat("gap").count == 1
+        assert len(metrics.series("gap").samples) == 1

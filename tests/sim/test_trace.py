@@ -31,6 +31,51 @@ class TestRecording:
         assert len(recorder) == 0
 
 
+class TestRingBuffer:
+    def test_unbounded_default_never_drops(self):
+        recorder = make_recorder()
+        assert recorder.max_records is None
+        assert recorder.dropped == 0
+        assert len(recorder) == 4
+
+    def test_bounded_keeps_newest(self):
+        recorder = TraceRecorder(max_records=3)
+        for i in range(5):
+            recorder.record(float(i), "p", "send", seq=i)
+        assert len(recorder) == 3
+        assert [r.detail["seq"] for r in recorder] == [2, 3, 4]
+        assert recorder.dropped == 2
+
+    def test_bound_exactly_full_drops_nothing(self):
+        recorder = TraceRecorder(max_records=4)
+        for i in range(4):
+            recorder.record(float(i), "p", "send", seq=i)
+        assert len(recorder) == 4
+        assert recorder.dropped == 0
+
+    def test_queries_see_retained_tail_only(self):
+        recorder = TraceRecorder(max_records=2)
+        recorder.record(0.0, "p", "send", seq=1)
+        recorder.record(0.1, "q", "deliver", seq=1)
+        recorder.record(0.2, "p", "send", seq=2)
+        assert recorder.count(kind="send") == 1
+        assert recorder.last(kind="send").detail["seq"] == 2
+
+    def test_clear_resets_dropped(self):
+        recorder = TraceRecorder(max_records=1)
+        recorder.record(0.0, "p", "a")
+        recorder.record(0.1, "p", "b")
+        assert recorder.dropped == 1
+        recorder.clear()
+        assert recorder.dropped == 0
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_records=0)
+        with pytest.raises(ValueError):
+            TraceRecorder(max_records=-5)
+
+
 class TestQueries:
     def test_filter_by_source(self):
         assert len(make_recorder().filter(source="p")) == 2
