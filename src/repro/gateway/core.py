@@ -35,7 +35,7 @@ from repro.gateway.store import SharedStore, safe_save_interval
 from repro.ipsec.costs import CostModel, PAPER_COSTS
 from repro.netpath.faults import PathEnv, PathFault
 from repro.obs.hub import MetricsHub, NULL_HUB, default_hub
-from repro.obs.probe import SharedStoreProbe
+from repro.obs.probe import EventCoreProbe, SharedStoreProbe
 from repro.obs.sampler import DEFAULT_SAMPLE_INTERVAL, Sampler
 from repro.sim.engine import Engine
 from repro.sim.trace import NULL_TRACE, TraceRecorder
@@ -179,6 +179,7 @@ class Gateway:
         if self.hub is not None:
             self.sampler = Sampler(self.engine, self.hub, interval=sample_interval)
             self.sampler.register(SharedStoreProbe(self.hub, self.store))
+            self.sampler.register(EventCoreProbe(self.hub, self.engine))
             self.sampler.start()
         self.sas: list[SAUnit] = []
         self.crash_times: list[float] = []
@@ -271,6 +272,20 @@ class Gateway:
         for unit in self.live_sas():
             unit.harness.sender.start_traffic(count=count, interval=interval)
             unit.traffic = {"count": count, "interval": interval}
+
+    def pulse_all(self, n: int = 1) -> int:
+        """One synchronized burst: every live SA sends ``n`` messages now.
+
+        The correlated-traffic counterpart of :meth:`crash` — all
+        gateway SAs transmit at the same instant (a keepalive sweep, a
+        poll cycle), which is exactly the N-SA fan-out the batched link
+        offer path (:meth:`~repro.core.sender.BaseSender.send_batch` →
+        ``Link.offer_many``) amortizes.  Returns the total sent.
+        """
+        total = 0
+        for unit in self.live_sas():
+            total += unit.harness.sender.send_batch(n)
+        return total
 
     def run(self, until: float | None = None) -> int:
         """Run the shared engine (all SAs advance together)."""

@@ -1,0 +1,146 @@
+"""Opt-in envelope pooling for wire objects (PR 7 zero-alloc hot path).
+
+:class:`Message` and :class:`~repro.ipsec.esp.EspPacket` are frozen —
+an adversary's recorded copy must be byte-for-byte the original — so the
+protocol allocates a fresh envelope per transmission.  For throughput
+runs that dominate on allocation, :class:`EnvelopePool` keeps a bounded
+free list of envelopes and *re-arms* a recycled one in place (through
+``object.__setattr__``, the sanctioned escape hatch for frozen
+dataclasses) instead of allocating.
+
+Pooling is **strictly opt-in** and caller-managed:
+
+* Nothing in the library releases envelopes implicitly.  A consumer that
+  retains packets — the :class:`~repro.core.audit.DeliveryAuditor` keeps
+  every registered packet, adversaries record traffic — must never share
+  a pool with a releasing consumer, or a retained "immutable" packet
+  would be re-armed under it.  Release only envelopes you know dropped
+  out of every retaining structure.
+* The default protocol paths do not touch a pool at all; enabled-off
+  parity is trivially byte-identical.
+
+``hits`` / ``misses`` / ``recycled`` counters mirror the event core's
+pool counters and publish through the same obs probe
+(:class:`repro.obs.probe.EventCoreProbe`), so one sample shows both
+pools' effectiveness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.ipsec.esp import EspPacket
+from repro.net.message import Message
+
+#: Default free-list bound (envelopes, per pool).
+DEFAULT_POOL_CAP = 1024
+
+_set = object.__setattr__
+
+
+class EnvelopePool:
+    """A bounded free list of reusable envelope objects.
+
+    Args:
+        factory: builds a fresh envelope from the acquire arguments
+            (pool miss).
+        rearm: re-initialises a recycled envelope in place from the same
+            arguments (pool hit).
+        cap: free-list bound; :meth:`release` beyond it drops the
+            envelope to the garbage collector.
+    """
+
+    __slots__ = ("_factory", "_rearm", "_free", "cap",
+                 "hits", "misses", "recycled")
+
+    def __init__(
+        self,
+        factory: Callable[..., Any],
+        rearm: Callable[..., None],
+        cap: int = DEFAULT_POOL_CAP,
+    ) -> None:
+        self._factory = factory
+        self._rearm = rearm
+        self._free: list[Any] = []
+        self.cap = cap
+        self.hits = 0
+        self.misses = 0
+        self.recycled = 0
+
+    def acquire(self, *args: Any, **kwargs: Any) -> Any:
+        """Return an envelope built from the arguments (recycled or fresh)."""
+        free = self._free
+        if free:
+            envelope = free.pop()
+            self.hits += 1
+            self._rearm(envelope, *args, **kwargs)
+            return envelope
+        self.misses += 1
+        return self._factory(*args, **kwargs)
+
+    def release(self, envelope: Any) -> None:
+        """Hand an envelope back for reuse.
+
+        The caller asserts nothing retains it (see module docstring);
+        beyond ``cap`` the envelope is simply dropped.
+        """
+        if len(self._free) < self.cap:
+            self._free.append(envelope)
+            self.recycled += 1
+
+    def stats(self) -> dict[str, int]:
+        """Effectiveness counters (JSON-safe, obs-probe shape)."""
+        return {
+            "pool_hits": self.hits,
+            "pool_misses": self.misses,
+            "pool_recycled": self.recycled,
+            "pool_size": len(self._free),
+        }
+
+
+def _rearm_message(
+    msg: Message,
+    seq: int,
+    payload: bytes = b"",
+    sent_at: float = 0.0,
+    meta: tuple = (),
+    src: str | None = None,
+) -> None:
+    _set(msg, "seq", seq)
+    _set(msg, "payload", payload)
+    _set(msg, "sent_at", sent_at)
+    _set(msg, "meta", meta)
+    _set(msg, "src", src)
+
+
+def _rearm_esp(
+    packet: EspPacket,
+    spi: int,
+    seq: int,
+    ciphertext: bytes,
+    icv: bytes,
+    src: str | None = None,
+) -> None:
+    _set(packet, "spi", spi)
+    _set(packet, "seq", seq)
+    _set(packet, "ciphertext", ciphertext)
+    _set(packet, "icv", icv)
+    _set(packet, "src", src)
+
+
+def message_pool(cap: int = DEFAULT_POOL_CAP) -> EnvelopePool:
+    """An :class:`EnvelopePool` of :class:`~repro.net.message.Message`."""
+    return EnvelopePool(Message, _rearm_message, cap=cap)
+
+
+def esp_packet_pool(cap: int = DEFAULT_POOL_CAP) -> EnvelopePool:
+    """An :class:`EnvelopePool` of :class:`~repro.ipsec.esp.EspPacket`."""
+    return EnvelopePool(EspPacket, _rearm_esp, cap=cap)
+
+
+__all__ = [
+    "DEFAULT_POOL_CAP",
+    "EnvelopePool",
+    "esp_packet_pool",
+    "message_pool",
+]

@@ -6,7 +6,7 @@ The layer that turns a simulation into signals:
   (counters, gauges, EWMA gauges, log-bucket histograms, time series)
   with sub-hub label fan-in and the zero-overhead :class:`NullHub`.
 * :mod:`repro.obs.probe` — pull-based per-SA :class:`HealthProbe` and
-  the gateway's :class:`SharedStoreProbe`.
+  the gateway's :class:`SharedStoreProbe` / :class:`EventCoreProbe`.
 * :mod:`repro.obs.sampler` — the periodic :class:`Sampler` engine
   process snapshotting probes into time series.
 * :mod:`repro.obs.health` — GREEN/YELLOW/RED multi-signal voting and
@@ -65,7 +65,7 @@ from repro.obs.hub import (
     split_label,
     use_hub,
 )
-from repro.obs.probe import HealthProbe, SharedStoreProbe
+from repro.obs.probe import EventCoreProbe, HealthProbe, SharedStoreProbe
 from repro.obs.sampler import DEFAULT_SAMPLE_INTERVAL, Sampler
 
 __all__ = [
@@ -73,6 +73,7 @@ __all__ = [
     "DEFAULT_EWMA_ALPHA",
     "DEFAULT_SAMPLE_INTERVAL",
     "DEFAULT_THRESHOLDS",
+    "EventCoreProbe",
     "EwmaGauge",
     "Gauge",
     "HealthProbe",

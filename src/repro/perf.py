@@ -15,8 +15,12 @@ so the numbers are comparable across files *and* across machines:
 * :func:`check_report` / :func:`main` — the CI gate:
   ``python -m repro.perf check BENCH.json --baseline baseline.json``
   reads pytest-benchmark JSON output, recomputes normalized rates on the
-  current host, and fails (exit 1) if any gated benchmark dropped more
-  than the baseline's tolerance below its checked-in normalized rate.
+  current host, prints the signed percentage delta per gated benchmark,
+  and fails if any gated benchmark dropped more than the baseline's
+  tolerance below its checked-in normalized rate.  Exit codes are
+  distinct so CI can tell failure modes apart: 0 ok, 1 regression,
+  2 a gated benchmark is absent from the results JSON, 3 the baseline
+  file itself is missing or unreadable (see ``EXIT_*``).
   ``python -m repro.perf update`` refreshes the baseline in place after
   an intentional perf change.
 
@@ -198,6 +202,15 @@ def measure_rate(
 # ----------------------------------------------------------------------
 # Baselines and the CI gate
 # ----------------------------------------------------------------------
+#: Gate exit codes.  Kept distinct so CI steps can branch on the failure
+#: mode: a regression wants a red build, a missing baseline usually
+#: means a bootstrap/update step should run instead.
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_MISSING_BENCH = 2
+EXIT_MISSING_BASELINE = 3
+
+
 @dataclass(frozen=True)
 class GateResult:
     """Verdict for one gated benchmark.
@@ -221,8 +234,14 @@ class GateResult:
     def ratio(self) -> float:
         return self.current_normalized / self.baseline_normalized
 
+    @property
+    def delta_pct(self) -> float:
+        """Signed percent change vs the baseline (+4.2 means 4.2% faster)."""
+        return (self.ratio - 1.0) * 100.0
+
     def format(self) -> str:
         verdict = "ok" if self.ok else "REGRESSION"
+        arrow = "↑" if self.delta_pct >= 0 else "↓"
         raw = (
             f" [{self.current_raw:,.0f} raw]"
             if self.current_raw is not None else ""
@@ -230,7 +249,8 @@ class GateResult:
         return (
             f"  {self.name}: normalized {self.current_normalized:,.1f} "
             f"vs baseline {self.baseline_normalized:,.1f} "
-            f"({self.ratio:.2f}x, floor {self.floor:,.1f}){raw} {verdict}"
+            f"({arrow}{self.delta_pct:+.1f}%, floor {self.floor:,.1f})"
+            f"{raw} {verdict}"
         )
 
 
@@ -294,8 +314,28 @@ def check_report(
     return results, missing
 
 
+def _load_baseline(path: Path) -> dict[str, Any] | None:
+    """Parse a baseline file; ``None`` (not an exception) if it is
+    missing or unreadable, so the CLI can exit :data:`EXIT_MISSING_BASELINE`
+    instead of a traceback."""
+    try:
+        baseline = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read baseline {path}: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(baseline.get("benchmarks"), dict):
+        print(f"error: baseline {path} has no 'benchmarks' mapping",
+              file=sys.stderr)
+        return None
+    return baseline
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
-    baseline = json.loads(Path(args.baseline).read_text())
+    baseline = _load_baseline(Path(args.baseline))
+    if baseline is None:
+        print("restore the checked-in baseline (benchmarks/baselines/) or "
+              "seed one, then re-run the gate", file=sys.stderr)
+        return EXIT_MISSING_BASELINE
     bench_times = load_benchmark_json(Path(args.bench_json))
     score = machine_score()
     results, missing = check_report(
@@ -309,7 +349,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if missing:
         print(f"error: gated benchmarks missing from {args.bench_json}: "
               f"{', '.join(missing)}", file=sys.stderr)
-        return 2
+        return EXIT_MISSING_BENCH
     failed = [result for result in results if not result.ok]
     if failed:
         print(f"FAILED: {len(failed)} benchmark(s) regressed more than "
@@ -320,21 +360,23 @@ def _cmd_check(args: argparse.Namespace) -> int:
               f"  python -m repro.perf update {args.bench_json} "
               f"--baseline {args.baseline}",
               file=sys.stderr)
-        return 1
+        return EXIT_REGRESSION
     print("all gated benchmarks within tolerance")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_update(args: argparse.Namespace) -> int:
     baseline_path = Path(args.baseline)
-    baseline = json.loads(baseline_path.read_text())
+    baseline = _load_baseline(baseline_path)
+    if baseline is None:
+        return EXIT_MISSING_BASELINE
     bench_times = load_benchmark_json(Path(args.bench_json))
     score = machine_score()
     missing = [n for n in baseline["benchmarks"] if n not in bench_times]
     if missing:
         print(f"error: gated benchmarks missing from {args.bench_json}: "
               f"{', '.join(missing)}", file=sys.stderr)
-        return 2
+        return EXIT_MISSING_BENCH
     for name, spec in baseline["benchmarks"].items():
         rate = spec["count"] / bench_times[name]
         spec["normalized_rate"] = round(rate / score, 3)
@@ -343,7 +385,7 @@ def _cmd_update(args: argparse.Namespace) -> int:
     baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"baseline {baseline_path} refreshed "
           f"(machine score {score:.2f})")
-    return 0
+    return EXIT_OK
 
 
 def main(argv: list[str] | None = None) -> int:

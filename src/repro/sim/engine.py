@@ -12,16 +12,36 @@ processes are plain objects whose methods are invoked by events.  This is
 the style the rest of the library builds on (links deliver messages by
 scheduling ``receiver.on_receive`` events, resets are events, SAVE
 completions are events, ...).
+
+Two scheduling flavours exist: :meth:`Engine.call_at` / ``call_later``
+return a cancellable :class:`~repro.sim.events.Event` handle, while
+:meth:`Engine.post_at` / ``post_later`` are fire-and-forget — no handle,
+no per-event allocation — for schedules that are never cancelled (link
+deliveries, one-shot bookkeeping).  Both share one sequence counter, so
+mixing them cannot change ordering.
 """
 
 from __future__ import annotations
 
-from heapq import heappop
+from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, ClassVar
 
-from repro.sim.events import PRIORITY_NORMAL, Event, EventQueue
+from repro.sim.events import (
+    _DIRECT_RECLAIM_REFS,
+    _new_event,
+    _POOL_CAP,
+    PRIORITY_NORMAL,
+    Event,
+    EventQueue,
+    make_event_queue,
+)
 from repro.sim.trace import TraceRecorder
 from repro.util.validation import check_non_negative
+
+#: Sentinel budget meaning "unlimited" — larger than any real event count,
+#: so the run loop can use one plain integer compare for all limit modes.
+_NO_LIMIT = 1 << 62
 
 
 class EngineEventLimitError(RuntimeError):
@@ -60,6 +80,7 @@ class Engine:
         self,
         trace: TraceRecorder | None = None,
         hard_event_limit: int | None = None,
+        core: str | None = None,
     ) -> None:
         self.now: float = 0.0
         self.trace: TraceRecorder = trace if trace is not None else TraceRecorder()
@@ -68,7 +89,7 @@ class Engine:
             if hard_event_limit is not None
             else type(self).default_hard_event_limit
         )
-        self._queue = EventQueue()
+        self._queue = make_event_queue(core)
         self._events_processed = 0
         self._running = False
         self._stop_requested = False
@@ -92,7 +113,30 @@ class Engine:
             raise ValueError(
                 f"cannot schedule at t={time} before current time t={self.now}"
             )
-        return self._queue.push(time, callback, args, priority=priority)
+        queue = self._queue
+        if type(queue) is not EventQueue:
+            return queue.push(time, callback, args, priority)
+        # EventQueue.push, inlined minus one call frame (any semantic
+        # change to push must land here and in call_later too; the
+        # cross-core parity fixtures in tests/sim catch a drift).
+        sequence = queue._seq
+        queue._seq = sequence + 1
+        free = queue._free
+        if free:
+            event = free.pop()
+        else:
+            event = _new_event(Event)
+            event.cancelled = False
+            event._queue = queue
+            queue.pool_misses += 1
+        entry = (time, priority, sequence, event, callback, args)
+        event.entry = entry
+        queue._live += 1
+        if time < queue._window_end_time:
+            heappush(queue._front, entry)
+        else:
+            queue._place_far(entry)
+        return event
 
     def call_later(
         self,
@@ -102,14 +146,91 @@ class Engine:
         priority: int = PRIORITY_NORMAL,
     ) -> Event:
         """Schedule ``callback(*args)`` after a non-negative ``delay``."""
-        # Hot path: most schedules come through here (timers re-arming,
-        # links delivering).  The comparison doubles as the validity check
-        # — only on failure do we pay for the descriptive error — and a
-        # non-negative delay makes call_at's past-check redundant, so push
-        # directly.
+        # Hot path: most cancellable schedules come through here (timers
+        # re-arming).  The comparison doubles as the validity check — only
+        # on failure do we pay for the descriptive error — and a
+        # non-negative delay makes call_at's past-check redundant.
         if not delay >= 0:
             check_non_negative("delay", delay)
-        return self._queue.push(self.now + delay, callback, args, priority=priority)
+        time = self.now + delay
+        queue = self._queue
+        if type(queue) is not EventQueue:
+            return queue.push(time, callback, args, priority)
+        # EventQueue.push, inlined (see call_at).
+        sequence = queue._seq
+        queue._seq = sequence + 1
+        free = queue._free
+        if free:
+            event = free.pop()
+        else:
+            event = _new_event(Event)
+            event.cancelled = False
+            event._queue = queue
+            queue.pool_misses += 1
+        entry = (time, priority, sequence, event, callback, args)
+        event.entry = entry
+        queue._live += 1
+        if time < queue._window_end_time:
+            heappush(queue._front, entry)
+        else:
+            queue._place_far(entry)
+        return event
+
+    def post_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Fire-and-forget :meth:`call_at`: no handle, no allocation.
+
+        Use for schedules that are never cancelled — there is nothing to
+        cancel with.  Ordering is identical to :meth:`call_at` at the same
+        instant (one shared sequence counter).
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time} before current time t={self.now}"
+            )
+        queue = self._queue
+        if type(queue) is not EventQueue:
+            queue.post(time, callback, args, priority)
+            return
+        # EventQueue.post, inlined (see _push_fused).
+        sequence = queue._seq
+        queue._seq = sequence + 1
+        queue._live += 1
+        entry = (time, priority, sequence, None, callback, args)
+        if time < queue._window_end_time:
+            heappush(queue._front, entry)
+        else:
+            queue._place_far(entry)
+
+    def post_later(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Fire-and-forget :meth:`call_later` (see :meth:`post_at`)."""
+        if not delay >= 0:
+            check_non_negative("delay", delay)
+        queue = self._queue
+        if type(queue) is not EventQueue:
+            queue.post(self.now + delay, callback, args, priority)
+            return
+        # EventQueue.post, inlined (see _push_fused).
+        time = self.now + delay
+        sequence = queue._seq
+        queue._seq = sequence + 1
+        queue._live += 1
+        entry = (time, priority, sequence, None, callback, args)
+        if time < queue._window_end_time:
+            heappush(queue._front, entry)
+        else:
+            queue._place_far(entry)
 
     # ------------------------------------------------------------------
     # Execution
@@ -124,7 +245,7 @@ class Engine:
             event = self._queue.pop()
         except IndexError:
             return False
-        assert event.time >= self.now, "event heap returned a past event"
+        assert event.time >= self.now, "event queue returned a past event"
         self.now = event.time
         self._events_processed += 1
         event.fire()
@@ -153,68 +274,140 @@ class Engine:
             raise RuntimeError("Engine.run() is not reentrant")
         self._running = True
         self._stop_requested = False
-        fired = 0
-        # The inner loop is the hottest code in the library.  It reaches
-        # into the queue's heap directly, fusing the peek_time()/pop() pair
-        # into one traversal with no per-event method calls, and the limit
-        # checks are hoisted: when neither max_events nor the hard event
-        # budget applies (the overwhelmingly common case) the loop body is
-        # pop, clock advance, fire — nothing else.  The queue invariants
-        # maintained here (live counter decrement, detaching the event so a
-        # late cancel() can't corrupt the counter) mirror
-        # EventQueue.pop_next.
         queue = self._queue
-        hard_limit = self.hard_event_limit
         try:
-            if max_events is None and hard_limit is None:
-                heap = queue._heap
-                pop = heappop
-                while not self._stop_requested:
-                    if not heap:
-                        break
-                    entry = heap[0]
-                    event = entry[3]
-                    if event.cancelled:
-                        pop(heap)
-                        continue
-                    time = entry[0]
-                    if until is not None and time > until:
-                        break
-                    pop(heap)
-                    queue._live -= 1
-                    event._queue = None
-                    assert time >= self.now, "event heap returned a past event"
-                    self.now = time
-                    self._events_processed += 1
-                    event.callback(*event.args)
-                    fired += 1
-            else:
-                pop_next = queue.pop_next
-                while not self._stop_requested:
-                    if max_events is not None and fired >= max_events:
-                        break
-                    event = pop_next(until)
-                    if event is None:
-                        break
-                    assert event.time >= self.now, "event heap returned a past event"
-                    self.now = event.time
-                    self._events_processed += 1
-                    event.fire()
-                    fired += 1
-                    if (
-                        hard_limit is not None
-                        and self._events_processed > hard_limit
-                    ):
-                        raise EngineEventLimitError(
-                            f"engine exceeded hard_event_limit={hard_limit} "
-                            f"(events_processed={self._events_processed}, "
-                            f"t={self.now:.9f}, pending={self.pending_events}): "
-                            "likely a self-rescheduling event loop; raise the "
-                            "limit or fix the schedule"
-                        )
+            if type(queue) is EventQueue:
+                return self._run_wheel(queue, until, max_events)
+            return self._run_generic(queue, until, max_events)
         finally:
             self._running = False
-        if until is not None and until > self.now and self._stop_requested is False:
+
+    def _run_wheel(
+        self,
+        queue: EventQueue,
+        until: float | None,
+        max_events: int | None,
+    ) -> int:
+        """The inlined hot loop over the timer wheel's front heap.
+
+        This is the hottest code in the library.  It fires entry tuples
+        directly — the Event object (when there is one) is only touched to
+        check cancellation and to detach or recycle the handle — and all
+        limit modes collapse to plain compares against sentinel budgets,
+        so the common unlimited case pays nothing extra.  The queue
+        invariants maintained here (live counter decrement, dead-entry
+        reclaim) mirror ``EventQueue.pop_next``.
+        """
+        cap = _NO_LIMIT if max_events is None else max_events
+        hard_limit = self.hard_event_limit
+        budget = _NO_LIMIT if hard_limit is None else hard_limit
+        horizon = float("inf") if until is None else until
+        front = queue._front
+        free = queue._free
+        advance = queue._advance
+        pop = heappop
+        push = heappush
+        refcount = getrefcount
+        # Expected refcount of an unreferenced handle: the loop local plus
+        # the event's own `entry` back-reference (the unpack below releases
+        # the popped tuple itself, but it stays alive through event.entry).
+        held = _DIRECT_RECLAIM_REFS + 1
+        processed = self._events_processed
+        recycled = 0
+        fired = 0
+        try:
+            while fired < cap and not self._stop_requested:
+                if not front:
+                    if not advance():
+                        break
+                # One specialised unpack instead of four tuple subscripts.
+                time, prio, seq, event, callback, args = pop(front)
+                if event is not None and event.cancelled:
+                    queue._dead -= 1
+                    # _reclaim(), inlined (this is the cancel-heavy drain
+                    # path).  A handle held anywhere else raises the count
+                    # and is detached instead, so a late cancel() stays
+                    # harmless; only recycled events are stripped.
+                    if len(free) < _POOL_CAP and refcount(event) == held:
+                        event.entry = None
+                        event.cancelled = False
+                        free.append(event)
+                        recycled += 1
+                    else:
+                        event._queue = None
+                    continue
+                if time > horizon:
+                    # Not due yet: this entry stays scheduled.  The rebuilt
+                    # tuple is key-identical, so ordering is unaffected.
+                    push(front, (time, prio, seq, event, callback, args))
+                    break
+                queue._live -= 1
+                self.now = time
+                processed += 1
+                self._events_processed = processed
+                if event is not None:
+                    # Detach before firing (mirrors pop_next) so a callback
+                    # cancelling its own event only sets a harmless flag
+                    # instead of corrupting the live/dead counters.
+                    event._queue = None
+                callback(*args)
+                fired += 1
+                if event is not None:
+                    # Recycle the handle when provably unreferenced (same
+                    # `held` accounting as the dead branch above); restore
+                    # the pool invariants in full — the callback may have
+                    # flag-cancelled the detached handle before dropping it.
+                    if len(free) < _POOL_CAP and refcount(event) == held:
+                        event.entry = None
+                        event.cancelled = False
+                        event._queue = queue
+                        free.append(event)
+                        recycled += 1
+                if processed > budget:
+                    raise EngineEventLimitError(
+                        f"engine exceeded hard_event_limit={hard_limit} "
+                        f"(events_processed={processed}, "
+                        f"t={self.now:.9f}, pending={self.pending_events}): "
+                        "likely a self-rescheduling event loop; raise the "
+                        "limit or fix the schedule"
+                    )
+        finally:
+            queue.pool_recycled += recycled
+        if until is not None and until > self.now and not self._stop_requested:
+            # Advance the clock to the requested horizon even if idle.
+            self.now = until
+        return fired
+
+    def _run_generic(
+        self,
+        queue: Any,
+        until: float | None,
+        max_events: int | None,
+    ) -> int:
+        """Core-agnostic run loop (used by alternate cores, e.g. the heap)."""
+        cap = _NO_LIMIT if max_events is None else max_events
+        hard_limit = self.hard_event_limit
+        budget = _NO_LIMIT if hard_limit is None else hard_limit
+        pop_next = queue.pop_next
+        fired = 0
+        while fired < cap and not self._stop_requested:
+            event = pop_next(until)
+            if event is None:
+                break
+            assert event.time >= self.now, "event queue returned a past event"
+            self.now = event.time
+            self._events_processed += 1
+            event.fire()
+            fired += 1
+            if self._events_processed > budget:
+                raise EngineEventLimitError(
+                    f"engine exceeded hard_event_limit={hard_limit} "
+                    f"(events_processed={self._events_processed}, "
+                    f"t={self.now:.9f}, pending={self.pending_events}): "
+                    "likely a self-rescheduling event loop; raise the "
+                    "limit or fix the schedule"
+                )
+        if until is not None and until > self.now and not self._stop_requested:
             # Advance the clock to the requested horizon even if idle.
             self.now = until
         return fired
@@ -235,6 +428,11 @@ class Engine:
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return len(self._queue)
+
+    @property
+    def event_core_stats(self) -> dict[str, int]:
+        """The event core's pooling/posting counters (JSON-safe)."""
+        return self._queue.pool_stats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,87 @@
+"""Tests for repro.net.pool (opt-in envelope recycling)."""
+
+from repro.ipsec.esp import EspPacket
+from repro.net.message import Message
+from repro.net.pool import (
+    DEFAULT_POOL_CAP,
+    EnvelopePool,
+    esp_packet_pool,
+    message_pool,
+)
+
+
+class TestMessagePool:
+    def test_miss_builds_a_real_message(self):
+        pool = message_pool()
+        msg = pool.acquire(seq=7, payload=b"x", sent_at=1.5)
+        assert isinstance(msg, Message)
+        assert (msg.seq, msg.payload, msg.sent_at) == (7, b"x", 1.5)
+        assert pool.misses == 1 and pool.hits == 0
+
+    def test_release_then_acquire_reuses_the_object(self):
+        pool = message_pool()
+        first = pool.acquire(seq=1, payload=b"a")
+        pool.release(first)
+        second = pool.acquire(seq=2, payload=b"b", sent_at=9.0)
+        assert second is first  # recycled, not reallocated
+        assert (second.seq, second.payload, second.sent_at) == (2, b"b", 9.0)
+        assert pool.hits == 1 and pool.recycled == 1
+
+    def test_rearm_resets_every_field_to_defaults(self):
+        # A recycled envelope must not leak the previous incarnation's
+        # fields through the rearm defaults.
+        pool = message_pool()
+        stale = pool.acquire(
+            seq=5, payload=b"secret", sent_at=3.0, meta=(("uid", 9),),
+            src="p",
+        )
+        pool.release(stale)
+        fresh = pool.acquire(seq=6)
+        assert fresh is stale
+        assert fresh.payload == b""
+        assert fresh.sent_at == 0.0
+        assert fresh.meta == ()
+        assert fresh.src is None
+
+
+class TestEspPacketPool:
+    def test_round_trip(self):
+        pool = esp_packet_pool()
+        packet = pool.acquire(spi=1, seq=2, ciphertext=b"c", icv=b"i")
+        assert isinstance(packet, EspPacket)
+        pool.release(packet)
+        again = pool.acquire(spi=9, seq=10, ciphertext=b"C", icv=b"I",
+                             src="gw")
+        assert again is packet
+        assert (again.spi, again.seq, again.ciphertext, again.icv,
+                again.src) == (9, 10, b"C", b"I", "gw")
+
+
+class TestPoolMechanics:
+    def test_cap_bounds_the_free_list(self):
+        pool = EnvelopePool(
+            lambda v: [v], lambda obj, v: obj.__setitem__(0, v), cap=2
+        )
+        objs = [pool.acquire(i) for i in range(4)]
+        for obj in objs:
+            pool.release(obj)
+        assert pool.stats()["pool_size"] == 2
+        assert pool.recycled == 2  # releases beyond cap are dropped
+
+    def test_stats_shape_matches_event_core_counters(self):
+        # Shared shape with EventQueue.pool_stats(): one obs probe
+        # publishes both.
+        pool = message_pool()
+        assert set(pool.stats()) == {
+            "pool_hits", "pool_misses", "pool_recycled", "pool_size",
+        }
+        pool.release(pool.acquire(seq=1))
+        pool.acquire(seq=2)
+        assert pool.stats() == {
+            "pool_hits": 1, "pool_misses": 1,
+            "pool_recycled": 1, "pool_size": 0,
+        }
+
+    def test_default_cap(self):
+        assert message_pool().cap == DEFAULT_POOL_CAP
+        assert esp_packet_pool(cap=16).cap == 16

@@ -10,7 +10,7 @@ import pytest
 from repro.core.protocol import build_protocol
 from repro.net.loss import BernoulliLoss
 from repro.obs.hub import MetricsHub
-from repro.obs.probe import HealthProbe, SharedStoreProbe
+from repro.obs.probe import EventCoreProbe, HealthProbe, SharedStoreProbe
 from repro.obs.sampler import DEFAULT_SAMPLE_INTERVAL, Sampler
 from repro.sim.engine import Engine
 from repro.sim.trace import NULL_TRACE
@@ -145,6 +145,49 @@ class TestSamplerLifecycle:
         assert DEFAULT_SAMPLE_INTERVAL == pytest.approx(1e-4)
 
 
+class TestEventCoreProbe:
+    def test_publishes_event_core_counters(self):
+        engine = Engine()
+        hub = MetricsHub("core")
+        probe = EventCoreProbe(hub, engine)
+        for i in range(200):
+            engine.call_later(1e-4 + i * 1e-4, lambda: None)
+        engine.run()
+        probe.sample(engine.now)
+        assert hub.gauge("engine/events_processed").value == 200
+        assert hub.gauge("engine/pending_events").value == 0
+        # The default wheel core recycled the fired handles.
+        assert hub.gauge("engine/pool_recycled").value > 0
+        assert hub.gauge("engine/pool_size").value > 0
+        assert len(hub.series("engine/events_processed").samples) == 1
+
+    def test_watch_pool_publishes_under_label(self):
+        from repro.net.pool import message_pool
+
+        engine = Engine()
+        hub = MetricsHub("core")
+        probe = EventCoreProbe(hub, engine)
+        pool = message_pool()
+        probe.watch_pool("msgpool", pool)
+        pool.release(pool.acquire(seq=1))
+        pool.acquire(seq=2)
+        probe.sample(0.0)
+        assert hub.gauge("msgpool/pool_hits").value == 1
+        assert hub.gauge("msgpool/pool_misses").value == 1
+        assert hub.gauge("msgpool/pool_recycled").value == 1
+        assert hub.gauge("msgpool/pool_size").value == 0
+
+    def test_heap_core_reports_zero_pool_activity(self):
+        engine = Engine(core="heap")
+        hub = MetricsHub("core")
+        probe = EventCoreProbe(hub, engine)
+        engine.call_later(1e-3, lambda: None)
+        engine.run()
+        probe.sample(engine.now)
+        assert hub.gauge("engine/pool_recycled").value == 0
+        assert hub.gauge("engine/events_processed").value == 1
+
+
 class TestSharedStoreProbe:
     def test_gateway_store_signals(self):
         from repro.gateway import Gateway
@@ -154,8 +197,10 @@ class TestSharedStoreProbe:
         assert gateway.hub is hub
         assert gateway.sampler is not None
         assert isinstance(gateway.sampler.probes[0], SharedStoreProbe)
-        # One shared sampler serves the store probe plus every SA probe.
-        assert len(gateway.sampler.probes) == 3
+        assert isinstance(gateway.sampler.probes[1], EventCoreProbe)
+        # One shared sampler serves the store and event-core probes plus
+        # every SA probe.
+        assert len(gateway.sampler.probes) == 4
         for unit in gateway.sas:
             unit.harness.sender.start_traffic(count=100)
         gateway.engine.run(until=1.0)

@@ -9,6 +9,7 @@ from repro.sim.events import (
     PRIORITY_LATE,
     PRIORITY_NORMAL,
     EventQueue,
+    HeapEventQueue,
 )
 
 
@@ -150,9 +151,12 @@ class TestLiveCounterAccounting:
         assert queue.pop_next() is None
 
 
-class TestCompaction:
+class TestHeapCompaction:
+    """Compaction is a heap-core concern (the wheel reclaims dead entries
+    at slot drain); these tests pin the HeapEventQueue internals."""
+
     def test_compaction_drops_dead_entries(self):
-        queue = EventQueue()
+        queue = HeapEventQueue()
         events = [queue.push(float(i), lambda: None) for i in range(200)]
         for event in events[:150]:
             event.cancel()
@@ -162,10 +166,10 @@ class TestCompaction:
         assert len(queue) == 50
         heap_size = len(queue._heap)
         assert heap_size < 200
-        assert heap_size - 50 <= heap_size * EventQueue.COMPACT_FRACTION
+        assert heap_size - 50 <= heap_size * HeapEventQueue.COMPACT_FRACTION
 
     def test_small_heaps_are_not_compacted(self):
-        queue = EventQueue()
+        queue = HeapEventQueue()
         events = [queue.push(float(i), lambda: None) for i in range(10)]
         for event in events[:9]:
             event.cancel()
@@ -173,7 +177,7 @@ class TestCompaction:
         assert len(queue) == 1
 
     def test_compaction_preserves_pop_order(self):
-        queue = EventQueue()
+        queue = HeapEventQueue()
         events = [queue.push(float(i % 7), lambda: None) for i in range(300)]
         survivors = [e for i, e in enumerate(events) if i % 4 == 0]
         for i, event in enumerate(events):

@@ -150,6 +150,18 @@ class TestCheckReport:
         assert "ok" in ok.format()
         assert "REGRESSION" in bad.format()
 
+    def test_gate_result_delta_is_signed_percent(self):
+        up = GateResult("bench_a", 110.0, 100.0, 80.0)
+        down = GateResult("bench_a", 90.0, 100.0, 80.0)
+        assert up.delta_pct == pytest.approx(10.0)
+        assert down.delta_pct == pytest.approx(-10.0)
+
+    def test_gate_result_format_shows_delta_arrow(self):
+        up = GateResult("bench_a", 110.0, 100.0, 80.0)
+        down = GateResult("bench_a", 90.0, 100.0, 80.0)
+        assert "↑+10.0%" in up.format()
+        assert "↓-10.0%" in down.format()
+
 
 def write_bench_json(path, **mins):
     payload = {
@@ -194,6 +206,34 @@ class TestCli:
         )))
         assert perf.main(["check", str(bench),
                           "--baseline", str(baseline)]) == 2
+
+    def test_check_distinguishes_missing_baseline_file(self, tmp_path):
+        # Exit 3 (baseline gone) must not masquerade as exit 2 (bench
+        # absent from results) or 1 (regression): CI branches on them.
+        bench = write_bench_json(tmp_path / "bench.json", bench_a=1.0)
+        missing = tmp_path / "nowhere.json"
+        assert perf.main(["check", str(bench),
+                          "--baseline", str(missing)]) == 3
+
+    def test_check_rejects_corrupt_baseline_file(self, tmp_path):
+        bench = write_bench_json(tmp_path / "bench.json", bench_a=1.0)
+        corrupt = tmp_path / "baseline.json"
+        corrupt.write_text("{not json")
+        assert perf.main(["check", str(bench),
+                          "--baseline", str(corrupt)]) == 3
+        corrupt.write_text(json.dumps({"tolerance": 0.2}))  # no benchmarks
+        assert perf.main(["check", str(bench),
+                          "--baseline", str(corrupt)]) == 3
+
+    def test_update_errors_on_missing_baseline_file(self, tmp_path):
+        bench = write_bench_json(tmp_path / "bench.json", bench_a=1.0)
+        assert perf.main(["update", str(bench),
+                          "--baseline", str(tmp_path / "gone.json")]) == 3
+
+    def test_exit_code_constants(self):
+        assert (perf.EXIT_OK, perf.EXIT_REGRESSION,
+                perf.EXIT_MISSING_BENCH, perf.EXIT_MISSING_BASELINE) \
+            == (0, 1, 2, 3)
 
     def test_update_rewrites_baseline(self, tmp_path):
         bench, baseline = self._files(tmp_path, seconds=5.0)
