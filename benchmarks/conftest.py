@@ -18,6 +18,33 @@ from repro.experiments.common import ExperimentResult
 from repro.perf import RateReport
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    # Benchmarks run from their own rootdir in CI, where
+    # tests/conftest.py (the canonical home of --runslow) is not
+    # loaded; guard the registration so a combined
+    # `pytest tests benchmarks` invocation does not define it twice.
+    try:
+        parser.addoption(
+            "--runslow",
+            action="store_true",
+            default=False,
+            help="run benchmarks marked `slow` (full 1M-session campaigns)",
+        )
+    except ValueError:
+        pass
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow full-scale bench; use --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 @pytest.fixture
 def run_experiment(benchmark) -> Callable[..., ExperimentResult]:
     """Run ``fn(**kwargs)`` once under the benchmark timer, print the

@@ -15,8 +15,11 @@ Commands:
 * ``spec {unprotected,savefetch,ceiling}`` — print the APN spec inventory
   in the paper's notation style.
 * ``fleet <spec.json>`` — run a multi-session campaign (``--jobs N`` for
-  a worker pool, ``--out DIR`` for the durable result store; re-running
-  the same spec resumes).  ``fleet --sample`` prints an example spec.
+  a worker pool, ``--out DIR`` for the durable result store, ``--store
+  jsonl|sharded|sqlite`` to pick the store backend, ``--sample N`` to
+  run a deterministic subsample of a huge campaign; re-running the same
+  spec resumes, whatever the backend).  ``fleet --sample`` with no spec
+  prints an example spec.
 * ``gateway`` — the multi-SA gateway demo: one correlated crash against
   N SAs over a shared store, compared across write policies
   (``--sas N``, ``--side``, ``--policy`` to pin one).
@@ -126,14 +129,33 @@ def _cmd_spec(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.fleet import CampaignSpec, FleetRunner, ResultStore, example_spec, summarize
+    import json
 
-    if args.sample:
-        print(example_spec().to_json())
-        return 0
+    from repro.fleet import (
+        CampaignSpec,
+        FleetRunner,
+        SampledCampaign,
+        detect_store_kind,
+        example_spec,
+        make_store,
+        summarize_store,
+    )
+
     if args.spec is None:
-        print("error: a campaign spec file is required (or use --sample)",
-              file=sys.stderr)
+        # Bare `--sample` (no spec, no count) keeps its original meaning:
+        # print an example campaign spec and exit.
+        if args.sample is not None and args.sample < 0:
+            print(example_spec().to_json())
+            return 0
+        print("error: a campaign spec file is required (or use --sample "
+              "to print an example spec)", file=sys.stderr)
+        return 2
+    if args.sample is not None and args.sample < 0:
+        print("error: --sample needs a session count when running a spec, "
+              "e.g. --sample 2000", file=sys.stderr)
+        return 2
+    if args.sample is not None and args.sample == 0:
+        print("error: --sample must be >= 1", file=sys.stderr)
         return 2
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
@@ -148,12 +170,23 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(f"error: invalid campaign spec {args.spec!r}: {exc}", file=sys.stderr)
         return 2
     out_dir = Path(args.out) if args.out else Path("fleet_runs") / spec.name
-    store = ResultStore(out_dir / "results.jsonl")
+    # Resume reopens whatever backend the interrupted run was writing;
+    # an explicit --store always wins (mismatches surface as two stores
+    # in one directory, which the summary line below makes visible).
+    store_kind = args.store or detect_store_kind(out_dir) or "jsonl"
+    try:
+        store = make_store(store_kind, out_dir, shard_bits=args.shard_bits)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    plan = spec if args.sample is None else SampledCampaign(spec, args.sample)
     obs_dir = out_dir / "obs" if args.obs else None
-    total = spec.session_count()
+    total = plan.session_count()
+    sampled = (f" (~{total} sampled of {plan.total})"
+               if isinstance(plan, SampledCampaign) else "")
     extra = f", obs={obs_dir}" if obs_dir is not None else ""
-    print(f"campaign {spec.name!r}: {total} sessions, jobs={args.jobs}, "
-          f"store={store.path}{extra}")
+    print(f"campaign {spec.name!r}: {total} sessions{sampled}, "
+          f"jobs={args.jobs}, store={store.path} [{store_kind}]{extra}")
 
     stride = max(1, total // 20)
 
@@ -164,7 +197,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
     try:
         outcome = FleetRunner(
-            spec, store, jobs=args.jobs, progress=progress, obs_dir=obs_dir
+            plan, store, jobs=args.jobs, progress=progress, obs_dir=obs_dir
         ).run()
     except KeyboardInterrupt:
         done = len(store.completed_ids())
@@ -175,8 +208,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
           f"({outcome.skipped} resumed from store) in {outcome.wall_time:.2f}s "
           f"({outcome.sessions_per_second:.1f} sessions/s)")
     print()
-    summary = summarize(store.records())
+    summary = summarize_store(store)
     print(summary.render())
+    aggregate_path = out_dir / "aggregate.json"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    aggregate_path.write_text(
+        json.dumps(summary.as_dict(), sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    print(f"aggregate written to {aggregate_path}")
+    close = getattr(store, "close", None)
+    if close is not None:
+        close()
     if summary.errors:
         print(f"error: {summary.errors} session(s) errored; "
               "re-run the same command to retry them", file=sys.stderr)
@@ -442,8 +485,23 @@ def main(argv: list[str] | None = None) -> int:
                          help="worker processes (default: 1, serial)")
     p_fleet.add_argument("--out", default=None,
                          help="output directory (default: fleet_runs/<name>)")
-    p_fleet.add_argument("--sample", action="store_true",
-                         help="print an example campaign spec and exit")
+    p_fleet.add_argument("--sample", nargs="?", type=int, const=-1,
+                         default=None, metavar="N",
+                         help="with a spec: run a deterministic ~N-session "
+                              "subsample of the campaign; without a spec: "
+                              "print an example campaign spec and exit")
+    p_fleet.add_argument("--store", choices=["jsonl", "sharded", "sqlite"],
+                         default=None,
+                         help="result-store backend (default: whatever the "
+                              "output directory already holds, else jsonl); "
+                              "sharded splits records across 2^bits JSONL "
+                              "files by spawn-key prefix, sqlite persists "
+                              "each record in a WAL transaction before "
+                              "acknowledging it")
+    p_fleet.add_argument("--shard-bits", type=int, default=None, metavar="B",
+                         help="shard count exponent for --store sharded "
+                              "(2^B shard files; default: the store's "
+                              "existing layout, else 4)")
     p_fleet.add_argument("--obs", action="store_true",
                          help="observe every session: per-task metrics files "
                               "and a campaign rollup under <out>/obs/")

@@ -155,10 +155,13 @@ class ExperimentDriver:
     Args:
         spec: the sweep to run.
         jobs: worker processes (``1`` = in-process serial).
-        store: optional durable store; pass a file-backed
-            :class:`ResultStore` to make the run resumable (finished
-            tasks are skipped on re-run).  Defaults to an in-memory
-            store — same JSON round-trip, no file.
+        store: optional durable store; pass any file-backed store
+            backend (:class:`ResultStore`,
+            :class:`~repro.fleet.results.ShardedResultStore`,
+            :class:`~repro.fleet.results.SqliteResultStore`) to make the
+            run resumable (finished tasks are skipped on re-run).
+            Defaults to an in-memory store — same JSON round-trip, no
+            file.
         progress: optional per-record callback, forwarded to the runner.
     """
 
@@ -166,7 +169,7 @@ class ExperimentDriver:
         self,
         spec: SweepSpec,
         jobs: int = 1,
-        store: ResultStore | MemoryResultStore | None = None,
+        store: ResultStore | MemoryResultStore | Any | None = None,
         progress: ProgressFn | None = None,
     ) -> None:
         self.spec = spec
@@ -240,7 +243,7 @@ class ExperimentDriver:
 def run_sweep(
     spec: SweepSpec,
     jobs: int = 1,
-    store: ResultStore | MemoryResultStore | None = None,
+    store: ResultStore | MemoryResultStore | Any | None = None,
     progress: ProgressFn | None = None,
 ) -> ExperimentResult:
     """Convenience wrapper: build the driver and run the sweep."""

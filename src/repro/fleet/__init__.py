@@ -11,11 +11,15 @@ store and aggregated into campaign-level verdicts.
   expansion into seeded :class:`FleetTask` units.
 * :mod:`~repro.fleet.runner` — :class:`FleetRunner`, the serial /
   ``multiprocessing`` executor with resume-after-interrupt.
-* :mod:`~repro.fleet.results` — :class:`ResultStore` and
-  :class:`TaskRecord`, the append-only JSONL persistence layer.
-* :mod:`~repro.fleet.aggregate` — :func:`summarize` and
-  :class:`FleetSummary`, cross-fleet percentiles and worst-case outliers
-  with repro seeds.
+* :mod:`~repro.fleet.results` — :class:`TaskRecord` and the store
+  backends behind one contract: :class:`ResultStore` (single JSONL
+  file), :class:`ShardedResultStore` (spawn-key-prefix sharding for
+  million-task campaigns), :class:`SqliteResultStore` (WAL,
+  persist-before-acknowledge), selected via :func:`make_store`.
+* :mod:`~repro.fleet.aggregate` — :func:`summarize` /
+  :func:`summarize_store` and :class:`FleetSummary`: streaming
+  constant-memory campaign aggregation (quantile sketch + bounded
+  outlier reservoir) with repro seeds on every worst case.
 
 Quickstart::
 
@@ -31,12 +35,28 @@ or from the command line::
     python -m repro fleet campaign.json --jobs 4 --out fleet_runs/demo
 """
 
-from repro.fleet.aggregate import FleetSummary, Outlier, percentile, summarize
+from repro.fleet.aggregate import (
+    CampaignAggregate,
+    FleetSummary,
+    Outlier,
+    OutlierReservoir,
+    QuantileSketch,
+    percentile,
+    summarize,
+    summarize_store,
+)
 from repro.fleet.results import (
+    DEFAULT_SHARD_BITS,
+    STORE_KINDS,
     MemoryResultStore,
     ResultStore,
+    ShardedResultStore,
+    SqliteResultStore,
     TaskRecord,
+    detect_store_kind,
+    make_store,
     report_metrics,
+    shard_index,
 )
 from repro.fleet.runner import (
     FleetOutcome,
@@ -49,33 +69,48 @@ from repro.fleet.spec import (
     DEFAULT_MAX_EVENTS,
     CampaignSpec,
     FleetTask,
+    SampledCampaign,
     ScenarioGrid,
     decode_params,
     encode_params,
     example_spec,
+    megafleet_spec,
     validate_scenario_params,
 )
 
 __all__ = [
+    "CampaignAggregate",
     "CampaignSpec",
     "DEFAULT_MAX_EVENTS",
+    "DEFAULT_SHARD_BITS",
     "FleetOutcome",
     "FleetRunner",
     "FleetSummary",
     "FleetTask",
     "MemoryResultStore",
     "Outlier",
+    "OutlierReservoir",
+    "QuantileSketch",
     "ResultStore",
+    "STORE_KINDS",
+    "SampledCampaign",
     "ScenarioGrid",
+    "ShardedResultStore",
+    "SqliteResultStore",
     "TaskRecord",
     "decode_params",
+    "detect_store_kind",
     "encode_params",
     "example_spec",
     "execute_task",
+    "make_store",
+    "megafleet_spec",
     "percentile",
     "report_metrics",
     "run_campaign",
     "scenario_metrics",
+    "shard_index",
     "summarize",
+    "summarize_store",
     "validate_scenario_params",
 ]

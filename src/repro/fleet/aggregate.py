@@ -1,4 +1,4 @@
-"""Cross-fleet aggregation of campaign results.
+"""Cross-fleet aggregation of campaign results — streaming, constant memory.
 
 Turns a pile of :class:`~repro.fleet.results.TaskRecord` lines into the
 campaign-level verdicts an operator actually reads: how many sessions
@@ -6,17 +6,59 @@ converged, the distribution of convergence times, the collateral totals
 (discards, lost sequence numbers, accepted replays), and — most useful in
 practice — the worst-case outliers *with their repro seeds*, so any tail
 case replays as a single deterministic scenario call.
+
+Scale story.  The pre-PR-8 aggregator materialised every record (and
+every convergence time) before reducing; a 10^6-session campaign blew
+memory before the first percentile printed.  The fold is now a
+:class:`CampaignAggregate` — counters, a :class:`QuantileSketch`, and a
+bounded :class:`OutlierReservoir` — whose per-record cost is O(1) and
+whose ``merge`` is associative and commutative, so shards fold in any
+grouping to byte-identical results.  :func:`summarize_store` exploits a
+sharded store's layout to dedup resumed/retried records one shard at a
+time, holding O(shard) state instead of O(campaign).
+
+Exact vs approximate.  Convergence-time values are additionally kept
+verbatim up to ``exact_cap`` observations; within the cap, percentiles
+are the exact linear-interpolation values (bit-for-bit what the old
+aggregator produced).  Past the cap the exact buffer is dropped and the
+sketch answers: a conservative per-value upper bound within one
+sub-bucket, relative error at most ``2**(1/8) - 1`` (~9.05%).  ``max``
+and counters are always exact.  Either way the result is a pure function
+of the record *multiset* — independent of job count, shard count, and
+fold order.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.fleet.results import STATUS_ERROR, STATUS_OK, TaskRecord
 
 #: Percentile points reported for convergence time.
 PERCENTILES = (50.0, 90.0, 99.0, 100.0)
+
+#: Sub-buckets per octave in :class:`QuantileSketch` — 8 log2-uniform
+#: slices per power of two, giving a guaranteed relative error of at
+#: most 2**(1/8) - 1 (~9.05%) per quantile.
+SKETCH_SUBBUCKETS = 8
+
+#: Exclusive upper edges of the sub-buckets within one octave, as
+#: mantissa multipliers in [1, 2].
+_MANTISSA_EDGES = tuple(
+    2.0 ** (k / SKETCH_SUBBUCKETS) for k in range(SKETCH_SUBBUCKETS + 1)
+)
+
+#: Guaranteed worst-case relative error of a sketch quantile.
+SKETCH_RELATIVE_ERROR = 2.0 ** (1.0 / SKETCH_SUBBUCKETS) - 1.0
+
+#: Keep convergence times verbatim up to this many observations; beyond
+#: it the aggregate degrades to sketch percentiles.  64k floats is ~0.5MB
+#: — irrelevant next to the record stream — while keeping every campaign
+#: that fits byte-identical to the historical exact aggregator.
+DEFAULT_EXACT_CAP = 65_536
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -38,6 +80,127 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[low] + (rank - low) * (ordered[high] - ordered[low])
 
 
+class QuantileSketch:
+    """Streaming quantiles over positive values in bounded memory.
+
+    A sparse log-bucket histogram in the style of
+    :class:`repro.obs.hub.LogHistogram`, refined to
+    :data:`SKETCH_SUBBUCKETS` slices per octave: bucket edges are the
+    process-wide constants ``2**(i/8)``, so sketches from any shard,
+    worker, or run merge by plain vector addition — the same algebra the
+    obs rollup relies on — and ``merge`` is associative and commutative
+    by construction.
+
+    :meth:`quantile` returns the *upper edge* of the bucket holding the
+    ``ceil(q * count)``-th order statistic, clamped to the observed
+    maximum: a conservative estimate that never understates and is
+    within :data:`SKETCH_RELATIVE_ERROR` of the true order statistic.
+    Non-positive values (possible in principle for a degenerate metric)
+    count toward ranks via an underflow bucket answered by the exact
+    minimum.
+    """
+
+    __slots__ = ("counts", "underflow", "count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        #: sparse bucket table: global bucket index -> count.
+        self.counts: dict[int, int] = {}
+        self.underflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    @staticmethod
+    def bucket_index(x: float) -> int:
+        """Global bucket index of positive ``x`` (octave * 8 + slice)."""
+        mantissa, exponent = math.frexp(x)  # x = m * 2**e, m in [0.5, 1)
+        octave = exponent - 1
+        slice_index = bisect_right(_MANTISSA_EDGES, 2.0 * mantissa) - 1
+        if slice_index >= SKETCH_SUBBUCKETS:  # mantissa exactly 2.0 cannot
+            slice_index = SKETCH_SUBBUCKETS - 1  # happen, but stay safe
+        return octave * SKETCH_SUBBUCKETS + slice_index
+
+    @staticmethod
+    def bucket_upper_bound(index: int) -> float:
+        """Exclusive upper edge of global bucket ``index``."""
+        octave, slice_index = divmod(index, SKETCH_SUBBUCKETS)
+        return _MANTISSA_EDGES[slice_index + 1] * 2.0 ** octave
+
+    def observe(self, x: float) -> None:
+        x = float(x)
+        if x > 0.0 and math.isfinite(x):
+            index = self.bucket_index(x)
+            self.counts[index] = self.counts.get(index, 0) + 1
+        else:
+            self.underflow += 1
+        self.count += 1
+        self.total += x
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch in (vector addition on the fixed buckets)."""
+        for index, bucket_count in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + bucket_count
+        self.underflow += other.underflow
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Conservative ``q``-quantile (``q`` in [0, 1]); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = self.underflow
+        if seen >= rank and self.underflow:
+            return self.minimum
+        for index in sorted(self.counts):
+            seen += self.counts[index]
+            if seen >= rank:
+                return min(self.bucket_upper_bound(index), self.maximum)
+        return self.maximum
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "underflow": self.underflow,
+            "total": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "mean": self.mean,
+            "relative_error": SKETCH_RELATIVE_ERROR,
+            # Sparse encoding: only occupied buckets, index -> count.
+            "buckets": {
+                str(index): self.counts[index] for index in sorted(self.counts)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QuantileSketch":
+        """Rebuild from :meth:`as_dict` output (exact round-trip)."""
+        sketch = cls()
+        for index, bucket_count in data.get("buckets", {}).items():
+            sketch.counts[int(index)] = int(bucket_count)
+        sketch.underflow = int(data.get("underflow", 0))
+        sketch.count = int(data.get("count", 0))
+        sketch.total = float(data.get("total", 0.0))
+        if sketch.count:
+            sketch.minimum = float(data["min"])
+            sketch.maximum = float(data["max"])
+        return sketch
+
+
 @dataclass
 class Outlier:
     """A worst-case session, carrying everything needed to replay it."""
@@ -54,6 +217,64 @@ class Outlier:
             f"{self.task_id} [{self.reason}={self.value:g}] "
             f"scenario={self.scenario} seed={self.seed} params={self.params}"
         )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "task_id": self.task_id,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "reason": self.reason,
+            "value": self.value,
+        }
+
+
+def _outlier_key(outlier: Outlier) -> tuple[float, str]:
+    return (-outlier.value, outlier.task_id)
+
+
+class OutlierReservoir:
+    """Bounded worst-case selection, independent of insertion order.
+
+    Two classes with the historical priority rule: *failures* (errors,
+    bound violations, accepted replays) always outrank *slow* convergers;
+    within a class, larger value wins, task id breaks ties.  Each class
+    keeps at most ``4 * worst_k`` candidates between prunes, so memory is
+    O(worst_k) however many records stream through, and because top-k
+    under a total order is a pure function of the multiset, any insertion
+    or merge order yields the same selection.
+    """
+
+    def __init__(self, worst_k: int) -> None:
+        if worst_k < 0:
+            raise ValueError(f"worst_k must be >= 0, got {worst_k}")
+        self.worst_k = worst_k
+        self._failures: list[Outlier] = []
+        self._slow: list[Outlier] = []
+
+    def _offer(self, pool: list[Outlier], outlier: Outlier) -> None:
+        pool.append(outlier)
+        if len(pool) > 4 * self.worst_k:
+            pool.sort(key=_outlier_key)
+            del pool[self.worst_k:]
+
+    def add_failure(self, outlier: Outlier) -> None:
+        self._offer(self._failures, outlier)
+
+    def add_slow(self, outlier: Outlier) -> None:
+        self._offer(self._slow, outlier)
+
+    def merge(self, other: "OutlierReservoir") -> None:
+        for outlier in other._failures:
+            self.add_failure(outlier)
+        for outlier in other._slow:
+            self.add_slow(outlier)
+
+    def top(self) -> list[Outlier]:
+        """The final worst-k list: failures first, then slow convergers."""
+        failures = sorted(self._failures, key=_outlier_key)
+        slow = sorted(self._slow, key=_outlier_key)
+        return (failures + slow)[: self.worst_k]
 
 
 @dataclass
@@ -72,6 +293,9 @@ class FleetSummary:
     convergence_time: dict[str, float] = field(default_factory=dict)
     wall_time_total: float = 0.0
     outliers: list[Outlier] = field(default_factory=list)
+    #: ``"exact"`` while every convergence time fit the exact buffer,
+    #: ``"sketch"`` once percentiles come from the quantile sketch.
+    percentile_mode: str = "exact"
 
     def render(self) -> str:
         """Multi-line human-readable campaign report."""
@@ -89,39 +313,83 @@ class FleetSummary:
                 f"{name}={value * 1e6:.1f}us"
                 for name, value in self.convergence_time.items()
             )
-            lines.append(f"time-to-converge: {formatted}")
+            qualifier = "" if self.percentile_mode == "exact" else (
+                f" (sketch, <={SKETCH_RELATIVE_ERROR:.1%} high)"
+            )
+            lines.append(f"time-to-converge: {formatted}{qualifier}")
         lines.append(f"worker wall time: {self.wall_time_total:.2f}s")
         if self.outliers:
             lines.append("worst cases (repro seeds):")
             lines.extend(f"  {outlier.summary()}" for outlier in self.outliers)
         return "\n".join(lines)
 
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe export (the CLI's ``aggregate.json``)."""
+        return {
+            "tasks": self.tasks,
+            "ok": self.ok,
+            "errors": self.errors,
+            "converged": self.converged,
+            "with_violations": self.with_violations,
+            "replays_accepted_total": self.replays_accepted_total,
+            "fresh_discarded_total": self.fresh_discarded_total,
+            "lost_seqnums_total": self.lost_seqnums_total,
+            "resets_total": self.resets_total,
+            "convergence_time": dict(self.convergence_time),
+            "percentile_mode": self.percentile_mode,
+            "wall_time_total": self.wall_time_total,
+            "outliers": [outlier.as_dict() for outlier in self.outliers],
+        }
 
-def summarize(records: Iterable[TaskRecord], worst_k: int = 5) -> FleetSummary:
-    """Fold task records into a :class:`FleetSummary`.
 
-    A resumed store may hold several records for one task (an error line
-    from an interrupted run, then the successful retry); each task counts
-    once, its **latest** record winning — stores are append-ordered, so
-    the latest record is the current truth.
+class CampaignAggregate:
+    """The streaming fold: O(1) per record, mergeable across shards.
 
-    Outlier selection: every errored or non-converged session qualifies
-    outright (reason ``error`` / ``violations`` / ``replays``); among the
-    rest, the slowest convergers fill the remaining ``worst_k`` slots.
+    Feed it *deduplicated* records (one per task — latest wins; the
+    :func:`summarize` / :func:`summarize_store` drivers handle that) via
+    :meth:`observe`, or fold whole sub-aggregates in via :meth:`merge`.
+    ``merge`` is associative and commutative, so a campaign can be
+    reduced per shard, per worker, or in one pass and the
+    :meth:`summary` is identical.
     """
-    latest: dict[str, TaskRecord] = {}
-    for record in records:
-        latest[record.task_id] = record
-    summary = FleetSummary()
-    times: list[float] = []
-    candidates: list[Outlier] = []
-    slow: list[Outlier] = []
-    for record in latest.values():
-        summary.tasks += 1
-        summary.wall_time_total += record.wall_time
+
+    def __init__(
+        self, worst_k: int = 5, exact_cap: int = DEFAULT_EXACT_CAP
+    ) -> None:
+        self.worst_k = worst_k
+        self.exact_cap = exact_cap
+        self.tasks = 0
+        self.ok = 0
+        self.errors = 0
+        self.converged = 0
+        self.with_violations = 0
+        self.replays_accepted_total = 0
+        self.fresh_discarded_total = 0
+        self.lost_seqnums_total = 0
+        self.resets_total = 0
+        self.wall_time_total = 0.0
+        self.sketch = QuantileSketch()
+        #: exact convergence times, until the cap spills to sketch-only.
+        self._exact: list[float] | None = []
+        self.reservoir = OutlierReservoir(worst_k)
+
+    # ------------------------------------------------------------------
+    # Folding
+    # ------------------------------------------------------------------
+    def _observe_time(self, value: float) -> None:
+        self.sketch.observe(value)
+        if self._exact is not None:
+            self._exact.append(value)
+            if len(self._exact) > self.exact_cap:
+                self._exact = None
+
+    def observe(self, record: TaskRecord) -> None:
+        """Fold one (deduplicated) task record."""
+        self.tasks += 1
+        self.wall_time_total += record.wall_time
         if record.status == STATUS_ERROR:
-            summary.errors += 1
-            candidates.append(Outlier(
+            self.errors += 1
+            self.reservoir.add_failure(Outlier(
                 task_id=record.task_id,
                 scenario=record.scenario,
                 seed=record.seed,
@@ -129,26 +397,27 @@ def summarize(records: Iterable[TaskRecord], worst_k: int = 5) -> FleetSummary:
                 reason="error",
                 value=1.0,
             ))
-            continue
+            return
         if record.status != STATUS_OK:
-            continue
-        summary.ok += 1
+            return
+        self.ok += 1
         metrics = record.metrics
         replays = metrics.get("replays_accepted", 0)
         violations = metrics.get("bound_violations", [])
-        summary.replays_accepted_total += replays
-        summary.fresh_discarded_total += metrics.get("fresh_discarded", 0)
-        summary.lost_seqnums_total += sum(metrics.get("lost_seqnums_per_reset", []))
-        summary.resets_total += (
+        self.replays_accepted_total += replays
+        self.fresh_discarded_total += metrics.get("fresh_discarded", 0)
+        self.lost_seqnums_total += sum(metrics.get("lost_seqnums_per_reset", []))
+        self.resets_total += (
             metrics.get("sender_resets", 0) + metrics.get("receiver_resets", 0)
         )
         task_times = metrics.get("time_to_converge", [])
-        times.extend(task_times)
+        for value in task_times:
+            self._observe_time(value)
         if metrics.get("converged", False):
-            summary.converged += 1
+            self.converged += 1
         if violations:
-            summary.with_violations += 1
-            candidates.append(Outlier(
+            self.with_violations += 1
+            self.reservoir.add_failure(Outlier(
                 task_id=record.task_id,
                 scenario=record.scenario,
                 seed=record.seed,
@@ -157,7 +426,7 @@ def summarize(records: Iterable[TaskRecord], worst_k: int = 5) -> FleetSummary:
                 value=float(len(violations)),
             ))
         elif replays:
-            candidates.append(Outlier(
+            self.reservoir.add_failure(Outlier(
                 task_id=record.task_id,
                 scenario=record.scenario,
                 seed=record.seed,
@@ -166,7 +435,7 @@ def summarize(records: Iterable[TaskRecord], worst_k: int = 5) -> FleetSummary:
                 value=float(replays),
             ))
         elif task_times:
-            slow.append(Outlier(
+            self.reservoir.add_slow(Outlier(
                 task_id=record.task_id,
                 scenario=record.scenario,
                 seed=record.seed,
@@ -174,12 +443,142 @@ def summarize(records: Iterable[TaskRecord], worst_k: int = 5) -> FleetSummary:
                 reason="slow_converge",
                 value=max(task_times),
             ))
-    if times:
-        summary.convergence_time = {
-            f"p{q:g}" if q < 100.0 else "max": percentile(times, q)
-            for q in PERCENTILES
+
+    def merge(self, other: "CampaignAggregate") -> None:
+        """Fold a sub-aggregate in (associative, commutative)."""
+        self.tasks += other.tasks
+        self.ok += other.ok
+        self.errors += other.errors
+        self.converged += other.converged
+        self.with_violations += other.with_violations
+        self.replays_accepted_total += other.replays_accepted_total
+        self.fresh_discarded_total += other.fresh_discarded_total
+        self.lost_seqnums_total += other.lost_seqnums_total
+        self.resets_total += other.resets_total
+        self.wall_time_total += other.wall_time_total
+        self.sketch.merge(other.sketch)
+        if self._exact is None or other._exact is None:
+            self._exact = None
+        else:
+            self._exact.extend(other._exact)
+            if len(self._exact) > self.exact_cap:
+                self._exact = None
+        self.reservoir.merge(other.reservoir)
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    @property
+    def percentile_mode(self) -> str:
+        return "exact" if self._exact is not None else "sketch"
+
+    def convergence_percentiles(self) -> dict[str, float]:
+        """The reported percentile points (exact or sketch, see module
+        docstring); empty when no convergence times were observed."""
+        if self.sketch.count == 0:
+            return {}
+        if self._exact is not None:
+            return {
+                f"p{q:g}" if q < 100.0 else "max": percentile(self._exact, q)
+                for q in PERCENTILES
+            }
+        points = {
+            f"p{q:g}": self.sketch.quantile(q / 100.0)
+            for q in PERCENTILES if q < 100.0
         }
-    candidates.sort(key=lambda o: (-o.value, o.task_id))
-    slow.sort(key=lambda o: (-o.value, o.task_id))
-    summary.outliers = (candidates + slow)[:worst_k]
-    return summary
+        points["max"] = self.sketch.maximum  # the max is always exact
+        return points
+
+    def summary(self) -> FleetSummary:
+        return FleetSummary(
+            tasks=self.tasks,
+            ok=self.ok,
+            errors=self.errors,
+            converged=self.converged,
+            with_violations=self.with_violations,
+            replays_accepted_total=self.replays_accepted_total,
+            fresh_discarded_total=self.fresh_discarded_total,
+            lost_seqnums_total=self.lost_seqnums_total,
+            resets_total=self.resets_total,
+            convergence_time=self.convergence_percentiles(),
+            wall_time_total=self.wall_time_total,
+            outliers=self.reservoir.top(),
+            percentile_mode=self.percentile_mode,
+        )
+
+
+def summarize(
+    records: Iterable[TaskRecord],
+    worst_k: int = 5,
+    exact_cap: int = DEFAULT_EXACT_CAP,
+) -> FleetSummary:
+    """Fold task records into a :class:`FleetSummary`.
+
+    A resumed store may hold several records for one task (an error line
+    from an interrupted run, then the successful retry); each task counts
+    once, its **latest** record winning — stores are append-ordered, so
+    the latest record is the current truth.
+
+    This generic-iterable path holds the deduplication map in memory;
+    prefer :func:`summarize_store` for a store handle, which dedups one
+    shard at a time.
+    """
+    latest: dict[str, TaskRecord] = {}
+    for record in records:
+        latest[record.task_id] = record
+    aggregate = CampaignAggregate(worst_k=worst_k, exact_cap=exact_cap)
+    for record in latest.values():
+        aggregate.observe(record)
+    return aggregate.summary()
+
+
+def iter_shards(store: Any) -> list[Any]:
+    """A store's independently reducible pieces (itself, if unsharded)."""
+    shards = getattr(store, "shards", None)
+    if shards:
+        return list(shards)
+    return [store]
+
+
+def _fold_shard(
+    shard: Any, worst_k: int, exact_cap: int
+) -> CampaignAggregate:
+    """Two-pass shard fold: latest-record-wins in O(shard tasks) memory.
+
+    Pass 1 notes each task's last record position (a task's records never
+    leave its shard, so within-shard order is the whole truth); pass 2
+    streams the records again, folding only the winners.  Nothing heavier
+    than one record and the position map is ever live.
+    """
+    last_position: dict[str, int] = {}
+    for position, record in enumerate(shard.records()):
+        last_position[record.task_id] = position
+    aggregate = CampaignAggregate(worst_k=worst_k, exact_cap=exact_cap)
+    for position, record in enumerate(shard.records()):
+        if last_position[record.task_id] == position:
+            aggregate.observe(record)
+    return aggregate
+
+
+def aggregate_store(
+    store: Any, worst_k: int = 5, exact_cap: int = DEFAULT_EXACT_CAP
+) -> CampaignAggregate:
+    """Reduce a result store shard-by-shard into one campaign aggregate."""
+    total = CampaignAggregate(worst_k=worst_k, exact_cap=exact_cap)
+    for shard in iter_shards(store):
+        total.merge(_fold_shard(shard, worst_k, exact_cap))
+    return total
+
+
+def summarize_store(
+    store: Any, worst_k: int = 5, exact_cap: int = DEFAULT_EXACT_CAP
+) -> FleetSummary:
+    """:func:`summarize`, but exploiting the store's shard layout.
+
+    On a :class:`~repro.fleet.results.ShardedResultStore` the peak state
+    is O(largest shard): each shard is deduplicated and folded
+    independently, then the O(1)-sized aggregates merge.  Single-file and
+    SQLite stores reduce as one shard (the dedup map spans the campaign,
+    but records still stream one at a time).
+    """
+    return aggregate_store(store, worst_k=worst_k, exact_cap=exact_cap).summary()

@@ -11,29 +11,75 @@ interrupted) invocations accumulate.
 Records are serialised with sorted keys and a canonical float format, so
 two runs of the same spec produce byte-identical lines modulo the
 ``wall_time`` field (the only wall-clock-dependent value).
+
+Three interchangeable backends implement the same store contract
+(``append`` / ``records`` / ``completed_ids`` / ``heal`` /
+``corrupt_lines``):
+
+* :class:`ResultStore` — one append-only JSONL file; the default.
+* :class:`ShardedResultStore` — ``2**bits`` JSONL files keyed by each
+  task's spawn-key prefix, merge-on-read.  The backend for
+  million-session campaigns: every shard stays small, crash healing is
+  per shard, and aggregation can fold one shard at a time in
+  :math:`O(\text{shard})` memory.
+* :class:`SqliteResultStore` — a single SQLite database in WAL mode,
+  committing before ``append`` returns (persist-before-acknowledge).
+
+All three persist the identical canonical JSON record lines — a campaign
+moved between backends re-reads byte-identical records, only the file
+placement differs.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import sqlite3
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
 from repro.core.convergence import report_metrics
+from repro.util.rng import derive_seed
 
 __all__ = [
+    "DEFAULT_SHARD_BITS",
     "MemoryResultStore",
     "ResultStore",
     "STATUS_ERROR",
     "STATUS_OK",
+    "STORE_KINDS",
+    "ShardedResultStore",
+    "SqliteResultStore",
     "TaskRecord",
+    "detect_store_kind",
+    "make_store",
     "report_metrics",  # canonical home: repro.core.convergence
+    "shard_index",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Record status values.
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
+
+#: Selectable store backends (the CLI's ``--store`` choices).
+STORE_KINDS = ("jsonl", "sharded", "sqlite")
+
+#: Default shard count exponent for :class:`ShardedResultStore` (2**4 =
+#: 16 shards — enough that a 1M-task campaign keeps every shard around
+#: 60k records while tiny campaigns pay only 16 near-empty files).
+DEFAULT_SHARD_BITS = 4
+
+#: Upper limit on the shard exponent (2**10 = 1024 files; beyond that
+#: the per-file overhead dominates any balance win).
+MAX_SHARD_BITS = 10
+
+#: Sidecar file pinning a sharded store's layout, so a resume cannot
+#: silently reopen the directory with a different shard count and
+#: mis-route appends.
+SHARD_META_FILE = "store_meta.json"
 
 
 @dataclass
@@ -91,6 +137,47 @@ class TaskRecord:
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
 
+_DECODER = json.JSONDecoder()
+
+
+def salvage_line(line: str) -> tuple[list[TaskRecord], bool]:
+    """Recover complete records from a torn store line.
+
+    A multiprocessing writer (or a crash between ``write`` and the
+    newline) can glue a partial record and one or more complete records
+    onto a single physical line.  This walks the line with
+    ``raw_decode``, keeps every embedded well-formed record, and reports
+    whether any torn fragment had to be skipped.
+
+    Returns:
+        ``(records, torn)`` — the salvageable records in order, and True
+        if any part of the line was unparseable.
+    """
+    records: list[TaskRecord] = []
+    torn = False
+    pos = 0
+    while True:
+        start = line.find("{", pos)
+        if start < 0:
+            if line[pos:].strip():
+                torn = True
+            break
+        if line[pos:start].strip():
+            torn = True
+        try:
+            data, consumed = _DECODER.raw_decode(line, start)
+        except json.JSONDecodeError:
+            torn = True
+            pos = start + 1
+            continue
+        try:
+            records.append(TaskRecord.from_dict(data))
+        except (KeyError, TypeError):
+            torn = True
+        pos = consumed
+    return records, torn
+
+
 class ResultStore:
     """Append-only JSONL store for :class:`TaskRecord` lines.
 
@@ -134,20 +221,52 @@ class ResultStore:
             handle.write(record.to_json() + "\n")
             handle.flush()
 
+    def heal(self) -> bool:
+        """Terminate a dangling partial line left by a crash, if any.
+
+        Appends do this lazily; calling it eagerly (the runner does, at
+        the start of a resume) makes the scan explicit.  Returns True if
+        the file was dirty.
+        """
+        if not self._ends_mid_line():
+            return False
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write("\n")
+        logger.warning("%s: healed a dangling partial line", self.path)
+        return True
+
     def records(self) -> Iterator[TaskRecord]:
-        """Yield stored records, skipping any truncated/corrupt line."""
+        """Yield stored records, skipping (and logging) torn lines.
+
+        A torn line — the truncated tail of a crashed append, or two
+        interleaved writes glued together — is *skipped*, not treated as
+        end-of-file: isolated corruption mid-file loses only the records
+        physically damaged, never the valid lines after it.  Complete
+        records embedded in a torn line are salvaged (see
+        :func:`salvage_line`); whatever is lost simply reruns on resume.
+        """
         self.corrupt_lines = 0
         if not self.path.exists():
             return
         with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
+            for number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     yield TaskRecord.from_dict(json.loads(line))
+                    continue
                 except (json.JSONDecodeError, KeyError, TypeError):
+                    pass
+                salvaged, torn = salvage_line(line)
+                if torn:
                     self.corrupt_lines += 1
+                    logger.warning(
+                        "%s:%d: skipping torn record fragment "
+                        "(%d record(s) salvaged from the line)",
+                        self.path, number, len(salvaged),
+                    )
+                yield from salvaged
 
     def completed_ids(self) -> set[str]:
         """Task ids recorded with ``status == "ok"`` (the resume set)."""
@@ -175,6 +294,10 @@ class MemoryResultStore:
     def __len__(self) -> int:
         return len(self._lines)
 
+    def heal(self) -> bool:
+        """Nothing to heal — memory stores do not survive crashes."""
+        return False
+
     def append(self, record: TaskRecord) -> None:
         self._lines.append(record.to_json())
 
@@ -188,3 +311,241 @@ class MemoryResultStore:
             for record in self.records()
             if record.status == STATUS_OK
         }
+
+
+def shard_index(task_id: str, seed: int, bits: int) -> int:
+    """The shard a task's records live in: its spawn-key prefix.
+
+    The key is re-derived from ``(seed, task_id)`` through the same
+    SHA-256 spawn-key scheme the fleet uses for per-task seeds
+    (:func:`repro.util.rng.derive_seed`), and the top ``bits`` bits pick
+    the shard.  Campaign seeds are already uniform 64-bit spawn keys,
+    but experiment sweeps pin small explicit seeds — folding the task id
+    back in keeps the partition uniform for both, while staying a pure
+    function of the task, so every record of a task (error, retry, ok)
+    lands in the same shard and within-shard append order is still
+    latest-wins truth.
+    """
+    if bits == 0:
+        return 0
+    return derive_seed(seed, "shard", task_id) >> (64 - bits)
+
+
+class ShardedResultStore:
+    """``2**bits`` JSONL shard files behind the single-store interface.
+
+    Appends route by :func:`shard_index`; :meth:`records` merges
+    shard-by-shard (shard 0's lines first, each shard in append order).
+    Because a task's records never split across shards, any per-task
+    reduction that holds on one append-ordered file (latest record wins)
+    holds on the merge-on-read stream too.
+
+    Crash behaviour is per shard: a kill mid-append tears at most the
+    one shard being written, healing rescans only the dirty shards
+    (:meth:`heal` checks one tail byte per shard), and record content is
+    byte-identical to the single-file store modulo placement.
+
+    The shard count is pinned in ``store_meta.json`` at creation;
+    reopening with a conflicting explicit ``bits`` raises instead of
+    silently mis-routing a resumed campaign.
+    """
+
+    def __init__(self, root: str | Path, bits: int | None = None) -> None:
+        self.root = Path(root)
+        #: CLI-facing location (mirrors ``ResultStore.path``).
+        self.path = self.root
+        self.root.mkdir(parents=True, exist_ok=True)
+        meta_path = self.root / SHARD_META_FILE
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            stored = meta.get("bits")
+            if meta.get("kind") != "sharded" or not isinstance(stored, int):
+                raise ValueError(f"{meta_path} is not a sharded-store meta file")
+            if bits is not None and bits != stored:
+                raise ValueError(
+                    f"store at {self.root} was created with bits={stored}; "
+                    f"reopening with bits={bits} would mis-route appends"
+                )
+            bits = stored
+        elif bits is None:
+            bits = DEFAULT_SHARD_BITS
+        if not 0 <= bits <= MAX_SHARD_BITS:
+            raise ValueError(
+                f"shard bits must be in [0, {MAX_SHARD_BITS}], got {bits}"
+            )
+        self.bits = bits
+        if not meta_path.exists():
+            meta_path.write_text(
+                json.dumps({"kind": "sharded", "bits": bits}) + "\n",
+                encoding="utf-8",
+            )
+        width = max(2, (bits + 3) // 4)
+        self.shards = [
+            ResultStore(self.root / f"shard-{index:0{width}x}.jsonl")
+            for index in range(1 << bits)
+        ]
+        self.corrupt_lines = 0
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    def shard_for(self, task_id: str, seed: int) -> ResultStore:
+        """The shard store holding (all of) one task's records."""
+        return self.shards[shard_index(task_id, seed, self.bits)]
+
+    def append(self, record: TaskRecord) -> None:
+        self.shard_for(record.task_id, record.seed).append(record)
+
+    def records(self) -> Iterator[TaskRecord]:
+        """Merge-on-read: every shard's records, in shard then file order."""
+        self.corrupt_lines = 0
+        for shard in self.shards:
+            yield from shard.records()
+            self.corrupt_lines += shard.corrupt_lines
+
+    def completed_ids(self) -> set[str]:
+        done: set[str] = set()
+        for shard in self.shards:
+            done |= shard.completed_ids()
+        return done
+
+    def dirty_shards(self) -> list[int]:
+        """Shards whose file ends mid-line (one tail-byte check each)."""
+        return [
+            index for index, shard in enumerate(self.shards)
+            if shard._ends_mid_line()
+        ]
+
+    def heal(self) -> list[int]:
+        """Heal only the dirty shards; returns the indices healed."""
+        healed = [index for index in self.dirty_shards()
+                  if self.shards[index].heal()]
+        return healed
+
+
+class SqliteResultStore:
+    """SQLite/WAL store backend behind the same record interface.
+
+    Each ``append`` commits before returning — the persist-before-
+    acknowledge rule — so a record the runner has seen appended is on
+    disk, full stop; a ``kill -9`` can lose at most the task in flight,
+    which simply reruns on resume.  WAL mode keeps appends sequential-
+    write cheap and lets concurrent readers (an operator tailing the
+    campaign) scan without blocking the writer.
+
+    Stored lines are the same canonical JSON as the JSONL backends, so
+    records round-trip byte-identically across backends.
+    """
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS records (
+            seq INTEGER PRIMARY KEY AUTOINCREMENT,
+            task_id TEXT NOT NULL,
+            status TEXT NOT NULL,
+            line TEXT NOT NULL
+        )
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._connection = sqlite3.connect(str(self.path))
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._connection.execute(self._SCHEMA)
+        self._connection.execute(
+            "CREATE INDEX IF NOT EXISTS records_task ON records "
+            "(task_id, status)"
+        )
+        self._connection.commit()
+        #: The database either parses or errors as a whole; torn JSONL
+        #: lines cannot happen here, but the attribute keeps the store
+        #: interface uniform.
+        self.corrupt_lines = 0
+
+    def __len__(self) -> int:
+        (count,) = self._connection.execute(
+            "SELECT COUNT(*) FROM records"
+        ).fetchone()
+        return int(count)
+
+    def append(self, record: TaskRecord) -> None:
+        # The `with` block commits before append returns: acknowledge
+        # only after the record is durable.
+        with self._connection:
+            self._connection.execute(
+                "INSERT INTO records (task_id, status, line) VALUES (?, ?, ?)",
+                (record.task_id, record.status, record.to_json()),
+            )
+
+    def heal(self) -> bool:
+        """SQLite journals recover on open; nothing to heal by hand."""
+        return False
+
+    def records(self) -> Iterator[TaskRecord]:
+        self.corrupt_lines = 0
+        for (line,) in self._connection.execute(
+            "SELECT line FROM records ORDER BY seq"
+        ):
+            try:
+                yield TaskRecord.from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError, TypeError):
+                self.corrupt_lines += 1
+
+    def completed_ids(self) -> set[str]:
+        return {
+            task_id for (task_id,) in self._connection.execute(
+                "SELECT DISTINCT task_id FROM records WHERE status = ?",
+                (STATUS_OK,),
+            )
+        }
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+#: Per-kind store file/directory names inside a campaign output dir.
+_STORE_NAMES = {
+    "jsonl": "results.jsonl",
+    "sharded": "results.shards",
+    "sqlite": "results.sqlite",
+}
+
+
+def make_store(
+    kind: str, out_dir: str | Path, shard_bits: int | None = None
+) -> ResultStore | ShardedResultStore | SqliteResultStore:
+    """Build the campaign store of ``kind`` under ``out_dir``.
+
+    Args:
+        kind: one of :data:`STORE_KINDS`.
+        out_dir: campaign output directory (created as needed).
+        shard_bits: shard exponent for ``"sharded"`` (ignored otherwise;
+            ``None`` means the stored layout, or the default for a new
+            store).
+    """
+    out_dir = Path(out_dir)
+    if kind == "jsonl":
+        return ResultStore(out_dir / _STORE_NAMES["jsonl"])
+    if kind == "sharded":
+        return ShardedResultStore(
+            out_dir / _STORE_NAMES["sharded"], bits=shard_bits
+        )
+    if kind == "sqlite":
+        return SqliteResultStore(out_dir / _STORE_NAMES["sqlite"])
+    known = ", ".join(STORE_KINDS)
+    raise ValueError(f"unknown store kind {kind!r}; known kinds: {known}")
+
+
+def detect_store_kind(out_dir: str | Path) -> str | None:
+    """The store kind already present under ``out_dir`` (None if fresh).
+
+    Lets a resume omit ``--store``: the CLI reopens whatever backend the
+    interrupted run was writing instead of silently starting a second,
+    empty store next to it.
+    """
+    out_dir = Path(out_dir)
+    for kind, name in _STORE_NAMES.items():
+        if (out_dir / name).exists():
+            return kind
+    return None

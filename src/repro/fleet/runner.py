@@ -172,9 +172,10 @@ class FleetRunner:
         spec: the campaign to run — a :class:`CampaignSpec`, or any plan
             exposing ``tasks() -> list[FleetTask]`` and ``max_events``
             (the experiment sweeps in :mod:`repro.experiments.sweep` do).
-        store: durable record sink (:class:`ResultStore`, or the
-            in-memory variant); pre-existing ``ok`` records are treated
-            as finished work and skipped.
+        store: durable record sink — any backend sharing the
+            :class:`ResultStore` contract (single-file JSONL, sharded,
+            SQLite, or the in-memory variant); pre-existing ``ok``
+            records are treated as finished work and skipped.
         jobs: worker processes; ``1`` runs in-process (no pool overhead).
         max_events: per-task engine event budget; defaults to
             ``spec.max_events`` (``None`` disables the guard).
@@ -239,6 +240,10 @@ class FleetRunner:
     def run(self) -> FleetOutcome:
         """Execute every pending task, appending records as they finish."""
         started = time.perf_counter()
+        # A previous run may have been killed mid-append; heal the store
+        # (terminate any torn tail line) before reading completed work.
+        # Sharded stores rescan only their dirty shards here.
+        self.store.heal()
         total, pending = self.pending_tasks()
         if self.obs_dir is not None:
             self.obs_dir.mkdir(parents=True, exist_ok=True)
@@ -276,13 +281,18 @@ class FleetRunner:
 
 def run_campaign(
     spec: CampaignSpec,
-    store: ResultStore | str,
+    store: ResultStore | Any | str | Path,
     jobs: int = 1,
     progress: ProgressFn | None = None,
     obs_dir: str | Path | None = None,
 ) -> FleetOutcome:
-    """Convenience wrapper: build the runner and execute the campaign."""
-    if not isinstance(store, ResultStore):
+    """Convenience wrapper: build the runner and execute the campaign.
+
+    ``store`` may be any result-store backend (single-file, sharded,
+    SQLite, in-memory) or a bare path, which opens a single-file JSONL
+    store at that location.
+    """
+    if isinstance(store, (str, Path)):
         store = ResultStore(store)
     return FleetRunner(
         spec, store, jobs=jobs, progress=progress, obs_dir=obs_dir

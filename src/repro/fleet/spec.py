@@ -372,13 +372,129 @@ class CampaignSpec:
     def tasks(self) -> list[FleetTask]:
         """Expand into the deterministic, ordered task list."""
         self.validate_scenarios()
-        expanded: list[FleetTask] = []
-        for grid_index, grid in enumerate(self.grids):
-            expanded.extend(grid.expand(self.base_seed, grid_index))
+        expanded = list(self.iter_tasks())
         ids = [task.task_id for task in expanded]
         if len(set(ids)) != len(ids):  # only reachable via a future id-scheme bug
             raise ValueError(f"campaign {self.name!r} expanded to duplicate task ids")
         return expanded
+
+    def iter_tasks(self) -> Iterator[FleetTask]:
+        """Stream the expansion without materialising the task list.
+
+        Same tasks in the same order as :meth:`tasks`, one at a time —
+        the path for million-task campaigns where even the id list is
+        worth not holding.  Skips the duplicate-id audit (:meth:`tasks`
+        still performs it; the id scheme makes duplicates unreachable
+        short of a bug there).
+        """
+        for grid_index, grid in enumerate(self.grids):
+            yield from grid.expand(self.base_seed, grid_index)
+
+
+class SampledCampaign:
+    """A deterministic subsample of a campaign, runnable as a campaign.
+
+    Membership is decided per task by hashing its id against the spec's
+    base seed — ``derive_seed(base_seed, "sample", task_id) % total <
+    target`` — so whether a task is in the sample depends on nothing but
+    the spec and the target: not on execution order, job count, store
+    backend, or which other tasks ran.  The same ``--sample N`` therefore
+    resumes exactly like the full campaign — kill it, re-run it, the
+    sample is the same set.  Expected size is ``target`` with binomial
+    spread (~±2·sqrt(target)); exactness is not needed where this is
+    used — CI-scale spot checks of full campaigns.
+
+    Duck-types the spec surface :class:`~repro.fleet.runner.FleetRunner`
+    uses (``tasks()``, ``iter_tasks()``, ``session_count()``,
+    ``max_events``, ``name``, ``base_seed``).
+    """
+
+    def __init__(self, spec: CampaignSpec, target: int) -> None:
+        check_positive("target", target)
+        self.spec = spec
+        self.target = target
+        #: denominator of the membership test: the full campaign size.
+        self.total = spec.session_count()
+        self.name = f"{spec.name}~{target}"
+        self.base_seed = spec.base_seed
+        self.max_events = spec.max_events
+
+    def keeps(self, task_id: str) -> bool:
+        """Whether ``task_id`` is in the sample (pure, order-free)."""
+        if self.target >= self.total:
+            return True
+        return derive_seed(self.base_seed, "sample", task_id) % self.total < self.target
+
+    def iter_tasks(self) -> Iterator[FleetTask]:
+        for task in self.spec.iter_tasks():
+            if self.keeps(task.task_id):
+                yield task
+
+    def tasks(self) -> list[FleetTask]:
+        return list(self.iter_tasks())
+
+    def session_count(self) -> int:
+        """The *expected* sample size (exact count requires expansion)."""
+        return min(self.target, self.total)
+
+
+def megafleet_spec(base_seed: int = 2003) -> CampaignSpec:
+    """The million-session campaign: 10^6 mixed recovery stories.
+
+    Four population-mode grids of 250k sessions each — sender resets,
+    receiver resets (with and without history replay), lossy resets, and
+    multi-SA gateway crashes — every parameter drawn per session from the
+    spec-seeded RNG.  Expansion is deterministic and streams through
+    :meth:`CampaignSpec.iter_tasks` in seconds; *running* it in full is a
+    ``--runslow`` benchmark affair (see ``benchmarks/bench_m7_megafleet``),
+    while CI exercises a deterministic ~2k-session ``--sample``.
+    """
+    sessions_per_grid = 250_000
+    return CampaignSpec(
+        name="megafleet",
+        base_seed=base_seed,
+        grids=(
+            ScenarioGrid(
+                scenario="sender_reset",
+                params={
+                    "k": 25,
+                    "reset_after_sends": [40, 45, 50, 55, 60],
+                    "messages_after_reset": [40, 60],
+                },
+                sessions=sessions_per_grid,
+            ),
+            ScenarioGrid(
+                scenario="receiver_reset",
+                params={
+                    "k": 25,
+                    "reset_after_receives": [40, 50, 60],
+                    "messages_after_reset": [40, 60],
+                    "replay_history_after": [True, False],
+                },
+                sessions=sessions_per_grid,
+            ),
+            ScenarioGrid(
+                scenario="loss_reset",
+                params={
+                    "k": 25,
+                    "loss_rate": [0.0, 0.02, 0.05, 0.1],
+                    "reset_after_sends": [45, 50, 55],
+                    "messages_after_reset": [40, 60],
+                },
+                sessions=sessions_per_grid,
+            ),
+            ScenarioGrid(
+                scenario="gateway_crash",
+                params={
+                    "n_sas": [2, 4, 8],
+                    "store_policy": ["serial", "batched", "write_ahead"],
+                    "crash_after_sends": [50, 60],
+                    "messages_after_reset": [40, 60],
+                },
+                sessions=sessions_per_grid,
+            ),
+        ),
+    )
 
 
 def example_spec(sessions: int = 60, base_seed: int = 2003) -> CampaignSpec:

@@ -1,4 +1,4 @@
-"""Shared fixtures for the test suite, plus the `slow` marker gate."""
+"""Shared fixtures for the test suite, plus the `slow` and shard gates."""
 
 from __future__ import annotations
 
@@ -15,11 +15,45 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         default=False,
         help="run tests marked `slow` (fleet-scale campaigns)",
     )
+    parser.addoption(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help="run only the K-th of N round-robin test shards (1-indexed), "
+        "e.g. --shard 1/2; shards are disjoint and their union is the "
+        "full suite",
+    )
+
+
+def _parse_shard(spec: str) -> tuple[int, int]:
+    try:
+        k_text, n_text = spec.split("/", 1)
+        k, n = int(k_text), int(n_text)
+    except ValueError:
+        raise pytest.UsageError(
+            f"--shard expects K/N with integer K and N, got {spec!r}"
+        ) from None
+    if n < 1 or not 1 <= k <= n:
+        raise pytest.UsageError(f"--shard expects 1 <= K <= N, got {spec!r}")
+    return k, n
 
 
 def pytest_collection_modifyitems(
     config: pytest.Config, items: list[pytest.Item]
 ) -> None:
+    shard = config.getoption("--shard")
+    if shard is not None:
+        # Round-robin rather than contiguous split: expensive tests
+        # cluster by module, and interleaving keeps the shards'
+        # wall-clock close to equal without maintaining a cost model.
+        k, n = _parse_shard(shard)
+        kept = items[k - 1 :: n]
+        deselected = [
+            item for index, item in enumerate(items) if index % n != k - 1
+        ]
+        if deselected:
+            config.hook.pytest_deselected(items=deselected)
+        items[:] = kept
     if config.getoption("--runslow"):
         return
     skip_slow = pytest.mark.skip(reason="slow fleet-scale test; use --runslow")

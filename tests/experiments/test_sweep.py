@@ -120,6 +120,19 @@ class TestExperimentDriver:
         ).run().rows
         assert json.dumps(memory_rows) == json.dumps(file_rows)
 
+    def test_sharded_store_rows_identical_and_resumable(self, tmp_path):
+        from repro.fleet.results import ShardedResultStore
+
+        spec = e01_sender_gap.sweep(k=50, offsets=[0, 30])
+        plain_rows = ExperimentDriver(spec, store=MemoryResultStore()).run().rows
+        store = ShardedResultStore(tmp_path / "e01.shards", bits=2)
+        sharded_rows = ExperimentDriver(spec, store=store).run().rows
+        assert json.dumps(plain_rows) == json.dumps(sharded_rows)
+        # Re-running against the same sharded store resumes everything.
+        resumed = ExperimentDriver(spec, store=store)
+        assert json.dumps(resumed.run().rows) == json.dumps(plain_rows)
+        assert resumed.outcome.skipped == resumed.outcome.total
+
     def test_task_error_raises_loudly(self):
         spec = _tiny_spec(
             scenario="sender_reset",

@@ -161,3 +161,106 @@ class TestFleetScale:
         assert len(records) == 510
         assert all(r.status == STATUS_OK for r in records)
         assert all(r.metrics["replays_accepted"] == 0 for r in records)
+
+
+class TestStoreBackends:
+    def shard_lines(self, store) -> list[str]:
+        return sorted(
+            line
+            for shard in store.shards
+            if shard.path.exists()
+            for line in canonical_lines(shard.path)
+        )
+
+    def test_sharded_run_matches_jsonl_modulo_placement(self, tmp_path):
+        from repro.fleet.results import ShardedResultStore
+
+        spec = example_spec(sessions=12)
+        jsonl_store, _ = run_spec(spec, tmp_path, "jsonl")
+        sharded = ShardedResultStore(tmp_path / "shards", bits=3)
+        FleetRunner(spec, sharded).run()
+        assert self.shard_lines(sharded) == sorted(
+            canonical_lines(jsonl_store.path)
+        )
+
+    def test_sharded_serial_vs_pool_byte_identical(self, tmp_path):
+        from repro.fleet.results import ShardedResultStore
+
+        spec = example_spec(sessions=12)
+        serial = ShardedResultStore(tmp_path / "serial", bits=3)
+        FleetRunner(spec, serial, jobs=1).run()
+        pool = ShardedResultStore(tmp_path / "pool", bits=3)
+        FleetRunner(spec, pool, jobs=2).run()
+        for shard_a, shard_b in zip(serial.shards, pool.shards):
+            lines_a = canonical_lines(shard_a.path) if shard_a.path.exists() else []
+            lines_b = canonical_lines(shard_b.path) if shard_b.path.exists() else []
+            assert lines_a == lines_b
+
+    def test_sharded_store_resumes(self, tmp_path):
+        from repro.fleet.results import ShardedResultStore
+
+        spec = example_spec(sessions=12)
+        store = ShardedResultStore(tmp_path / "shards", bits=2)
+        first = FleetRunner(spec, store).run()
+        assert len(first.executed) == 12
+        second = FleetRunner(spec, store).run()
+        assert second.skipped == 12
+        assert second.executed == []
+
+    def test_sharded_resume_after_kill_heals_dirty_shard(self, tmp_path):
+        from repro.fleet.results import ShardedResultStore
+
+        spec = example_spec(sessions=12)
+        full = ShardedResultStore(tmp_path / "full", bits=2)
+        FleetRunner(spec, full).run()
+        # Rebuild a killed-mid-run store: 5 complete records, plus the
+        # in-flight sixth torn mid-line in its shard.
+        records = list(full.records())
+        partial = ShardedResultStore(tmp_path / "partial", bits=2)
+        for record in records[:5]:
+            partial.append(record)
+        victim = records[5]
+        with partial.shard_for(victim.task_id, victim.seed).path.open("a") as fh:
+            fh.write(victim.to_json()[:30])
+        assert partial.dirty_shards() != []
+        outcome = FleetRunner(spec, partial).run()
+        assert outcome.skipped == 5
+        assert len(outcome.executed) == 7
+        assert partial.dirty_shards() == []
+        assert len(partial.completed_ids()) == 12
+        # The torn fragment stays in the file (skip-and-log, never
+        # rewrite), but the record multiset matches the clean run.
+        def record_lines(store):
+            return sorted(
+                re.sub(r'"wall_time":[0-9eE.+-]+', '"wall_time":0',
+                       record.to_json())
+                for record in store.records()
+            )
+        assert record_lines(partial) == record_lines(full)
+
+    def test_sqlite_store_runs_and_resumes(self, tmp_path):
+        from repro.fleet.results import SqliteResultStore
+
+        spec = example_spec(sessions=9)
+        store = SqliteResultStore(tmp_path / "r.sqlite")
+        first = FleetRunner(spec, store).run()
+        assert len(first.executed) == 9
+        second = FleetRunner(spec, store).run()
+        assert second.skipped == 9
+        store.close()
+        # Records are durable across a reopen (persist-before-acknowledge).
+        reopened = SqliteResultStore(tmp_path / "r.sqlite")
+        assert len(reopened.completed_ids()) == 9
+        reopened.close()
+
+    def test_sampled_campaign_runs_and_resumes(self, tmp_path):
+        from repro.fleet.results import ShardedResultStore
+        from repro.fleet.spec import SampledCampaign
+
+        plan = SampledCampaign(example_spec(sessions=60), 15)
+        store = ShardedResultStore(tmp_path / "shards", bits=2)
+        first = FleetRunner(plan, store).run()
+        assert 5 <= len(first.executed) <= 30  # ~15 expected
+        second = FleetRunner(plan, store).run()
+        assert second.skipped == len(first.executed)
+        assert second.executed == []

@@ -8,8 +8,10 @@ from repro.fleet.spec import (
     DEFAULT_MAX_EVENTS,
     CampaignSpec,
     FleetTask,
+    SampledCampaign,
     ScenarioGrid,
     example_spec,
+    megafleet_spec,
 )
 
 
@@ -169,3 +171,85 @@ class TestExpansion:
     def test_task_round_trips_through_dict(self):
         task = small_spec().tasks()[0]
         assert FleetTask.from_dict(task.to_dict()) == task
+
+
+class TestIterTasks:
+    def test_streams_same_tasks_in_same_order(self):
+        spec = small_spec()
+        assert list(spec.iter_tasks()) == spec.tasks()
+
+
+class TestSampledCampaign:
+    def test_membership_is_deterministic(self):
+        spec = example_spec(sessions=400)
+        first = [t.task_id for t in SampledCampaign(spec, 80).tasks()]
+        second = [t.task_id for t in SampledCampaign(spec, 80).tasks()]
+        assert first == second
+
+    def test_sample_is_a_subset_with_tasks_unchanged(self):
+        spec = example_spec(sessions=200)
+        full = {t.task_id: t for t in spec.tasks()}
+        sample = SampledCampaign(spec, 50).tasks()
+        assert 0 < len(sample) < 200
+        for task in sample:
+            assert full[task.task_id] == task  # same params, same seed
+
+    def test_expected_size_is_near_target(self):
+        spec = example_spec(sessions=1000)
+        sample = SampledCampaign(spec, 200).tasks()
+        # Binomial(1000, 0.2): +-4 sigma is ~+-50.
+        assert 150 <= len(sample) <= 250
+
+    def test_membership_independent_of_target_only_through_threshold(self):
+        # Every task of a smaller sample need not survive a larger one,
+        # but a fixed target is a fixed set; growing the target keeps
+        # the expectation proportional across grids.
+        spec = example_spec(sessions=500)
+        small = {t.task_id for t in SampledCampaign(spec, 50).tasks()}
+        large = {t.task_id for t in SampledCampaign(spec, 250).tasks()}
+        assert small  # nonempty at this scale
+        assert len(large) > len(small)
+
+    def test_target_at_or_above_total_keeps_everything(self):
+        spec = example_spec(sessions=40)
+        assert SampledCampaign(spec, 40).tasks() == spec.tasks()
+        assert SampledCampaign(spec, 10_000).tasks() == spec.tasks()
+
+    def test_rejects_non_positive_target(self):
+        with pytest.raises(ValueError, match="target"):
+            SampledCampaign(example_spec(sessions=10), 0)
+
+    def test_runner_surface(self):
+        spec = example_spec(sessions=60)
+        sampled = SampledCampaign(spec, 20)
+        assert sampled.max_events == spec.max_events
+        assert sampled.base_seed == spec.base_seed
+        assert sampled.session_count() == 20
+        assert sampled.name == "mixed-demo~20"
+
+
+class TestMegafleetSpec:
+    def test_expands_to_one_million_sessions(self):
+        spec = megafleet_spec()
+        assert spec.session_count() == 1_000_000
+        spec.validate_scenarios()
+
+    def test_round_trips_through_json(self):
+        spec = megafleet_spec()
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+
+    def test_streams_deterministically(self):
+        import itertools
+
+        head = list(itertools.islice(megafleet_spec().iter_tasks(), 200))
+        again = list(itertools.islice(megafleet_spec().iter_tasks(), 200))
+        assert head == again
+        ids = [t.task_id for t in head]
+        assert len(set(ids)) == len(ids)
+        assert all(t.scenario == "sender_reset" for t in head)
+
+    def test_covers_all_four_scenario_families(self):
+        scenarios = {grid.scenario for grid in megafleet_spec().grids}
+        assert scenarios == {
+            "sender_reset", "receiver_reset", "loss_reset", "gateway_crash"
+        }

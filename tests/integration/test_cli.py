@@ -86,6 +86,66 @@ class TestCli:
         assert '"gateway_crash"' in out
         assert '"store_policy"' in out
 
+    def write_small_spec(self, tmp_path):
+        import json
+
+        from repro.fleet.spec import example_spec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(example_spec(sessions=8).to_dict()))
+        return spec_path
+
+    def test_fleet_runs_on_sharded_store_and_writes_aggregate(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        spec_path = self.write_small_spec(tmp_path)
+        out_dir = tmp_path / "runs"
+        args = ["fleet", str(spec_path), "--out", str(out_dir),
+                "--store", "sharded", "--shard-bits", "2"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "[sharded]" in out
+        assert (out_dir / "results.shards" / "store_meta.json").exists()
+        aggregate = json.loads((out_dir / "aggregate.json").read_text())
+        assert aggregate["tasks"] == 8
+        assert aggregate["errors"] == 0
+        assert aggregate["percentile_mode"] == "exact"
+        # Resume autodetects the backend without --store and reruns nothing.
+        assert main(["fleet", str(spec_path), "--out", str(out_dir)]) == 0
+        assert "(8 resumed from store)" in capsys.readouterr().out
+
+    def test_fleet_sqlite_store(self, tmp_path, capsys):
+        spec_path = self.write_small_spec(tmp_path)
+        out_dir = tmp_path / "runs"
+        args = ["fleet", str(spec_path), "--out", str(out_dir),
+                "--store", "sqlite"]
+        assert main(args) == 0
+        assert (out_dir / "results.sqlite").exists()
+        assert "[sqlite]" in capsys.readouterr().out
+
+    def test_fleet_sample_count_runs_subsample(self, tmp_path, capsys):
+        import json
+
+        from repro.fleet.spec import example_spec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(example_spec(sessions=40).to_dict()))
+        out_dir = tmp_path / "runs"
+        args = ["fleet", str(spec_path), "--out", str(out_dir),
+                "--sample", "10", "--store", "sharded"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "sampled of 40" in out
+        aggregate = json.loads((out_dir / "aggregate.json").read_text())
+        assert 0 < aggregate["tasks"] < 40
+
+    def test_fleet_bare_sample_with_spec_is_an_error(self, tmp_path, capsys):
+        spec_path = self.write_small_spec(tmp_path)
+        assert main(["fleet", str(spec_path), "--sample"]) == 2
+        assert "--sample needs a session count" in capsys.readouterr().err
+
     def test_check_small_budget(self, capsys):
         assert main(["check", "--budget", "3000"]) == 0
         out = capsys.readouterr().out
