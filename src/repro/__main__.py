@@ -18,8 +18,18 @@ Commands:
   a worker pool, ``--out DIR`` for the durable result store, ``--store
   jsonl|sharded|sqlite`` to pick the store backend, ``--sample N`` to
   run a deterministic subsample of a huge campaign; re-running the same
-  spec resumes, whatever the backend).  ``fleet --sample`` with no spec
-  prints an example spec.
+  spec resumes, whatever the backend).  ``--stream`` appends live
+  progress events to ``<out>/progress.jsonl`` (plus per-worker crash
+  flight recorders); ``--watch`` implies it and renders the refreshing
+  ``top`` dashboard instead of the line printer; ``--profile-slow``
+  cProfile-dumps tasks slower than the running 95th percentile;
+  ``--trace-malloc`` adds per-task allocation peaks to worker
+  heartbeats.  ``fleet --sample`` with no spec prints an example spec.
+* ``top <run-dir>`` — terminal dashboard over a campaign's progress
+  ledger: throughput, ETA, per-worker GREEN/YELLOW/RED health, worst
+  outliers.  Follows a live ledger until the campaign finishes
+  (``--once`` renders a single frame; works identically on a finished
+  run's ledger).
 * ``gateway`` — the multi-SA gateway demo: one correlated crash against
   N SAs over a shared store, compared across write policies
   (``--sas N``, ``--side``, ``--policy`` to pin one).
@@ -37,6 +47,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -50,8 +61,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         return 2
     ids = list(args.ids) + list(args.only or [])
     resume_dir = args.out if args.resume else None
+    obs_dir = Path(args.out) / "obs" if args.obs else None
     try:
-        run_all(ids or None, jobs=args.jobs, resume_dir=resume_dir)
+        run_all(ids or None, jobs=args.jobs, resume_dir=resume_dir,
+                obs_dir=obs_dir)
     except KeyboardInterrupt:
         if resume_dir is not None:
             print(f"\ninterrupted — finished sessions persisted under "
@@ -185,6 +198,24 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     sampled = (f" (~{total} sampled of {plan.total})"
                if isinstance(plan, SampledCampaign) else "")
     extra = f", obs={obs_dir}" if obs_dir is not None else ""
+
+    stream_config = None
+    watch = bool(args.watch)
+    if watch or args.stream or args.profile_slow or args.trace_malloc:
+        from repro.fleet.results import progress_ledger_path
+        from repro.obs.stream import StreamConfig
+
+        ledger_path = (progress_ledger_path(store)
+                       or out_dir / "progress.jsonl")
+        profile_dir = None
+        if args.profile_slow:
+            profile_dir = obs_dir if obs_dir is not None else out_dir / "profiles"
+        stream_config = StreamConfig(
+            ledger_path=ledger_path,
+            profile_dir=profile_dir,
+            trace_malloc=args.trace_malloc,
+        )
+        extra += f", ledger={ledger_path}"
     print(f"campaign {spec.name!r}: {total} sessions{sampled}, "
           f"jobs={args.jobs}, store={store.path} [{store_kind}]{extra}")
 
@@ -195,10 +226,30 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             status = "" if record.status == "ok" else f"  [{record.status}: {record.error}]"
             print(f"  [{done}/{pending}] {record.task_id}{status}")
 
+    runner = FleetRunner(
+        plan, store, jobs=args.jobs, progress=progress, obs_dir=obs_dir,
+        stream=stream_config,
+    )
+    if watch:
+        import time as time_module
+
+        from repro.obs.top import ANSI_CLEAR, render_dashboard
+
+        last_frame = 0.0
+
+        def progress(done: int, pending: int, record) -> None:  # noqa: F811
+            nonlocal last_frame
+            now = time_module.monotonic()
+            if runner.view is None or (now - last_frame < 0.5
+                                       and done != pending):
+                return
+            last_frame = now
+            sys.stdout.write(ANSI_CLEAR + render_dashboard(runner.view) + "\n")
+            sys.stdout.flush()
+
+        runner.progress = progress
     try:
-        outcome = FleetRunner(
-            plan, store, jobs=args.jobs, progress=progress, obs_dir=obs_dir
-        ).run()
+        outcome = runner.run()
     except KeyboardInterrupt:
         done = len(store.completed_ids())
         print(f"\ninterrupted — {done}/{total} sessions persisted to {store.path}; "
@@ -224,6 +275,29 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(f"error: {summary.errors} session(s) errored; "
               "re-run the same command to retry them", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import find_ledger, run_top
+
+    if args.refresh <= 0:
+        print(f"error: --refresh must be > 0, got {args.refresh}",
+              file=sys.stderr)
+        return 2
+    try:
+        find_ledger(args.run_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        run_top(args.run_dir, follow=not args.once, refresh=args.refresh,
+                once=args.once)
+    except BrokenPipeError:
+        # Piped into head/less and the reader went away: exit quietly.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise the same error again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -332,6 +406,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         health_rows,
         read_manifest,
         read_metrics_jsonl,
+        read_metrics_lines,
         render_health_table,
         render_run_trace,
         use_hub,
@@ -385,11 +460,13 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
     if args.check:
         failures: list[str] = []
-        lines = [
-            json.loads(line)
-            for line in metrics_path.read_text(encoding="utf-8").splitlines()
-            if line.strip()
-        ]
+        # Torn tails (a crash mid-append) are salvage notes, not schema
+        # failures — the salvage-and-skip walk loses at most the torn
+        # line, mirroring the result store's recovery discipline.
+        salvage_notes: list[str] = []
+        lines = read_metrics_lines(metrics_path, errors=salvage_notes)
+        for note in salvage_notes:
+            print(f"WARN  {note}", file=sys.stderr)
         failures += [f"{METRICS_FILE}: {e}" for e in validate_metrics_lines(lines)]
         if manifest is None:
             failures.append(f"{MANIFEST_FILE}: missing")
@@ -452,6 +529,10 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("--out", default="experiment_runs",
                        help="result-store directory for --resume "
                             "(default: experiment_runs)")
+    p_exp.add_argument("--obs", action="store_true",
+                       help="observe every session: per-task metrics files "
+                            "and per-experiment campaign rollups under "
+                            "<out>/obs/<id>/")
     p_exp.set_defaults(fn=_cmd_experiments)
 
     p_check = subparsers.add_parser(
@@ -505,7 +586,37 @@ def main(argv: list[str] | None = None) -> int:
     p_fleet.add_argument("--obs", action="store_true",
                          help="observe every session: per-task metrics files "
                               "and a campaign rollup under <out>/obs/")
+    p_fleet.add_argument("--stream", action="store_true",
+                         help="append live progress events to "
+                              "<out>/progress.jsonl (durable ledger; feeds "
+                              "`repro top` and crash flight recorders)")
+    p_fleet.add_argument("--watch", action="store_true",
+                         help="render the refreshing top dashboard while the "
+                              "campaign runs (implies --stream)")
+    p_fleet.add_argument("--profile-slow", action="store_true",
+                         help="cProfile tasks slower than the running 95th "
+                              "percentile; pstats dumps land under "
+                              "<out>/obs/ (with --obs) or <out>/profiles/ "
+                              "(implies --stream)")
+    p_fleet.add_argument("--trace-malloc", action="store_true",
+                         help="track per-task allocation peaks via "
+                              "tracemalloc in worker heartbeats (implies "
+                              "--stream)")
     p_fleet.set_defaults(fn=_cmd_fleet)
+
+    p_top = subparsers.add_parser(
+        "top", help="terminal dashboard over a campaign's progress ledger",
+        epilog="example: python -m repro top fleet_runs/smoke",
+    )
+    p_top.add_argument("run_dir",
+                       help="campaign output directory (or the progress.jsonl "
+                            "file itself); written by fleet --stream")
+    p_top.add_argument("--refresh", type=float, default=1.0,
+                       help="seconds between dashboard frames (default: 1.0)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render a single frame from the ledger and exit "
+                            "(no follow loop)")
+    p_top.set_defaults(fn=_cmd_top)
 
     p_gw = subparsers.add_parser(
         "gateway", help="multi-SA gateway crash demo over a shared store",

@@ -80,12 +80,15 @@ def run_experiment(
     experiment_id: str,
     jobs: int = 1,
     resume_dir: str | Path | None = None,
+    obs_dir: str | Path | None = None,
 ) -> ExperimentResult:
     """Run one registered experiment at full size through the fleet.
 
     With ``resume_dir`` the task records persist to
     ``<resume_dir>/<id>.jsonl``; re-running after an interrupt skips
-    every finished session.
+    every finished session.  With ``obs_dir`` every task runs observed:
+    per-task metrics files and a campaign rollup land under
+    ``<obs_dir>/<id>/`` (same semantics as ``fleet --obs``).
     """
     if experiment_id not in EXPERIMENTS:
         raise SystemExit(
@@ -97,7 +100,8 @@ def run_experiment(
         if resume_dir is not None
         else None
     )
-    return ExperimentDriver(spec, jobs=jobs, store=store).run()
+    observe = Path(obs_dir) / experiment_id if obs_dir is not None else None
+    return ExperimentDriver(spec, jobs=jobs, store=store, obs_dir=observe).run()
 
 
 #: Back-compat registry: experiment id -> zero-argument callable running
@@ -112,13 +116,15 @@ def run_all(
     ids: list[str] | None = None,
     jobs: int = 1,
     resume_dir: str | Path | None = None,
+    obs_dir: str | Path | None = None,
 ) -> list[ExperimentResult]:
     """Run the selected experiments (all when ``ids`` is falsy)."""
     selected = ids or list(EXPERIMENTS)
     results = []
     for experiment_id in selected:
         started = time.perf_counter()
-        result = run_experiment(experiment_id, jobs=jobs, resume_dir=resume_dir)
+        result = run_experiment(experiment_id, jobs=jobs,
+                                resume_dir=resume_dir, obs_dir=obs_dir)
         elapsed = time.perf_counter() - started
         print(result.render())
         print(f"\n[{experiment_id} completed in {elapsed:.1f}s]\n")

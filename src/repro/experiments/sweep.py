@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from repro.experiments.common import ExperimentResult
@@ -163,6 +164,9 @@ class ExperimentDriver:
             Defaults to an in-memory store — same JSON round-trip, no
             file.
         progress: optional per-record callback, forwarded to the runner.
+        obs_dir: observe every task (forwarded to the runner): per-task
+            metrics files plus a campaign rollup land under this
+            directory — same semantics as ``fleet --obs``.
     """
 
     def __init__(
@@ -171,11 +175,13 @@ class ExperimentDriver:
         jobs: int = 1,
         store: ResultStore | MemoryResultStore | Any | None = None,
         progress: ProgressFn | None = None,
+        obs_dir: str | Path | None = None,
     ) -> None:
         self.spec = spec
         self.jobs = jobs
         self.store = store if store is not None else MemoryResultStore()
         self.progress = progress
+        self.obs_dir = obs_dir
         #: Populated by :meth:`run` — the fleet outcome of the last call
         #: (task counts, resume skips, wall time, sessions/second).
         self.outcome: FleetOutcome | None = None
@@ -183,7 +189,8 @@ class ExperimentDriver:
     def run(self) -> ExperimentResult:
         """Execute all pending tasks, then reduce the store to rows."""
         runner = FleetRunner(
-            self.spec, self.store, jobs=self.jobs, progress=self.progress
+            self.spec, self.store, jobs=self.jobs, progress=self.progress,
+            obs_dir=self.obs_dir,
         )
         self.outcome = runner.run()
         return self.reduce()
@@ -245,6 +252,9 @@ def run_sweep(
     jobs: int = 1,
     store: ResultStore | MemoryResultStore | Any | None = None,
     progress: ProgressFn | None = None,
+    obs_dir: str | Path | None = None,
 ) -> ExperimentResult:
     """Convenience wrapper: build the driver and run the sweep."""
-    return ExperimentDriver(spec, jobs=jobs, store=store, progress=progress).run()
+    return ExperimentDriver(
+        spec, jobs=jobs, store=store, progress=progress, obs_dir=obs_dir
+    ).run()

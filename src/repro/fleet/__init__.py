@@ -47,6 +47,7 @@ from repro.fleet.aggregate import (
 )
 from repro.fleet.results import (
     DEFAULT_SHARD_BITS,
+    PROGRESS_LEDGER_FILE,
     STORE_KINDS,
     MemoryResultStore,
     ResultStore,
@@ -55,6 +56,7 @@ from repro.fleet.results import (
     TaskRecord,
     detect_store_kind,
     make_store,
+    progress_ledger_path,
     report_metrics,
     shard_index,
 )
@@ -90,6 +92,7 @@ __all__ = [
     "MemoryResultStore",
     "Outlier",
     "OutlierReservoir",
+    "PROGRESS_LEDGER_FILE",
     "QuantileSketch",
     "ResultStore",
     "STORE_KINDS",
@@ -106,6 +109,7 @@ __all__ = [
     "make_store",
     "megafleet_spec",
     "percentile",
+    "progress_ledger_path",
     "report_metrics",
     "run_campaign",
     "scenario_metrics",

@@ -40,11 +40,13 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping
 
 from repro.core.convergence import report_metrics
+from repro.util.jsonl import salvage_objects
 from repro.util.rng import derive_seed
 
 __all__ = [
     "DEFAULT_SHARD_BITS",
     "MemoryResultStore",
+    "PROGRESS_LEDGER_FILE",
     "ResultStore",
     "STATUS_ERROR",
     "STATUS_OK",
@@ -54,6 +56,7 @@ __all__ = [
     "TaskRecord",
     "detect_store_kind",
     "make_store",
+    "progress_ledger_path",
     "report_metrics",  # canonical home: repro.core.convergence
     "shard_index",
 ]
@@ -137,44 +140,27 @@ class TaskRecord:
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
 
-_DECODER = json.JSONDecoder()
-
-
 def salvage_line(line: str) -> tuple[list[TaskRecord], bool]:
     """Recover complete records from a torn store line.
 
     A multiprocessing writer (or a crash between ``write`` and the
     newline) can glue a partial record and one or more complete records
-    onto a single physical line.  This walks the line with
-    ``raw_decode``, keeps every embedded well-formed record, and reports
-    whether any torn fragment had to be skipped.
+    onto a single physical line.  The raw-decode walk lives in
+    :func:`repro.util.jsonl.salvage_objects` (shared with the metrics
+    reader and the progress ledger); this wrapper additionally rejects
+    salvaged objects that are not valid records.
 
     Returns:
         ``(records, torn)`` — the salvageable records in order, and True
         if any part of the line was unparseable.
     """
+    values, torn = salvage_objects(line)
     records: list[TaskRecord] = []
-    torn = False
-    pos = 0
-    while True:
-        start = line.find("{", pos)
-        if start < 0:
-            if line[pos:].strip():
-                torn = True
-            break
-        if line[pos:start].strip():
-            torn = True
-        try:
-            data, consumed = _DECODER.raw_decode(line, start)
-        except json.JSONDecodeError:
-            torn = True
-            pos = start + 1
-            continue
+    for data in values:
         try:
             records.append(TaskRecord.from_dict(data))
         except (KeyError, TypeError):
             torn = True
-        pos = consumed
     return records, torn
 
 
@@ -535,6 +521,28 @@ def make_store(
         return SqliteResultStore(out_dir / _STORE_NAMES["sqlite"])
     known = ", ".join(STORE_KINDS)
     raise ValueError(f"unknown store kind {kind!r}; known kinds: {known}")
+
+
+#: The streaming progress ledger's name inside a campaign output dir
+#: (lives *beside* the store, whatever the backend: the ledger is the
+#: campaign's event log, not a store artifact).
+PROGRESS_LEDGER_FILE = "progress.jsonl"
+
+
+def progress_ledger_path(
+    store: ResultStore | ShardedResultStore | SqliteResultStore,
+) -> Path | None:
+    """Where a store's campaign keeps its ``progress.jsonl``.
+
+    Every backend's CLI-facing ``path`` sits directly inside the
+    campaign output directory (the sharded backend's ``path`` *is* its
+    shard directory inside it), so the ledger is a sibling of the store.
+    Memory stores have no directory — returns ``None``.
+    """
+    path = getattr(store, "path", None)
+    if path is None:
+        return None
+    return Path(path).parent / PROGRESS_LEDGER_FILE
 
 
 def detect_store_kind(out_dir: str | Path) -> str | None:

@@ -14,8 +14,19 @@ The layer that turns a simulation into signals:
 * :mod:`repro.obs.export` — metrics JSONL, run manifests, and Chrome
   trace-event rendering (open in https://ui.perfetto.dev).
 
-``python -m repro obs`` is the CLI over all of it; ``repro.control``
-(ROADMAP) is the next consumer.
+v2 — the *streaming* plane (live campaigns, not just post-mortems):
+
+* :mod:`repro.obs.stream` — schema-versioned progress events, the
+  durable persist-before-fold ``progress.jsonl`` ledger, and the
+  :class:`CampaignView` fold that replays it.
+* :mod:`repro.obs.resource` — stdlib worker resource probes (CPU, RSS,
+  tracemalloc) and the slow-task cProfile hook.
+* :mod:`repro.obs.flightrec` — the per-worker crash flight recorder.
+* :mod:`repro.obs.top` — the ``repro top`` / ``fleet --watch``
+  dashboard rendered from any ledger, live or finished.
+
+``python -m repro obs`` / ``top`` are the CLIs over all of it;
+``repro.control`` (ROADMAP) is the next consumer.
 """
 
 from repro.obs.export import (
@@ -32,15 +43,25 @@ from repro.obs.export import (
     metrics_lines,
     read_manifest,
     read_metrics_jsonl,
+    read_metrics_lines,
     read_trace_records,
     render_run_trace,
+    validate_flight_dump,
     validate_manifest,
     validate_metrics_lines,
+    validate_progress_file,
+    validate_progress_lines,
     validate_trace_events,
     write_chrome_trace,
     write_manifest,
     write_metrics_jsonl,
     write_trace_records,
+)
+from repro.obs.flightrec import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    flight_path,
+    load_flight,
 )
 from repro.obs.health import (
     DEFAULT_THRESHOLDS,
@@ -50,6 +71,7 @@ from repro.obs.health import (
     health_rows,
     render_health_table,
     signal_level,
+    vote,
 )
 from repro.obs.hub import (
     DEFAULT_EWMA_ALPHA,
@@ -66,20 +88,45 @@ from repro.obs.hub import (
     use_hub,
 )
 from repro.obs.probe import EventCoreProbe, HealthProbe, SharedStoreProbe
+from repro.obs.resource import (
+    ResourceProbe,
+    TaskProfiler,
+    publish_task_usage,
+    resource_snapshot,
+)
 from repro.obs.sampler import DEFAULT_SAMPLE_INTERVAL, Sampler
+from repro.obs.stream import (
+    EVENT_KINDS,
+    PROGRESS_SCHEMA,
+    CampaignStream,
+    CampaignView,
+    LedgerTail,
+    ProgressEvent,
+    ProgressLedger,
+    StreamConfig,
+    WorkerStatus,
+    read_ledger,
+)
+from repro.obs.top import render_dashboard, run_top, worker_health
 
 __all__ = [
     "CHROME_TRACE_FILE",
+    "CampaignStream",
+    "CampaignView",
     "DEFAULT_EWMA_ALPHA",
     "DEFAULT_SAMPLE_INTERVAL",
     "DEFAULT_THRESHOLDS",
+    "EVENT_KINDS",
     "EventCoreProbe",
     "EwmaGauge",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
     "Gauge",
     "HealthProbe",
     "HealthState",
     "HealthThresholds",
     "HubCounter",
+    "LedgerTail",
     "LogHistogram",
     "MANIFEST_FILE",
     "MANIFEST_SCHEMA",
@@ -88,29 +135,49 @@ __all__ = [
     "MetricsHub",
     "NULL_HUB",
     "NullHub",
+    "PROGRESS_SCHEMA",
+    "ProgressEvent",
+    "ProgressLedger",
+    "ResourceProbe",
     "Sampler",
     "SharedStoreProbe",
+    "StreamConfig",
     "TRACE_RECORDS_FILE",
     "TRACE_RECORDS_SCHEMA",
+    "TaskProfiler",
+    "WorkerStatus",
     "build_manifest",
     "chrome_trace_events",
     "classify",
     "default_hub",
     "export_run",
+    "flight_path",
     "health_rows",
+    "load_flight",
     "merge_rollups",
     "metrics_lines",
+    "publish_task_usage",
+    "read_ledger",
     "read_manifest",
     "read_metrics_jsonl",
+    "read_metrics_lines",
     "read_trace_records",
+    "render_dashboard",
     "render_health_table",
     "render_run_trace",
+    "resource_snapshot",
+    "run_top",
     "signal_level",
     "split_label",
     "use_hub",
+    "validate_flight_dump",
     "validate_manifest",
     "validate_metrics_lines",
+    "validate_progress_file",
+    "validate_progress_lines",
     "validate_trace_events",
+    "vote",
+    "worker_health",
     "write_chrome_trace",
     "write_manifest",
     "write_metrics_jsonl",

@@ -27,8 +27,11 @@ import json
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
+from repro.obs.flightrec import FLIGHT_SCHEMA
 from repro.obs.hub import MetricsHub
+from repro.obs.stream import EVENT_KINDS, PROGRESS_SCHEMA
 from repro.sim.trace import TraceRecord, TraceRecorder
+from repro.util.jsonl import iter_jsonl_objects
 
 #: Schema tags (bump on breaking shape changes; consumers dispatch on them).
 METRICS_SCHEMA = "repro.obs/metrics@1"
@@ -91,16 +94,39 @@ def write_metrics_jsonl(hub: MetricsHub, path: str | Path) -> Path:
     return path
 
 
+def read_metrics_lines(
+    path: str | Path, errors: list[str] | None = None
+) -> list[dict[str, Any]]:
+    """Read a metrics file's line dicts, salvaging torn lines.
+
+    The same salvage-and-skip walk the result store heals with: a
+    truncated tail (a ``kill -9`` mid-export, a filled disk) costs the
+    torn line only, and every complete line still parses.  ``errors``
+    collects one message per torn line, so callers can report damage
+    without refusing the file.
+    """
+    if not Path(path).exists():
+        raise FileNotFoundError(path)
+    lines: list[dict[str, Any]] = []
+    for data in iter_jsonl_objects(path, errors=errors):
+        if isinstance(data, Mapping):
+            lines.append(dict(data))
+        elif errors is not None:
+            errors.append(f"{path}: skipping non-object line")
+    return lines
+
+
 def read_metrics_jsonl(path: str | Path) -> dict[str, Any]:
-    """Read a metrics file back into the ``MetricsHub.as_dict`` shape."""
+    """Read a metrics file back into the ``MetricsHub.as_dict`` shape.
+
+    Tolerant of torn tails (see :func:`read_metrics_lines`): the
+    salvageable instruments load, the torn fragment is dropped.
+    """
     export: dict[str, Any] = {
         "name": "", "labels": [], "counters": {}, "gauges": {},
         "ewmas": {}, "histograms": {}, "series": {},
     }
-    for line in Path(path).read_text(encoding="utf-8").splitlines():
-        if not line.strip():
-            continue
-        data = json.loads(line)
+    for data in read_metrics_lines(path):
         kind = data.get("kind")
         if kind == "meta":
             export["name"] = data.get("name", "")
@@ -231,6 +257,98 @@ def validate_manifest(manifest: Mapping[str, Any]) -> list[str]:
         errors.append("manifest needs a string name")
     if not isinstance(manifest.get("files"), list):
         errors.append("manifest needs a files list")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Progress ledger and flight dumps (the streaming telemetry artifacts)
+# ----------------------------------------------------------------------
+#: Event kinds that must name the task they concern.
+_TASK_SCOPED_KINDS = ("task_started", "task_finished", "task_errored")
+
+
+def validate_progress_lines(
+    lines: Iterable[Mapping[str, Any]],
+) -> list[str]:
+    """Schema-check progress-ledger lines (``repro.obs/progress@1``).
+
+    Accepts the dicts :func:`repro.util.jsonl.iter_jsonl_objects` yields
+    from a ``progress.jsonl`` — live, finished, or salvaged from a
+    killed run.  Returns error strings (empty = valid).
+    """
+    errors: list[str] = []
+    saw_start = False
+    for index, line in enumerate(lines):
+        where = f"line {index}"
+        kind = line.get("kind")
+        if kind not in EVENT_KINDS:
+            errors.append(f"{where}: unknown kind {kind!r}")
+            continue
+        if not isinstance(line.get("time"), (int, float)):
+            errors.append(f"{where}: needs a numeric time")
+        if kind == "campaign_started":
+            saw_start = True
+            if line.get("schema") != PROGRESS_SCHEMA:
+                errors.append(
+                    f"{where}: schema {line.get('schema')!r} != "
+                    f"{PROGRESS_SCHEMA!r}"
+                )
+        elif not saw_start:
+            errors.append(f"{where}: {kind} before any campaign_started")
+            saw_start = True  # report the ordering break once
+        if kind in _TASK_SCOPED_KINDS:
+            task_id = line.get("task_id")
+            if not isinstance(task_id, str) or not task_id:
+                errors.append(f"{where}: {kind} needs a task_id")
+        data = line.get("data")
+        if data is not None and not isinstance(data, Mapping):
+            errors.append(f"{where}: data must be an object")
+    return errors
+
+
+def validate_progress_file(path: str | Path) -> list[str]:
+    """Validate a ledger file on disk, torn lines included.
+
+    Torn-line salvage messages are *reported* alongside schema errors
+    but a salvaged file whose surviving lines validate returns only
+    those salvage notes — callers distinguish damage from invalidity by
+    the message text, same as the store's heal report.
+    """
+    errors: list[str] = []
+    lines = [
+        data for data in iter_jsonl_objects(path, errors=errors)
+        if isinstance(data, Mapping)
+    ]
+    errors.extend(validate_progress_lines(lines))
+    return errors
+
+
+def validate_flight_dump(dump: Mapping[str, Any]) -> list[str]:
+    """Schema-check a flight-recorder dump (``repro.obs/flight@1``)."""
+    errors: list[str] = []
+    if dump.get("schema") != FLIGHT_SCHEMA:
+        errors.append(
+            f"schema {dump.get('schema')!r} != {FLIGHT_SCHEMA!r}"
+        )
+    if not isinstance(dump.get("worker"), str) or not dump.get("worker"):
+        errors.append("flight dump needs a worker name")
+    if not isinstance(dump.get("reason"), str) or not dump.get("reason"):
+        errors.append("flight dump needs a reason")
+    events = dump.get("events")
+    if not isinstance(events, list):
+        errors.append("flight dump needs an events list")
+        events = []
+    for index, event in enumerate(events):
+        if not isinstance(event, Mapping) or "kind" not in event:
+            errors.append(f"event {index}: needs a kind")
+    recorded = dump.get("recorded")
+    if not isinstance(recorded, int) or recorded < len(events):
+        errors.append("recorded must be an int >= len(events)")
+    dropped = dump.get("dropped")
+    if not isinstance(dropped, int) or dropped < 0:
+        errors.append("dropped must be a non-negative int")
+    if not isinstance(dump.get("resources"), Mapping):
+        errors.append("flight dump needs a resources object")
     return errors
 
 

@@ -513,14 +513,17 @@ def merge_rollups(rollups: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
     The campaign-level reduction the fleet runner applies over every
     executed task: counters sum, worst-gauges take the max (worst task
     wins), histograms merge bucket-wise via the fixed shared buckets.
-    ``tasks`` counts the rollups folded in.
+    ``tasks`` counts the rollups folded in; a rollup that is itself a
+    merge contributes its own ``tasks`` count, so the fold is
+    associative — incremental consumers (the progress stream's
+    snapshots) can merge merged outputs without double counting.
     """
     merged: dict[str, Any] = {
         "tasks": 0, "labels": 0, "counters": {}, "worst_gauges": {},
     }
     histograms: dict[str, LogHistogram] = {}
     for rollup in rollups:
-        merged["tasks"] += 1
+        merged["tasks"] += rollup.get("tasks", 1)
         merged["labels"] += rollup.get("labels", 0)
         for name, value in rollup.get("counters", {}).items():
             merged["counters"][name] = merged["counters"].get(name, 0) + value

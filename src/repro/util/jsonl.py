@@ -1,0 +1,94 @@
+"""Tolerant JSONL reading: salvage complete objects from torn lines.
+
+Every durable file in the fleet/obs stack is append-only JSONL, and
+every one of them can be torn the same way: a ``kill -9`` lands between
+``write`` and the newline, or two writers glue fragments onto one
+physical line.  The recovery rule is shared too — walk the damaged line
+with ``raw_decode``, keep every embedded well-formed object, and drop
+only the torn fragment — so a crash loses at most the line it tore,
+never the file.
+
+:func:`salvage_objects` is that walk, factored out of the result
+store's healing path so the metrics reader and the progress ledger
+replay the identical salvage semantics (and are pinned by the same
+tests).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["iter_jsonl_objects", "salvage_objects"]
+
+_DECODER = json.JSONDecoder()
+
+
+def salvage_objects(line: str) -> tuple[list[Any], bool]:
+    """Recover complete JSON values from a (possibly torn) line.
+
+    Walks the line with ``raw_decode``, keeping every well-formed JSON
+    object it finds and skipping unparseable fragments.
+
+    Returns:
+        ``(values, torn)`` — the salvageable values in order, and True
+        if any part of the line had to be skipped.
+    """
+    values: list[Any] = []
+    torn = False
+    pos = 0
+    while True:
+        start = line.find("{", pos)
+        if start < 0:
+            if line[pos:].strip():
+                torn = True
+            break
+        if line[pos:start].strip():
+            torn = True
+        try:
+            value, consumed = _DECODER.raw_decode(line, start)
+        except json.JSONDecodeError:
+            torn = True
+            pos = start + 1
+            continue
+        values.append(value)
+        pos = consumed
+    return values, torn
+
+
+def iter_jsonl_objects(
+    path: str | Path, errors: list[str] | None = None
+) -> Iterator[Any]:
+    """Yield every well-formed JSON value in a JSONL file.
+
+    Torn lines are salvaged with :func:`salvage_objects`: complete
+    objects embedded in a damaged line are kept, the torn fragment is
+    skipped, and the valid lines *after* it still parse — a torn tail
+    loses one line, not the file.  A missing file yields nothing.
+
+    Args:
+        path: the JSONL file.
+        errors: optional sink; one ``"<path>:<line>: ..."`` string is
+            appended per torn line encountered.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+                continue
+            except json.JSONDecodeError:
+                pass
+            salvaged, torn = salvage_objects(line)
+            if torn and errors is not None:
+                errors.append(
+                    f"{path}:{number}: torn line "
+                    f"({len(salvaged)} object(s) salvaged)"
+                )
+            yield from salvaged

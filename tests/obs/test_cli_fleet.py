@@ -72,7 +72,7 @@ class TestObsCli:
 
     def test_help_has_an_example_per_subcommand(self, capsys):
         for command in ("experiments", "check", "demo", "spec", "fleet",
-                        "gateway", "netpath", "obs"):
+                        "gateway", "netpath", "obs", "top"):
             with pytest.raises(SystemExit):
                 main([command, "--help"])
             assert "example:" in capsys.readouterr().out, (
@@ -148,3 +148,95 @@ class TestFleetObs:
         assert (out_dir / "obs" / "campaign_obs.json").exists()
         metrics_files = list((out_dir / "obs").rglob("*.metrics.jsonl"))
         assert len(metrics_files) == 1
+
+
+def small_spec_file(tmp_path, sessions=2):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "name": "cli-stream",
+        "base_seed": 2003,
+        "grids": [{
+            "scenario": "gateway_crash",
+            "params": {"n_sas": 2, "crash_after_sends": 60,
+                       "messages_after_reset": 60},
+            "sessions": sessions,
+        }],
+    }))
+    return spec_path
+
+
+class TestFleetStreamCli:
+    def test_stream_flag_writes_valid_ledger(self, tmp_path, capsys):
+        from repro.obs.export import validate_progress_file
+        from repro.obs.stream import CampaignView
+
+        spec_path = small_spec_file(tmp_path)
+        out_dir = tmp_path / "runs"
+        assert main(["fleet", str(spec_path), "--out", str(out_dir),
+                     "--stream"]) == 0
+        assert "ledger=" in capsys.readouterr().out
+        ledger = out_dir / "progress.jsonl"
+        assert validate_progress_file(ledger) == []
+        view = CampaignView.replay(ledger)
+        assert view.finished is True
+        assert view.done == 2
+
+    def test_watch_renders_frames_and_exits_zero(self, tmp_path, capsys):
+        from repro.obs.top import ANSI_CLEAR
+
+        spec_path = small_spec_file(tmp_path)
+        out_dir = tmp_path / "runs"
+        assert main(["fleet", str(spec_path), "--out", str(out_dir),
+                     "--watch"]) == 0
+        out = capsys.readouterr().out
+        assert ANSI_CLEAR in out
+        assert "campaign cli-stream" in out
+
+    def test_profile_slow_runs_and_gates_on_min_samples(self, tmp_path):
+        spec_path = small_spec_file(tmp_path, sessions=4)
+        out_dir = tmp_path / "runs"
+        assert main(["fleet", str(spec_path), "--out", str(out_dir),
+                     "--stream", "--profile-slow"]) == 0
+        # 4 tasks sit below the profiler's min-samples gate: the run
+        # must succeed without littering pstats dumps.
+        assert list(out_dir.rglob("*.pstats")) == []
+
+    def test_top_once_renders_finished_ledger(self, tmp_path, capsys):
+        spec_path = small_spec_file(tmp_path)
+        out_dir = tmp_path / "runs"
+        assert main(["fleet", str(spec_path), "--out", str(out_dir),
+                     "--stream"]) == 0
+        capsys.readouterr()
+        assert main(["top", str(out_dir), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "[FINISHED]" in out
+        assert "campaign cli-stream" in out
+
+    def test_top_missing_ledger_exits_two(self, tmp_path, capsys):
+        tmp_path.joinpath("empty").mkdir()
+        assert main(["top", str(tmp_path / "empty")]) == 2
+        assert "--stream" in capsys.readouterr().err
+
+    def test_top_rejects_non_positive_refresh(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path), "--refresh", "0"]) == 2
+        assert "refresh" in capsys.readouterr().err
+
+
+class TestExperimentsObsCli:
+    def test_obs_flag_writes_campaign_rollup(self, tmp_path):
+        out_dir = tmp_path / "exp"
+        assert main(["experiments", "e12", "--out", str(out_dir),
+                     "--obs"]) == 0
+        campaign = out_dir / "obs" / "e12" / "campaign_obs.json"
+        assert campaign.exists()
+        rollup = json.loads(campaign.read_text())
+        assert rollup["tasks"] >= 1
+        metrics_files = list(
+            (out_dir / "obs" / "e12").rglob("*.metrics.jsonl")
+        )
+        assert metrics_files
+
+    def test_without_obs_flag_no_obs_dir(self, tmp_path):
+        out_dir = tmp_path / "exp"
+        assert main(["experiments", "e12", "--out", str(out_dir)]) == 0
+        assert not (out_dir / "obs").exists()

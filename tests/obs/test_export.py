@@ -21,10 +21,13 @@ from repro.obs.export import (
     metrics_lines,
     read_manifest,
     read_metrics_jsonl,
+    read_metrics_lines,
     read_trace_records,
     render_run_trace,
     validate_manifest,
     validate_metrics_lines,
+    validate_progress_file,
+    validate_progress_lines,
     validate_trace_events,
     write_chrome_trace,
     write_manifest,
@@ -123,6 +126,137 @@ class TestMetricsJsonl:
         assert any("buckets dict" in error for error in errors)
         assert any("[time, value]" in error for error in errors)
         assert any("instrument name" in error for error in errors)
+
+
+class TestReadMetricsLines:
+    def write_metrics(self, tmp_path):
+        return write_metrics_jsonl(populated_hub(), tmp_path / METRICS_FILE)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_metrics_lines(tmp_path / METRICS_FILE)
+
+    def test_clean_file_reads_without_notes(self, tmp_path):
+        path = self.write_metrics(tmp_path)
+        notes: list[str] = []
+        lines = read_metrics_lines(path, errors=notes)
+        assert notes == []
+        assert lines == metrics_lines(populated_hub())
+
+    def test_torn_tail_salvaged_with_note(self, tmp_path):
+        # A kill -9 mid-export tears the last line; every complete line
+        # must survive and the damage must be reported, not fatal.
+        path = self.write_metrics(tmp_path)
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-20])
+        notes: list[str] = []
+        lines = read_metrics_lines(path, errors=notes)
+        assert len(lines) == len(metrics_lines(populated_hub())) - 1
+        assert any("torn line" in note for note in notes)
+
+    def test_non_object_line_skipped_with_note(self, tmp_path):
+        path = self.write_metrics(tmp_path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("[1, 2, 3]\n")
+        notes: list[str] = []
+        lines = read_metrics_lines(path, errors=notes)
+        assert lines == metrics_lines(populated_hub())
+        assert any("non-object" in note for note in notes)
+
+    def test_torn_file_still_validates_surviving_lines(self, tmp_path):
+        # The CLI obs --check path: salvage notes are warnings, schema
+        # errors are failures, and a torn tail alone produces neither.
+        path = self.write_metrics(tmp_path)
+        path.write_bytes(path.read_bytes()[:-20])
+        assert validate_metrics_lines(read_metrics_lines(path)) == []
+
+    def test_read_metrics_jsonl_tolerates_torn_tail(self, tmp_path):
+        path = self.write_metrics(tmp_path)
+        path.write_bytes(path.read_bytes()[:-20])
+        export = read_metrics_jsonl(path)
+        assert export["name"] == "export-test"
+        # The torn instrument is gone; the salvaged ones loaded.
+        full = populated_hub().as_dict()
+        for group in ("counters", "gauges", "ewmas"):
+            for name, value in export[group].items():
+                assert full[group][name] == value
+
+
+def progress_lines(tasks=2):
+    from repro.obs.stream import PROGRESS_SCHEMA
+
+    lines = [{"kind": "campaign_started", "time": 0.0,
+              "schema": PROGRESS_SCHEMA,
+              "data": {"campaign": "demo", "total": tasks}}]
+    for index in range(tasks):
+        lines.append({"kind": "task_started", "time": 1.0 + index,
+                      "worker": "w1", "task_id": f"t{index}"})
+        lines.append({"kind": "task_finished", "time": 1.5 + index,
+                      "task_id": f"t{index}", "data": {"wall_time": 0.5}})
+    lines.append({"kind": "campaign_finished", "time": 9.0,
+                  "data": {"executed": tasks}})
+    return lines
+
+
+class TestValidateProgress:
+    def test_accepts_well_formed_sequence(self):
+        assert validate_progress_lines(progress_lines()) == []
+
+    def test_rejects_unknown_kind(self):
+        lines = progress_lines() + [{"kind": "task_retried", "time": 10.0}]
+        errors = validate_progress_lines(lines)
+        assert any("unknown kind 'task_retried'" in e for e in errors)
+
+    def test_rejects_missing_schema_tag(self):
+        lines = progress_lines()
+        del lines[0]["schema"]
+        errors = validate_progress_lines(lines)
+        assert any("schema None" in e for e in errors)
+
+    def test_rejects_events_before_campaign_started(self):
+        lines = progress_lines()[1:]
+        errors = validate_progress_lines(lines)
+        # The ordering break is reported once, not per line.
+        assert len([e for e in errors if "before any" in e]) == 1
+
+    def test_task_scoped_kinds_need_task_id(self):
+        for kind in ("task_started", "task_finished", "task_errored"):
+            lines = progress_lines() + [{"kind": kind, "time": 10.0}]
+            errors = validate_progress_lines(lines)
+            assert any(f"{kind} needs a task_id" in e for e in errors)
+
+    def test_rejects_non_numeric_time_and_non_object_data(self):
+        lines = progress_lines()
+        lines[1]["time"] = "noon"
+        lines[2]["data"] = ["not", "an", "object"]
+        errors = validate_progress_lines(lines)
+        assert any("numeric time" in e for e in errors)
+        assert any("data must be an object" in e for e in errors)
+
+    def write_ledger(self, tmp_path, lines):
+        path = tmp_path / "progress.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(json.dumps(line) + "\n")
+        return path
+
+    def test_file_validates_clean_ledger(self, tmp_path):
+        path = self.write_ledger(tmp_path, progress_lines())
+        assert validate_progress_file(path) == []
+
+    def test_torn_ledger_reports_salvage_not_schema_errors(self, tmp_path):
+        # A SIGKILLed run's ledger: the torn tail line becomes a salvage
+        # note; the surviving lines still pass the schema check.
+        path = self.write_ledger(tmp_path, progress_lines())
+        path.write_bytes(path.read_bytes()[:-15])
+        errors = validate_progress_file(path)
+        assert errors
+        assert all("torn line" in e for e in errors)
+
+    def test_file_reports_schema_breaks(self, tmp_path):
+        lines = progress_lines() + [{"kind": "mystery", "time": 99.0}]
+        path = self.write_ledger(tmp_path, lines)
+        assert any("unknown kind" in e for e in validate_progress_file(path))
 
 
 class TestManifest:

@@ -4,10 +4,12 @@ from repro.obs.health import (
     DEFAULT_THRESHOLDS,
     HealthState,
     HealthThresholds,
+    _pool_hit_rate,
     classify,
     health_rows,
     render_health_table,
     signal_level,
+    vote,
 )
 from repro.obs.hub import MetricsHub
 
@@ -63,6 +65,42 @@ class TestClassify:
         assert DEFAULT_THRESHOLDS.for_signal("nonsense") is None
 
 
+class TestVote:
+    def test_all_green(self):
+        assert vote([HealthState.GREEN] * 3) == HealthState.GREEN
+
+    def test_empty_levels_are_green(self):
+        assert vote([]) == HealthState.GREEN
+
+    def test_any_yellow_lifts_to_yellow(self):
+        levels = [HealthState.GREEN, HealthState.YELLOW, HealthState.GREEN]
+        assert vote(levels) == HealthState.YELLOW
+
+    def test_single_red_is_only_yellow(self):
+        assert vote([HealthState.RED, HealthState.GREEN]) == HealthState.YELLOW
+
+    def test_red_quorum(self):
+        assert vote([HealthState.RED, HealthState.RED]) == HealthState.RED
+        assert vote([HealthState.RED], red_votes=1) == HealthState.RED
+
+
+class TestPoolHitRate:
+    def test_none_when_probe_never_sampled(self):
+        assert _pool_hit_rate({}) is None
+
+    def test_zero_when_pool_untouched(self):
+        gauges = {"engine/pool_hits": 0.0, "engine/pool_misses": 0.0}
+        assert _pool_hit_rate(gauges) == 0.0
+
+    def test_rate_is_hits_over_total(self):
+        gauges = {"engine/pool_hits": 75.0, "engine/pool_misses": 25.0}
+        assert _pool_hit_rate(gauges) == 0.75
+
+    def test_one_sided_gauges_count_as_zero(self):
+        assert _pool_hit_rate({"engine/pool_hits": 10.0}) == 1.0
+        assert _pool_hit_rate({"engine/pool_misses": 10.0}) == 0.0
+
+
 def observed_export(loss: float = 0.0, discards: int = 0) -> dict:
     hub = MetricsHub("health-test")
     for index in range(2):
@@ -108,3 +146,21 @@ class TestHealthRows:
 
     def test_render_empty(self):
         assert "no SAs" in render_health_table([])
+
+    def test_pool_hit_column_renders_dash_without_probe(self):
+        # Pre-PR-7 exports have no EventCoreProbe gauges: every row's
+        # pool_hit_rate is None and the column must render "-".
+        table = render_health_table(health_rows(observed_export()))
+        assert "pool_hit%" in table
+        for line in table.splitlines()[2:-1]:
+            assert line.rstrip().endswith("-")
+
+    def test_pool_hit_column_renders_percentage(self):
+        hub = MetricsHub("health-test")
+        hub.sub("sa0").ewma("loss_ewma").observe(0.0)
+        hub.gauge("engine/pool_hits").set(90.0)
+        hub.gauge("engine/pool_misses").set(10.0)
+        rows = health_rows(hub.as_dict())
+        assert all(row["pool_hit_rate"] == 0.9 for row in rows)
+        table = render_health_table(rows)
+        assert "90.0" in table

@@ -1,0 +1,98 @@
+"""Tests for repro.util.jsonl — the shared salvage-and-skip line walk."""
+
+import json
+
+from repro.util.jsonl import iter_jsonl_objects, salvage_objects
+
+
+class TestSalvageObjects:
+    def test_clean_line_yields_one_object(self):
+        values, torn = salvage_objects('{"a": 1}')
+        assert values == [{"a": 1}]
+        assert torn is False
+
+    def test_torn_tail_is_dropped(self):
+        values, torn = salvage_objects('{"a": 1}{"b": 2, "c"')
+        assert values == [{"a": 1}]
+        assert torn is True
+
+    def test_glued_objects_both_salvaged(self):
+        values, torn = salvage_objects('{"a": 1}{"b": 2}')
+        assert values == [{"a": 1}, {"b": 2}]
+        assert torn is False
+
+    def test_leading_garbage_flags_torn(self):
+        values, torn = salvage_objects('c": 3}{"a": 1}')
+        # The leading fragment has a brace, so the walk tries (and
+        # rejects) it before finding the complete object.
+        assert values == [{"a": 1}]
+        assert torn is True
+
+    def test_no_object_at_all(self):
+        values, torn = salvage_objects("garbage")
+        assert values == []
+        assert torn is True
+
+    def test_empty_line(self):
+        assert salvage_objects("") == ([], False)
+
+    def test_nested_objects_not_double_counted(self):
+        values, torn = salvage_objects('{"a": {"b": 1}}')
+        assert values == [{"a": {"b": 1}}]
+        assert torn is False
+
+
+class TestIterJsonlObjects:
+    def write(self, tmp_path, text):
+        path = tmp_path / "data.jsonl"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_clean_file(self, tmp_path):
+        path = self.write(tmp_path, '{"a": 1}\n{"b": 2}\n')
+        assert list(iter_jsonl_objects(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(iter_jsonl_objects(tmp_path / "absent.jsonl")) == []
+
+    def test_torn_tail_loses_one_line_not_the_file(self, tmp_path):
+        path = self.write(tmp_path, '{"a": 1}\n{"b": 2}\n{"c": 3, "d"')
+        errors: list[str] = []
+        assert list(iter_jsonl_objects(path, errors=errors)) == [
+            {"a": 1}, {"b": 2},
+        ]
+        assert len(errors) == 1
+        assert errors[0].endswith(":3: torn line (0 object(s) salvaged)")
+
+    def test_torn_middle_line_keeps_later_lines(self, tmp_path):
+        path = self.write(
+            tmp_path, '{"a": 1}\n{"tor\n{"b": 2}\n'
+        )
+        errors: list[str] = []
+        assert list(iter_jsonl_objects(path, errors=errors)) == [
+            {"a": 1}, {"b": 2},
+        ]
+        assert len(errors) == 1 and ":2:" in errors[0]
+
+    def test_glued_line_salvages_every_object(self, tmp_path):
+        path = self.write(tmp_path, '{"a": 1}{"b": 2}\n')
+        errors: list[str] = []
+        assert list(iter_jsonl_objects(path, errors=errors)) == [
+            {"a": 1}, {"b": 2},
+        ]
+        assert errors == []  # both objects intact: glued, not torn
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = self.write(tmp_path, '\n{"a": 1}\n\n')
+        assert list(iter_jsonl_objects(path)) == [{"a": 1}]
+
+    def test_non_object_values_pass_through(self, tmp_path):
+        path = self.write(tmp_path, "[1, 2]\n3\n")
+        assert list(iter_jsonl_objects(path)) == [[1, 2], 3]
+
+    def test_matches_json_loads_on_clean_lines(self, tmp_path):
+        lines = [{"n": i, "payload": list(range(i))} for i in range(5)]
+        path = self.write(
+            tmp_path, "".join(json.dumps(line) + "\n" for line in lines)
+        )
+        assert list(iter_jsonl_objects(path)) == lines
