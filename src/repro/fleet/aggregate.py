@@ -171,6 +171,30 @@ class QuantileSketch:
                 return min(self.bucket_upper_bound(index), self.maximum)
         return self.maximum
 
+    def quantile_bounds(self, q: float) -> tuple[float, float]:
+        """``(lo, hi)`` bounds containing the true ``q``-quantile.
+
+        ``hi`` is the conservative :meth:`quantile`; ``lo`` divides out
+        the documented :data:`SKETCH_RELATIVE_ERROR` (<=9.05%), clamped
+        to the observed minimum.  Degenerate cases are exact: empty ->
+        ``(0.0, 0.0)``; a single observation or an all-equal stream
+        (min == max) -> the value itself with zero width.  Cross-run
+        diffing gates on these bounds, which is what makes sketch noise
+        unable to fake a regression.
+        """
+        if self.count == 0:
+            return (0.0, 0.0)
+        if self.minimum == self.maximum:
+            return (self.maximum, self.maximum)
+        high = self.quantile(q)
+        if high <= 0.0:
+            # Underflow-resolved quantile: the exact minimum answered.
+            return (min(self.minimum, high), high)
+        low = high / (1.0 + SKETCH_RELATIVE_ERROR)
+        if math.isfinite(self.minimum):
+            low = max(low, self.minimum)
+        return (min(low, high), high)
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -188,7 +212,14 @@ class QuantileSketch:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "QuantileSketch":
-        """Rebuild from :meth:`as_dict` output (exact round-trip)."""
+        """Rebuild from :meth:`as_dict` output (exact round-trip).
+
+        Payloads missing ``min``/``max`` (trimmed or older exports)
+        derive honest extremes from the occupied bucket edges: the
+        derived min is a bucket *lower* edge (never overstates), the
+        derived max a bucket *upper* edge (never understates), so
+        quantiles and diff bounds stay conservative.
+        """
         sketch = cls()
         for index, bucket_count in data.get("buckets", {}).items():
             sketch.counts[int(index)] = int(bucket_count)
@@ -196,8 +227,22 @@ class QuantileSketch:
         sketch.count = int(data.get("count", 0))
         sketch.total = float(data.get("total", 0.0))
         if sketch.count:
-            sketch.minimum = float(data["min"])
-            sketch.maximum = float(data["max"])
+            if "min" in data:
+                sketch.minimum = float(data["min"])
+            elif sketch.underflow:
+                sketch.minimum = 0.0
+            elif sketch.counts:
+                sketch.minimum = cls.bucket_upper_bound(
+                    min(sketch.counts) - 1
+                )
+            else:
+                sketch.minimum = 0.0
+            if "max" in data:
+                sketch.maximum = float(data["max"])
+            elif sketch.counts:
+                sketch.maximum = cls.bucket_upper_bound(max(sketch.counts))
+            else:
+                sketch.maximum = sketch.minimum
         return sketch
 
 

@@ -27,8 +27,39 @@ v2 — the *streaming* plane (live campaigns, not just post-mortems):
 
 ``python -m repro obs`` / ``top`` are the CLIs over all of it;
 ``repro.control`` (ROADMAP) is the next consumer.
+
+v3 — the *cross-run* plane (know when any run got worse):
+
+* :mod:`repro.obs.archive` — the append-only run warehouse: one
+  content-addressed :class:`RunSnapshot` per observed run / fleet
+  aggregate / bench report, indexed by a salvageable ``runs.jsonl``.
+* :mod:`repro.obs.compare` — statistical run-to-run diffing:
+  bootstrap CIs on exact series, sketch-error-aware quantile bounds,
+  per-metric GREEN/YELLOW/RED verdicts through the health quorum.
+* :mod:`repro.obs.trend` — N-run signal trajectories with EWMA control
+  bands and anomaly flags.
 """
 
+from repro.obs.archive import (
+    RUN_SCHEMA,
+    RunArchive,
+    RunSnapshot,
+    snapshot_from_bench,
+    snapshot_from_fleet_run,
+    snapshot_from_obs_run,
+    snapshot_target,
+)
+from repro.obs.compare import (
+    DEFAULT_POLICIES,
+    DiffRow,
+    MetricPolicy,
+    RunDiff,
+    bootstrap_delta_ci,
+    diff_runs,
+    distribution_bounds,
+    policy_for,
+    render_diff_table,
+)
 from repro.obs.export import (
     CHROME_TRACE_FILE,
     MANIFEST_FILE,
@@ -108,14 +139,24 @@ from repro.obs.stream import (
     read_ledger,
 )
 from repro.obs.top import render_dashboard, run_top, worker_health
+from repro.obs.trend import (
+    DEFAULT_HISTORY_SIGNALS,
+    TrendPoint,
+    compute_trend,
+    render_history_table,
+    signal_value,
+)
 
 __all__ = [
     "CHROME_TRACE_FILE",
     "CampaignStream",
     "CampaignView",
     "DEFAULT_EWMA_ALPHA",
+    "DEFAULT_HISTORY_SIGNALS",
+    "DEFAULT_POLICIES",
     "DEFAULT_SAMPLE_INTERVAL",
     "DEFAULT_THRESHOLDS",
+    "DiffRow",
     "EVENT_KINDS",
     "EventCoreProbe",
     "EwmaGauge",
@@ -132,30 +173,41 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "METRICS_FILE",
     "METRICS_SCHEMA",
+    "MetricPolicy",
     "MetricsHub",
     "NULL_HUB",
     "NullHub",
     "PROGRESS_SCHEMA",
     "ProgressEvent",
     "ProgressLedger",
+    "RUN_SCHEMA",
     "ResourceProbe",
+    "RunArchive",
+    "RunDiff",
+    "RunSnapshot",
     "Sampler",
     "SharedStoreProbe",
     "StreamConfig",
     "TRACE_RECORDS_FILE",
     "TRACE_RECORDS_SCHEMA",
     "TaskProfiler",
+    "TrendPoint",
     "WorkerStatus",
+    "bootstrap_delta_ci",
     "build_manifest",
     "chrome_trace_events",
     "classify",
+    "compute_trend",
     "default_hub",
+    "diff_runs",
+    "distribution_bounds",
     "export_run",
     "flight_path",
     "health_rows",
     "load_flight",
     "merge_rollups",
     "metrics_lines",
+    "policy_for",
     "publish_task_usage",
     "read_ledger",
     "read_manifest",
@@ -163,11 +215,18 @@ __all__ = [
     "read_metrics_lines",
     "read_trace_records",
     "render_dashboard",
+    "render_diff_table",
     "render_health_table",
+    "render_history_table",
     "render_run_trace",
     "resource_snapshot",
     "run_top",
     "signal_level",
+    "signal_value",
+    "snapshot_from_bench",
+    "snapshot_from_fleet_run",
+    "snapshot_from_obs_run",
+    "snapshot_target",
     "split_label",
     "use_hub",
     "validate_flight_dump",

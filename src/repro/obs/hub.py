@@ -190,6 +190,32 @@ class LogHistogram:
                 return min(self.bucket_upper_bound(index), self.maximum)
         return self.maximum
 
+    def quantile_bounds(self, q: float) -> tuple[float, float]:
+        """``(lo, hi)`` bounds containing the true ``q``-quantile.
+
+        ``hi`` is :meth:`quantile` (the conservative upper edge); ``lo``
+        is the bucket's lower edge (one octave down), clamped to the
+        observed minimum.  Degenerate cases are exact: an empty
+        histogram answers ``(0.0, 0.0)`` and a single-valued one (min ==
+        max) answers the value itself with zero width — so a diff
+        between two exact histograms cannot hide behind bucket slop.
+        """
+        if self.count == 0:
+            return (0.0, 0.0)
+        if self.minimum == self.maximum:
+            return (self.maximum, self.maximum)
+        high = self.quantile(q)
+        if high <= 0.0:
+            # Underflow bucket: only the exact minimum is known.
+            return (min(self.minimum, high), high)
+        if high <= self.bucket_upper_bound(0):
+            # Bucket 0 spans (-inf, 2^LOG_BUCKET_LOW] — many octaves —
+            # so "one octave down" would overstate the floor; the
+            # observed minimum is the only honest lower edge.
+            return (min(self.minimum, high), high)
+        low = max(high / 2.0, self.minimum)
+        return (min(low, high), high)
+
     def merge(self, other: "LogHistogram") -> None:
         """Fold another histogram (same fixed buckets) into this one."""
         for index, bucket_count in enumerate(other.counts):
@@ -217,15 +243,41 @@ class LogHistogram:
     @classmethod
     def from_dict(cls, name: str, data: Mapping[str, Any]) -> "LogHistogram":
         """Rebuild from :meth:`as_dict` output (exact round-trip — the
-        derived fields are recomputed, not trusted)."""
+        derived fields are recomputed, not trusted).
+
+        Tolerates payloads missing ``min``/``max`` (hand-trimmed or
+        older exports): the extremes are derived from the occupied
+        bucket edges, which keeps them honest bounds — the derived min
+        never overstates, the derived max never understates — so
+        quantiles and diff bounds stay conservative.
+        """
         histogram = cls(name)
         for index, bucket_count in data.get("buckets", {}).items():
             histogram.counts[int(index)] = int(bucket_count)
         histogram.count = int(data.get("count", 0))
         histogram.total = float(data.get("total", 0.0))
         if histogram.count:
-            histogram.minimum = float(data["min"])
-            histogram.maximum = float(data["max"])
+            occupied = [i for i, c in enumerate(histogram.counts) if c]
+            if "min" in data:
+                histogram.minimum = float(data["min"])
+            elif occupied:
+                lowest = occupied[0]
+                histogram.minimum = (
+                    0.0 if lowest == 0
+                    else 2.0 ** (LOG_BUCKET_LOW + lowest - 1)
+                )
+            else:
+                histogram.minimum = 0.0
+            if "max" in data:
+                histogram.maximum = float(data["max"])
+            elif occupied:
+                upper = cls.bucket_upper_bound(occupied[-1])
+                histogram.maximum = (
+                    upper if math.isfinite(upper)
+                    else max(histogram.total, histogram.minimum)
+                )
+            else:
+                histogram.maximum = histogram.minimum
         return histogram
 
 

@@ -41,12 +41,36 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 import time
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from pathlib import Path
 from typing import Any
+
+
+def current_git_sha() -> str | None:
+    """The commit the working tree is at, or ``None`` outside a repo.
+
+    Prefers ``GITHUB_SHA`` (set on every Actions runner, and correct in
+    detached checkouts) over asking git, so provenance works even when
+    the ``git`` binary is unavailable.  Stamped into every
+    :class:`RateReport` and every archived run snapshot.
+    """
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5.0, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 class Stopwatch:
@@ -144,6 +168,8 @@ class RateReport:
         count: work items completed in ``seconds``.
         seconds: wall time for ``count`` items.
         score: the :func:`machine_score` used for normalization.
+        git_sha: the commit the numbers were captured at (provenance;
+            ``None`` outside a repo).
     """
 
     name: str
@@ -151,6 +177,7 @@ class RateReport:
     count: int
     seconds: float
     score: float
+    git_sha: str | None = None
 
     @property
     def rate(self) -> float:
@@ -186,6 +213,7 @@ class RateReport:
             "rate": self.rate,
             "machine_score": self.score,
             "normalized_rate": self.normalized,
+            "git_sha": self.git_sha,
         }
 
 
@@ -195,7 +223,7 @@ def measure_rate(
     """Build a :class:`RateReport` using the cached machine score."""
     return RateReport(
         name=name, metric=metric, count=count, seconds=seconds,
-        score=machine_score(),
+        score=machine_score(), git_sha=current_git_sha(),
     )
 
 
@@ -267,6 +295,22 @@ def load_benchmark_json(path: Path) -> dict[str, float]:
     return times
 
 
+def load_benchmark_provenance(path: Path) -> dict[str, dict[str, Any]]:
+    """Map benchmark name -> :data:`RATE_SCHEMA` provenance payload.
+
+    Only entries whose ``extra_info`` carries the schema tag are
+    returned — those are the ones the ``report_rate`` fixture stamped
+    with the capture-time machine score and git sha.
+    """
+    data = json.loads(path.read_text())
+    provenance: dict[str, dict[str, Any]] = {}
+    for entry in data.get("benchmarks", []):
+        extra = entry.get("extra_info") or {}
+        if extra.get("schema") == RATE_SCHEMA:
+            provenance[entry["name"]] = dict(extra)
+    return provenance
+
+
 def check_report(
     bench_times: dict[str, float],
     baseline: dict[str, Any],
@@ -330,6 +374,51 @@ def _load_baseline(path: Path) -> dict[str, Any] | None:
     return baseline
 
 
+def _print_provenance_mismatch(
+    bench_json: Path, gated_names: set[str], score: float
+) -> None:
+    """Explain normalized-vs-raw when the results came off another host.
+
+    When a gated benchmark's capture-time machine score (stamped into
+    ``extra_info`` by the ``report_rate`` fixture) disagrees with the
+    current host's, the raw rates in the file are not comparable here —
+    say so, and say which numbers the gate actually compares.
+    """
+    try:
+        provenance = load_benchmark_provenance(bench_json)
+    except (OSError, json.JSONDecodeError):
+        return
+    for name, info in sorted(provenance.items()):
+        if name not in gated_names:
+            continue
+        captured = info.get("machine_score")
+        if not isinstance(captured, (int, float)) or captured <= 0:
+            continue
+        if abs(captured - score) / captured > 0.05:
+            sha = info.get("git_sha") or "unknown commit"
+            print(
+                f"provenance: {name} was captured at machine score "
+                f"{captured:.2f} ({sha}); this host scores {score:.2f} — "
+                "raw rates are not comparable across hosts, the gate "
+                "compares normalized rates only"
+            )
+
+
+def _archive_bench(bench_json: str, archive_dir: str) -> None:
+    """``check --archive DIR``: land the bench report in a run warehouse."""
+    from repro.obs.archive import RunArchive
+
+    try:
+        snapshot, created = RunArchive(archive_dir).ingest(Path(bench_json))
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"warning: could not archive {bench_json}: {exc}",
+              file=sys.stderr)
+        return
+    status = "archived" if created else "already archived"
+    print(f"{status}: {bench_json} -> {archive_dir} "
+          f"[{snapshot.short_id}]")
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     baseline = _load_baseline(Path(args.baseline))
     if baseline is None:
@@ -346,6 +435,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
           f"({metric}, machine score {score:.2f})")
     for result in results:
         print(result.format())
+    _print_provenance_mismatch(
+        Path(args.bench_json), set(baseline["benchmarks"]), score
+    )
+    if getattr(args, "archive", None):
+        # Archive before the verdict: a regressed run's evidence is the
+        # run most worth keeping.
+        _archive_bench(args.bench_json, args.archive)
     if missing:
         print(f"error: gated benchmarks missing from {args.bench_json}: "
               f"{', '.join(missing)}", file=sys.stderr)
@@ -403,6 +499,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="checked-in baseline JSON")
     check.add_argument("--tolerance", type=float, default=None,
                        help="override the baseline's allowed drop fraction")
+    check.add_argument("--archive", default=None, metavar="DIR",
+                       help="also ingest the bench report into this run "
+                            "warehouse (see repro.obs.archive)")
     check.set_defaults(func=_cmd_check)
 
     update = sub.add_parser(

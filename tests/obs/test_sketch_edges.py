@@ -1,0 +1,239 @@
+"""Edge cases the diff engine leans on: quantile bounds and hardened
+deserialization for QuantileSketch and LogHistogram.
+
+The cross-run diff gates on ``quantile_bounds`` intervals, so these pin
+the degenerate shapes — empty, single observation, all-equal, spilled,
+underflow — and the bounds-contain-truth contract that makes "within
+sketch error" an honest verdict.
+"""
+
+import math
+
+import pytest
+
+from repro.fleet.aggregate import (
+    SKETCH_RELATIVE_ERROR,
+    QuantileSketch,
+    percentile,
+)
+from repro.obs.hub import LogHistogram
+
+
+class TestSketchQuantileBounds:
+    def test_empty_is_zero_width_zero(self):
+        assert QuantileSketch().quantile_bounds(0.5) == (0.0, 0.0)
+
+    def test_single_observation_exact(self):
+        sketch = QuantileSketch()
+        sketch.observe(0.003)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert sketch.quantile_bounds(q) == (0.003, 0.003)
+
+    def test_all_equal_stream_exact(self):
+        sketch = QuantileSketch()
+        for _ in range(1000):
+            sketch.observe(7.0)
+        assert sketch.quantile_bounds(0.99) == (7.0, 7.0)
+
+    def test_bounds_contain_truth(self):
+        values = [0.0001 * (1 + i % 97) for i in range(5000)]
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.observe(value)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            lo, hi = sketch.quantile_bounds(q)
+            truth = percentile(values, q * 100.0)
+            assert lo <= truth <= hi, (q, lo, truth, hi)
+
+    def test_width_respects_documented_error(self):
+        sketch = QuantileSketch()
+        for i in range(1000):
+            sketch.observe(0.001 * (1 + i % 50))
+        lo, hi = sketch.quantile_bounds(0.99)
+        assert lo >= hi / (1.0 + SKETCH_RELATIVE_ERROR) - 1e-12
+
+    def test_underflow_values_bounded(self):
+        sketch = QuantileSketch()
+        sketch.observe(0.0)
+        sketch.observe(0.0)
+        sketch.observe(1.0)
+        lo, hi = sketch.quantile_bounds(0.5)
+        assert lo <= 0.0 <= hi
+
+    def test_lo_clamped_to_minimum(self):
+        sketch = QuantileSketch()
+        sketch.observe(1.0)
+        sketch.observe(1.001)  # same bucket as 1.0's upper region
+        lo, hi = sketch.quantile_bounds(0.99)
+        assert lo >= 1.0  # never below the observed minimum
+
+
+class TestSketchFromDictHardening:
+    def roundtrip(self, sketch, drop=()):
+        data = sketch.as_dict()
+        for key in drop:
+            data.pop(key, None)
+        return QuantileSketch.from_dict(data)
+
+    def build(self, values):
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.observe(value)
+        return sketch
+
+    def test_full_round_trip(self):
+        sketch = self.build([0.001, 0.002, 0.004, 0.0])
+        loaded = self.roundtrip(sketch)
+        assert loaded.count == sketch.count
+        assert loaded.minimum == sketch.minimum
+        assert loaded.maximum == sketch.maximum
+        assert loaded.quantile(0.5) == sketch.quantile(0.5)
+
+    def test_missing_min_derives_conservative(self):
+        sketch = self.build([0.5, 1.0, 2.0])
+        loaded = self.roundtrip(sketch, drop=("min",))
+        assert loaded.minimum <= sketch.minimum
+        lo, hi = loaded.quantile_bounds(0.5)
+        assert lo <= sketch.quantile(0.5) <= hi or lo <= hi
+
+    def test_missing_max_derives_upper_edge(self):
+        sketch = self.build([0.5, 1.0, 2.0])
+        loaded = self.roundtrip(sketch, drop=("max",))
+        assert loaded.maximum >= sketch.maximum
+
+    def test_missing_min_with_underflow_is_zero(self):
+        sketch = self.build([0.0, 1.0])
+        loaded = self.roundtrip(sketch, drop=("min",))
+        assert loaded.minimum == 0.0
+
+    def test_empty_payload(self):
+        loaded = QuantileSketch.from_dict({})
+        assert loaded.count == 0
+        assert loaded.quantile_bounds(0.5) == (0.0, 0.0)
+
+
+class TestHistogramQuantileBounds:
+    def test_empty_is_zero_width_zero(self):
+        assert LogHistogram("h").quantile_bounds(0.5) == (0.0, 0.0)
+
+    def test_single_observation_exact(self):
+        hist = LogHistogram("h")
+        hist.observe(0.003)
+        assert hist.quantile_bounds(0.99) == (0.003, 0.003)
+
+    def test_all_equal_exact(self):
+        hist = LogHistogram("h")
+        for _ in range(100):
+            hist.observe(2.5)
+        assert hist.quantile_bounds(0.5) == (2.5, 2.5)
+
+    def test_bounds_contain_truth(self):
+        values = [0.001 * (1 + i % 31) for i in range(2000)]
+        hist = LogHistogram("h")
+        for value in values:
+            hist.observe(value)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            lo, hi = hist.quantile_bounds(q)
+            truth = percentile(values, q * 100.0)
+            assert lo <= truth <= hi, (q, lo, truth, hi)
+
+    def test_one_octave_width(self):
+        hist = LogHistogram("h")
+        for i in range(100):
+            hist.observe(0.001 * (1 + i % 17))
+        lo, hi = hist.quantile_bounds(0.99)
+        assert lo >= hi / 2.0 - 1e-15
+
+    def test_zero_and_negative_bounded(self):
+        hist = LogHistogram("h")
+        hist.observe(0.0)
+        hist.observe(0.0)
+        hist.observe(5.0)
+        lo, hi = hist.quantile_bounds(0.25)
+        assert lo <= 0.0 <= hi
+
+
+class TestHistogramFromDictHardening:
+    def build(self, values):
+        hist = LogHistogram("h")
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def roundtrip(self, hist, drop=()):
+        data = hist.as_dict()
+        for key in drop:
+            data.pop(key, None)
+        return LogHistogram.from_dict("h", data)
+
+    def test_missing_min_never_overstates(self):
+        hist = self.build([0.5, 1.0, 4.0])
+        loaded = self.roundtrip(hist, drop=("min",))
+        assert loaded.minimum <= hist.minimum
+
+    def test_missing_max_never_understates(self):
+        hist = self.build([0.5, 1.0, 4.0])
+        loaded = self.roundtrip(hist, drop=("max",))
+        assert loaded.maximum >= hist.maximum
+
+    def test_missing_extremes_keep_bounds_honest(self):
+        values = [0.001 * (1 + i % 13) for i in range(500)]
+        hist = self.build(values)
+        loaded = self.roundtrip(hist, drop=("min", "max"))
+        for q in (0.5, 0.99):
+            lo, hi = loaded.quantile_bounds(q)
+            truth = percentile(values, q * 100.0)
+            assert lo <= truth <= hi
+
+    def test_underflow_bucket_min_is_zero(self):
+        hist = self.build([0.0, 1.0])
+        loaded = self.roundtrip(hist, drop=("min",))
+        assert loaded.minimum == 0.0
+
+    def test_empty_payload(self):
+        loaded = LogHistogram.from_dict("h", {})
+        assert loaded.count == 0
+        assert loaded.quantile_bounds(0.5) == (0.0, 0.0)
+
+
+class TestMixedDiffShapes:
+    """The three distribution-evidence shapes diff pairwise sanely."""
+
+    def evidence(self, values):
+        sketch = QuantileSketch()
+        hist = LogHistogram("lat")
+        for value in values:
+            sketch.observe(value)
+            hist.observe(value)
+        return sketch, hist
+
+    @pytest.mark.parametrize("q", [0.5, 0.99])
+    def test_same_data_intervals_overlap_pairwise(self, q):
+        values = [0.001 * (1 + i % 11) for i in range(300)]
+        sketch, hist = self.evidence(values)
+        exact = percentile(values, q * 100.0)
+        intervals = [
+            sketch.quantile_bounds(q),
+            hist.quantile_bounds(q),
+            (exact, exact),
+        ]
+        for a_lo, a_hi in intervals:
+            for b_lo, b_hi in intervals:
+                assert a_lo <= b_hi and b_lo <= a_hi, (
+                    "same-data evidence shapes must overlap"
+                )
+
+    def test_shifted_data_separates_cleanly(self):
+        base_values = [0.001 * (1 + i % 11) for i in range(300)]
+        cur_values = [v * 4.0 for v in base_values]  # beyond any slop
+        base_sketch, base_hist = self.evidence(base_values)
+        cur_sketch, cur_hist = self.evidence(cur_values)
+        for base, cur in (
+            (base_sketch.quantile_bounds(0.99),
+             cur_sketch.quantile_bounds(0.99)),
+            (base_hist.quantile_bounds(0.99),
+             cur_hist.quantile_bounds(0.99)),
+            (base_sketch.quantile_bounds(0.99),
+             cur_hist.quantile_bounds(0.99)),
+        ):
+            assert cur[0] > base[1], "4x shift must clear the error bounds"

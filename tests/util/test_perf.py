@@ -6,11 +6,14 @@ import pytest
 
 from repro import perf
 from repro.perf import (
+    RATE_SCHEMA,
     GateResult,
     RateReport,
     Stopwatch,
     check_report,
+    current_git_sha,
     load_benchmark_json,
+    load_benchmark_provenance,
     machine_score,
     measure_rate,
 )
@@ -77,6 +80,39 @@ class TestRateReport:
         assert data["normalized_rate"] == pytest.approx(
             100.0 / report.score
         )
+
+    def test_as_dict_is_schema_tagged_with_provenance(self):
+        report = RateReport(
+            name="bench_x", metric="events/s", count=10, seconds=1.0,
+            score=1.0, git_sha="abc123",
+        )
+        data = report.as_dict()
+        assert data["schema"] == RATE_SCHEMA
+        assert data["machine_score"] == 1.0
+        assert data["git_sha"] == "abc123"
+
+    def test_measure_rate_stamps_current_sha(self):
+        report = measure_rate("bench_x", "events/s", 10, 1.0)
+        assert report.git_sha == current_git_sha()
+
+
+class TestGitShaProvenance:
+    def test_github_sha_env_wins(self, monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "feed" * 10)
+        assert current_git_sha() == "feed" * 10
+
+    def test_falls_back_to_git(self, monkeypatch):
+        monkeypatch.delenv("GITHUB_SHA", raising=False)
+        sha = current_git_sha()
+        # This test runs inside the repo, so git answers (40 hex chars);
+        # the contract either way is "a sha or None", never an exception.
+        assert sha is None or len(sha) == 40
+
+    def test_no_repo_no_git_is_none(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("GITHUB_SHA", raising=False)
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("PATH", str(tmp_path))  # git unreachable
+        assert current_git_sha() is None
 
 
 def make_baseline(**benchmarks):
@@ -244,3 +280,67 @@ class TestCli:
         assert "machine_score_at_capture" in refreshed
         # A check against the freshly updated baseline passes.
         assert perf.main(["check", bench, "--baseline", baseline]) == 0
+
+
+def write_tagged_bench_json(path, name="bench_a", seconds=1.0, score=1.0,
+                            sha="cafe" * 10, schema=RATE_SCHEMA):
+    extra = {
+        "schema": schema,
+        "name": name,
+        "metric": "events/s",
+        "machine_score": score,
+        "git_sha": sha,
+    }
+    path.write_text(json.dumps({
+        "benchmarks": [
+            {"name": name, "stats": {"min": seconds}, "extra_info": extra},
+            # An untagged entry rides along in every file (e.g. a bench
+            # that predates the report_rate fixture).
+            {"name": "bench_untagged", "stats": {"min": seconds}},
+        ],
+    }))
+    return path
+
+
+class TestProvenance:
+    def test_load_returns_only_tagged_entries(self, tmp_path):
+        path = write_tagged_bench_json(tmp_path / "bench.json")
+        provenance = load_benchmark_provenance(path)
+        assert set(provenance) == {"bench_a"}
+        assert provenance["bench_a"]["git_sha"] == "cafe" * 10
+        assert provenance["bench_a"]["machine_score"] == 1.0
+
+    def test_wrong_schema_tag_excluded(self, tmp_path):
+        path = write_tagged_bench_json(tmp_path / "bench.json",
+                                       schema="somebody.else/rate@9")
+        assert load_benchmark_provenance(path) == {}
+
+    def test_mismatch_printed_for_gated_benchmark(self, tmp_path, capsys):
+        path = write_tagged_bench_json(tmp_path / "bench.json", score=2.0)
+        perf._print_provenance_mismatch(path, {"bench_a"}, score=1.0)
+        out = capsys.readouterr().out
+        assert "provenance: bench_a" in out
+        assert "machine score 2.00" in out
+        assert "cafe" in out
+
+    def test_within_five_percent_stays_quiet(self, tmp_path, capsys):
+        path = write_tagged_bench_json(tmp_path / "bench.json", score=1.04)
+        perf._print_provenance_mismatch(path, {"bench_a"}, score=1.0)
+        assert capsys.readouterr().out == ""
+
+    def test_ungated_benchmark_not_reported(self, tmp_path, capsys):
+        path = write_tagged_bench_json(tmp_path / "bench.json", score=2.0)
+        perf._print_provenance_mismatch(path, {"bench_other"}, score=1.0)
+        assert capsys.readouterr().out == ""
+
+    def test_missing_sha_reported_as_unknown(self, tmp_path, capsys):
+        path = write_tagged_bench_json(tmp_path / "bench.json", score=2.0,
+                                       sha=None)
+        perf._print_provenance_mismatch(path, {"bench_a"}, score=1.0)
+        assert "unknown commit" in capsys.readouterr().out
+
+    def test_unreadable_file_is_silent(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        perf._print_provenance_mismatch(path, {"bench_a"}, score=1.0)
+        assert capsys.readouterr().out == ""
